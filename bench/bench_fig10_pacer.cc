@@ -1,0 +1,129 @@
+// Figure 10 (§5, pacer microbenchmarks): CPU usage and throughput of the
+// Silo pacer at rate limits of 1..10 Gbps on a 10 GbE NIC.
+//
+// The prototype measured Xeon cores; our substrate is a simulator, so CPU
+// is proxied by packet-touch counts with per-packet costs calibrated to
+// the paper's three anchor points (0.6 cores generating only void packets
+// at 10 Gbps; ~2.1 cores at a 9 Gbps limit; ~<0.2 cores pacer overhead at
+// line rate). Throughput numbers are exact wire accounting.
+//
+// Also prints the --no-void ablation: with plain IO batching the NIC
+// releases each batch back to back, destroying inter-packet spacing.
+#include <algorithm>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "pacer/paced_nic.h"
+#include "pacer/token_bucket.h"
+
+using namespace silo;
+using namespace silo::pacer;
+
+namespace {
+
+constexpr double kDataPacketCostUs = 2.10;  // DMA + descriptor + stack
+constexpr double kVoidPacketCostUs = 0.74;  // descriptor only
+
+struct RunResult {
+  double data_gbps = 0;  ///< payload goodput (framing excluded)
+  double void_gbps = 0;
+  double mpps = 0;
+  double cores = 0;
+  TimeNs min_data_gap = 0;  ///< smallest start-to-start gap on the wire
+};
+
+RunResult run_pacer(RateBps rate_limit, RateBps line_rate, NicMode mode,
+                    TimeNs duration) {
+  PacedNic nic(line_rate, mode);
+  TokenBucket bucket(rate_limit, kMtu);
+  TimeNs now = 0;
+  TimeNs next_stamp = 0;
+  std::uint64_t id = 1;
+  RunResult res;
+  std::vector<TimeNs> stamps, wire_times;
+
+  while (now < duration) {
+    // Backlogged sender: stamp MTU packets through the rate limiter far
+    // enough ahead to keep the NIC busy for the next batch window.
+    while (next_stamp <= now + nic.batch_window()) {
+      next_stamp = bucket.earliest_conformance(next_stamp, kMtu);
+      bucket.consume(next_stamp, kMtu);
+      nic.enqueue(next_stamp, kMtu, id++);
+      stamps.push_back(next_stamp);
+    }
+    const auto slots = nic.build_batch(now);
+    if (slots.empty()) break;
+    for (const auto& s : slots)
+      if (!s.is_void) wire_times.push_back(s.start);
+    now = slots.back().end;
+  }
+
+  const auto& st = nic.stats();
+  const double secs = static_cast<double>(now) / static_cast<double>(kSec);
+  const double payload_bytes = static_cast<double>(
+      st.data_wire_bytes - st.data_packets * kEthOverhead);
+  res.data_gbps = payload_bytes * 8 / secs / 1e9;
+  res.void_gbps = static_cast<double>(st.void_wire_bytes) * 8 / secs / 1e9;
+  res.mpps =
+      static_cast<double>(st.data_packets + st.void_packets) / secs / 1e6;
+  res.cores = (static_cast<double>(st.data_packets) * kDataPacketCostUs +
+               static_cast<double>(st.void_packets) * kVoidPacketCostUs) /
+              (secs * 1e6);
+  // Spacing fidelity: the smallest gap between consecutive data packets
+  // on the wire. Batching without voids collapses gaps to serialization
+  // time; void fill keeps them at the paced target.
+  res.min_data_gap = duration;
+  for (std::size_t i = 1; i < wire_times.size(); ++i)
+    res.min_data_gap =
+        std::min(res.min_data_gap, wire_times[i] - wire_times[i - 1]);
+  (void)stamps;
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const auto duration =
+      static_cast<TimeNs>(flags.get("duration-ms", 50.0) * kMsec);
+  const RateBps line = 10 * kGbps;
+
+  bench::print_header(
+      "Figure 10: pacer CPU usage (a) and throughput (b) vs rate limit",
+      "Paced IO Batching with void packets on a simulated 10 GbE NIC;\n"
+      "CPU cores are a calibrated packet-touch proxy (see source).");
+
+  TextTable table({"Rate limit", "CPU (cores)", "Pkts (Mpps)", "Data (Gbps)",
+                   "Void (Gbps)", "Data/ideal %"});
+  for (int g = 1; g <= 10; ++g) {
+    const auto r = run_pacer(g * kGbps, line, NicMode::kPacedVoid, duration);
+    // At line rate the wire framing caps the achievable payload goodput.
+    const double ideal =
+        std::min<double>(g, 10.0 * 1500 / (1500.0 + kEthOverhead));
+    table.add_row({std::to_string(g) + " Gbps", TextTable::fmt(r.cores, 2),
+                   TextTable::fmt(r.mpps, 2), TextTable::fmt(r.data_gbps, 2),
+                   TextTable::fmt(r.void_gbps, 2),
+                   TextTable::fmt(100.0 * r.data_gbps / ideal, 1)});
+  }
+  const auto nopace = run_pacer(10 * kGbps, line, NicMode::kBatched, duration);
+  table.add_row({"no pacing", TextTable::fmt(nopace.cores, 2),
+                 TextTable::fmt(nopace.mpps, 2),
+                 TextTable::fmt(nopace.data_gbps, 2), "0.00", "100.0"});
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Ablation: spacing fidelity with and without void packets at 2 Gbps.
+  const auto paced = run_pacer(2 * kGbps, line, NicMode::kPacedVoid, duration);
+  const auto burst = run_pacer(2 * kGbps, line, NicMode::kBatched, duration);
+  std::printf(
+      "Spacing ablation at a 2 Gbps limit (pacer stamp gap 6001 ns):\n");
+  std::printf("  with void packets : min wire gap %6ld ns (pacing held)\n",
+              static_cast<long>(paced.min_data_gap));
+  std::printf("  plain IO batching : min wire gap %6ld ns "
+              "(batches go back-to-back at line rate)\n\n",
+              static_cast<long>(burst.min_data_gap));
+  std::printf(
+      "Paper reference: pacer saturates 10G, data rate >98%% of ideal\n"
+      "except at 9 Gbps; CPU peaks ~2.1 cores at 9 Gbps where the void\n"
+      "packet rate is highest; minimum achievable spacing 68 ns.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Figure 11 (§6.1): memcached latency distribution (a), tail latency (b)
+// and relative throughput (c) for five scenarios on the testbed:
+//   TCP (idle)  - tenant A alone, plain TCP
+//   TCP         - tenants A+B, plain TCP
+//   Silo req1-3 - A guaranteed {1x, 1.5x, 2x} its average bandwidth
+//                 (Table 2), B guaranteed the remaining link share
+// The message-latency guarantee for a memcached transaction under these
+// Silo parameters is 2.01 ms (request + response bounds, §4.1).
+#include "bench/bench_util.h"
+#include "bench/testbed_common.h"
+
+using namespace silo;
+using namespace silo::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto duration =
+      static_cast<TimeNs>(flags.get("duration-s", 0.6) * kSec);
+  const double ops = flags.get("ops-per-sec", 40000.0);
+
+  print_header(
+      "Figure 11: memcached with Silo guarantees vs TCP on the testbed",
+      "Tenant A: memcached (ETC); tenant B: netperf all-to-all. Silo req1-3\n"
+      "guarantee A {1x, 1.5x, 2x} its average bandwidth; B gets the rest\n"
+      "so that 3*(B_A + B_B) = 10G per host (paper Table 2).");
+
+  // Tenant A's average per-VM bandwidth requirement, measured in
+  // isolation (the paper measured 210 Mbps for the full-rate workload).
+  TestbedScenario isolation;
+  isolation.scheme = sim::Scheme::kTcp;
+  isolation.with_bulk = false;
+  isolation.duration = duration;
+  isolation.ops_per_sec = ops;
+  const auto r_idle = run_testbed(isolation);
+
+  // netperf-alone baseline for relative throughput.
+  TestbedScenario bulk_alone = isolation;
+  bulk_alone.memcached_active = false;
+  bulk_alone.with_bulk = true;
+  const auto r_bulk_alone = run_testbed(bulk_alone);
+
+  TestbedScenario tcp = isolation;
+  tcp.with_bulk = true;
+  const auto r_tcp = run_testbed(tcp);
+
+  // Average transaction is ~90 B request + ~330 B value + headers + ACKs;
+  // the server VM is the hose bottleneck. Like the paper's measured
+  // 210 Mbps (vs ~165 Mbps raw goodput), the measured average includes
+  // protocol overhead above the mean payload.
+  const double avg_bw = ops * (90 + 330 + 2 * 40) * 8.0 * 1.25;
+
+  struct Row {
+    const char* name;
+    TestbedResult res;
+    double a_bw;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"TCP (idle)", r_idle, 0});
+  rows.push_back({"TCP", r_tcp, 0});
+  // Guarantees must leave headroom for Ethernet framing (38 B preamble /
+  // FCS / IFG per MTU frame), or the stamped load exceeds the wire and
+  // NIC lag grows without bound: usable goodput is 10G * 1500/1538.
+  const double usable = 10 * kGbps * 1500.0 / 1538.0;
+  int req_idx = 1;
+  for (double mult : {1.0, 1.5, 2.0}) {
+    TestbedScenario silo = tcp;
+    silo.scheme = sim::Scheme::kSilo;
+    silo.a_bandwidth = avg_bw * mult;
+    silo.b_bandwidth = usable / 3.0 - silo.a_bandwidth;
+    static std::string names[3] = {"Silo req1", "Silo req2", "Silo req3"};
+    rows.push_back({names[req_idx - 1].c_str(), run_testbed(silo),
+                    silo.a_bandwidth});
+    ++req_idx;
+  }
+
+  TextTable lat({"Scenario", "p50 (us)", "p95 (us)", "p99 (us)",
+                 "p99.9 (us)", "ops/s", "netperf Gbps"});
+  for (const auto& row : rows) {
+    const auto& l = row.res.latency_us;
+    lat.add_row({row.name, TextTable::fmt(l.percentile(50), 0),
+                 TextTable::fmt(l.percentile(95), 0),
+                 TextTable::fmt(l.percentile(99), 0),
+                 TextTable::fmt(l.percentile(99.9), 0),
+                 TextTable::fmt(row.res.mem_ops_per_sec, 0),
+                 TextTable::fmt(row.res.bulk_gbps, 2)});
+  }
+  std::printf("%s\n", lat.to_string().c_str());
+
+  TextTable rel({"Scenario", "memcached tput (rel. to idle)",
+                 "netperf tput (rel. to alone)"});
+  for (const auto& row : rows) {
+    rel.add_row({row.name,
+                 TextTable::fmt(row.res.mem_ops_per_sec /
+                                    rows[0].res.mem_ops_per_sec,
+                                2),
+                 row.res.bulk_gbps > 0
+                     ? TextTable::fmt(row.res.bulk_gbps /
+                                          r_bulk_alone.bulk_gbps,
+                                      2)
+                     : std::string("-")});
+  }
+  std::printf("%s\n", rel.to_string().c_str());
+  std::printf(
+      "Guarantee: 2.01 ms per transaction under Silo req1-3.\n"
+      "Paper reference: TCP p99 2.3 ms / p99.9 217 ms; Silo stays within\n"
+      "the guarantee at p99 (2.01 ms) for all reqs and at p99.9 for req3;\n"
+      "netperf retains 92-99%% of its TCP-alone throughput.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Figures 15 & 16 (§6.3, datacenter-scale flow simulations):
+//   Fig 15a/b - fraction of tenant requests admitted (total / class-A /
+//               class-B) at 75% and 90% occupancy for Locality, Oktopus
+//               and Silo placement.
+//   Fig 16a   - average network utilization vs datacenter occupancy
+//               (Permutation-1 class-B traffic).
+//   Fig 16b   - network utilization vs Permutation-x at 90% occupancy.
+//
+// Scaled from the paper's 32K servers to 256 (tunable); three-tier tree
+// with 1:5 oversubscription, 50% class-A tenants (all-to-one), class-B
+// with Permutation-x flows, Poisson arrivals, jobs = transfer + compute.
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "flowsim/flow_sim.h"
+
+using namespace silo;
+using namespace silo::bench;
+using namespace silo::flowsim;
+
+namespace {
+
+FlowSimConfig base_config(const Flags& flags) {
+  FlowSimConfig cfg;
+  cfg.topo.pods = static_cast<int>(flags.geti("pods", 4));
+  cfg.topo.racks_per_pod = static_cast<int>(flags.geti("racks-per-pod", 4));
+  cfg.topo.servers_per_rack =
+      static_cast<int>(flags.geti("servers-per-rack", 16));
+  cfg.topo.vm_slots_per_server = 8;
+  cfg.mean_vms = flags.get("mean-vms", 16.0);
+  cfg.sim_duration_s = flags.get("duration-s", 600.0);
+  cfg.warmup_s = cfg.sim_duration_s / 4;
+  cfg.seed = static_cast<std::uint64_t>(flags.geti("seed", 9));
+  return cfg;
+}
+
+const char* policy_name(placement::Policy p) {
+  switch (p) {
+    case placement::Policy::kSilo: return "Silo";
+    case placement::Policy::kOktopus: return "Oktopus";
+    case placement::Policy::kLocality: return "Locality";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::vector<placement::Policy> policies{
+      placement::Policy::kLocality, placement::Policy::kOktopus,
+      placement::Policy::kSilo};
+
+  print_header(
+      "Figures 15-16: admitted requests and network utilization at scale",
+      "Flow-level simulation; Locality = greedy packing with ideal-TCP\n"
+      "max-min sharing, Oktopus = bandwidth-only reservation, Silo = full\n"
+      "queueing-constraint placement.");
+
+  // ---- Figure 15: admitted requests at 75% and 90% occupancy ----------
+  for (double occ : {0.75, 0.90}) {
+    TextTable t({"Policy", "Total %", "Class-B %", "Class-A %",
+                 "measured occupancy"});
+    for (auto pol : policies) {
+      auto cfg = base_config(flags);
+      cfg.policy = pol;
+      cfg.occupancy = occ;
+      const auto r = run_flow_sim(cfg);
+      t.add_row({policy_name(pol), TextTable::fmt(100 * r.admitted_frac(), 1),
+                 TextTable::fmt(100 * r.admitted_frac_b(), 1),
+                 TextTable::fmt(100 * r.admitted_frac_a(), 1),
+                 TextTable::fmt(r.avg_occupancy, 2)});
+    }
+    std::printf("Figure 15%s: admitted requests, occupancy target %.0f%%\n%s\n",
+                occ < 0.8 ? "a" : "b", 100 * occ, t.to_string().c_str());
+  }
+
+  // ---- Figure 16a: utilization vs occupancy (Permutation-1) -----------
+  {
+    TextTable t({"Occupancy", "Silo %", "Oktopus %", "Locality(TCP) %"});
+    for (double occ : {0.25, 0.50, 0.75, 0.90}) {
+      std::vector<std::string> row{TextTable::fmt(100 * occ, 0)};
+      for (auto pol : {placement::Policy::kSilo, placement::Policy::kOktopus,
+                       placement::Policy::kLocality}) {
+        auto cfg = base_config(flags);
+        cfg.policy = pol;
+        cfg.occupancy = occ;
+        row.push_back(
+            TextTable::fmt(100 * run_flow_sim(cfg).network_utilization, 1));
+      }
+      t.add_row(std::move(row));
+    }
+    std::printf("Figure 16a: network utilization vs occupancy\n%s\n",
+                t.to_string().c_str());
+  }
+
+  // ---- Figure 16b: utilization vs Permutation-x at 90% ----------------
+  {
+    TextTable t({"Permutation-x", "Silo %", "Oktopus %", "Locality(TCP) %",
+                 "Silo adm %", "Locality adm %"});
+    for (double x : {0.5, 0.75, 1.0, 2.0, 0.0}) {  // 0 = all-to-all (N)
+      std::vector<std::string> row{x == 0.0 ? "N (all-to-all)"
+                                            : TextTable::fmt(x, 2)};
+      double silo_adm = 0, loc_adm = 0;
+      for (auto pol : {placement::Policy::kSilo, placement::Policy::kOktopus,
+                       placement::Policy::kLocality}) {
+        auto cfg = base_config(flags);
+        cfg.policy = pol;
+        cfg.occupancy = 0.90;
+        cfg.permutation_x = x;
+        const auto r = run_flow_sim(cfg);
+        row.push_back(TextTable::fmt(100 * r.network_utilization, 1));
+        if (pol == placement::Policy::kSilo) silo_adm = r.admitted_frac();
+        if (pol == placement::Policy::kLocality) loc_adm = r.admitted_frac();
+      }
+      row.push_back(TextTable::fmt(100 * silo_adm, 1));
+      row.push_back(TextTable::fmt(100 * loc_adm, 1));
+      t.add_row(std::move(row));
+    }
+    std::printf("Figure 16b: utilization vs class-B traffic density (90%%)\n%s\n",
+                t.to_string().c_str());
+  }
+
+  std::printf(
+      "Paper reference shape: Silo admits ~4-5%% fewer than Oktopus and\n"
+      "its utilization is ~9-11%% lower (the price of delay guarantees);\n"
+      "at 90%% occupancy the locality baseline collapses — slow outlier\n"
+      "tenants hold slots, so it rejects MORE than Silo — and with denser\n"
+      "traffic (larger x) the guarantee-based policies close the\n"
+      "utilization gap on the work-conserving TCP baseline.\n");
+  return 0;
+}

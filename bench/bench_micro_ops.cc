@@ -1,0 +1,129 @@
+// Google-benchmark microbenchmarks of the hot-path primitives: network-
+// calculus curve operations, queue-bound analysis, token-bucket stamping,
+// void-packet batch construction, hose allocation, and placement
+// admission — the operations whose cost bounds how fast a placement
+// manager and a software pacer can run.
+#include <benchmark/benchmark.h>
+
+#include "netcalc/curve.h"
+#include "pacer/hose_allocator.h"
+#include "pacer/paced_nic.h"
+#include "pacer/token_bucket.h"
+#include "pacer/vm_pacer.h"
+#include "placement/placement.h"
+#include "topology/topology.h"
+#include "util/rng.h"
+
+namespace silo {
+namespace {
+
+void BM_CurveTokenBucket(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        netcalc::Curve::token_bucket(1 * kGbps, 100 * kKB));
+  }
+}
+BENCHMARK(BM_CurveTokenBucket);
+
+void BM_CurvePlus(benchmark::State& state) {
+  const auto a = netcalc::Curve::rate_limited_burst(1 * kGbps, 100 * kKB,
+                                                    10 * kGbps);
+  const auto b = netcalc::Curve::rate_limited_burst(2 * kGbps, 30 * kKB,
+                                                    10 * kGbps);
+  for (auto _ : state) benchmark::DoNotOptimize(a.plus(b));
+}
+BENCHMARK(BM_CurvePlus);
+
+void BM_CurveMin(benchmark::State& state) {
+  const auto a = netcalc::Curve::token_bucket(1 * kGbps, 100 * kKB);
+  const auto b = netcalc::Curve::token_bucket(10 * kGbps, 1500);
+  for (auto _ : state) benchmark::DoNotOptimize(a.min_with(b));
+}
+BENCHMARK(BM_CurveMin);
+
+void BM_AnalyzeQueue(benchmark::State& state) {
+  const auto arrival = netcalc::Curve::rate_limited_burst(
+      4 * kGbps, 300 * kKB, 20 * kGbps);
+  const auto service = netcalc::Curve::constant_rate(10 * kGbps);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(netcalc::analyze_queue(arrival, service));
+}
+BENCHMARK(BM_AnalyzeQueue);
+
+void BM_TokenBucketStamp(benchmark::State& state) {
+  pacer::TokenBucket bucket(1 * kGbps, 15 * kKB);
+  TimeNs now = 0;
+  for (auto _ : state) {
+    now = bucket.earliest_conformance(now, 1500);
+    bucket.consume(now, 1500);
+    benchmark::DoNotOptimize(now);
+  }
+}
+BENCHMARK(BM_TokenBucketStamp);
+
+void BM_VmPacerStamp(benchmark::State& state) {
+  pacer::VmPacer pacer({1 * kGbps, 15 * kKB, kMsec, 10 * kGbps});
+  TimeNs now = 0;
+  int dst = 0;
+  for (auto _ : state) {
+    now = pacer.stamp(now, dst, 1500);
+    dst = (dst + 1) % 16;
+    benchmark::DoNotOptimize(now);
+  }
+}
+BENCHMARK(BM_VmPacerStamp);
+
+void BM_PacedNicBatch(benchmark::State& state) {
+  // One 50 us batch at a 2 Gbps limit: ~8 data packets + void fill.
+  for (auto _ : state) {
+    state.PauseTiming();
+    pacer::PacedNic nic(10 * kGbps, pacer::NicMode::kPacedVoid);
+    for (int i = 0; i < 8; ++i) nic.enqueue(i * 6000, 1462, i + 1);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(nic.build_batch(0));
+  }
+}
+BENCHMARK(BM_PacedNicBatch);
+
+void BM_HoseAllocate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  std::vector<pacer::HoseDemand> demands;
+  for (int i = 0; i < n; ++i)
+    demands.push_back({static_cast<int>(rng.uniform_int(0, 15)),
+                       static_cast<int>(rng.uniform_int(0, 15)), 1e9});
+  const std::vector<RateBps> caps(16, 1e9);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(pacer::hose_allocate(demands, caps, caps));
+}
+BENCHMARK(BM_HoseAllocate)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_PlacementAdmit(benchmark::State& state) {
+  topology::TopologyConfig tcfg;
+  tcfg.pods = 4;
+  tcfg.racks_per_pod = 10;
+  tcfg.servers_per_rack = 40;
+  topology::Topology topo(tcfg);
+  placement::PlacementEngine engine(topo, placement::Policy::kSilo);
+  Rng rng(5);
+  std::vector<placement::TenantId> ids;
+  for (auto _ : state) {
+    TenantRequest req;
+    req.num_vms = 8 + static_cast<int>(rng.uniform_int(0, 24));
+    req.tenant_class = TenantClass::kDelaySensitive;
+    req.guarantee = {0.5 * kGbps, 15 * kKB, 2 * kMsec, 1 * kGbps};
+    auto placed = engine.place(req);
+    if (placed) ids.push_back(placed->id);
+    if (ids.size() > 600) {  // steady-state churn
+      engine.remove(ids.front());
+      ids.erase(ids.begin());
+    }
+    benchmark::DoNotOptimize(placed);
+  }
+}
+BENCHMARK(BM_PlacementAdmit)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace silo
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Shared helpers for the experiment benches: a tiny --key=value flag
+// parser (every bench must also run sensibly with no arguments) and
+// common printing utilities.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "util/stats.h"
+
+namespace silo::bench {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "1";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  double get(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  std::int64_t geti(const std::string& key, std::int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+inline void print_header(const char* experiment, const char* description) {
+  std::printf("=============================================================\n");
+  std::printf("%s\n%s\n", experiment, description);
+  std::printf("=============================================================\n");
+}
+
+}  // namespace silo::bench

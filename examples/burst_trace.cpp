@@ -1,0 +1,84 @@
+// Telemetry walkthrough: watch a switch buffer absorb a synchronized
+// OLDI burst, with and without Silo. Uses the FabricTracer to sample
+// queue occupancy at 10 us resolution — the moment-to-moment view behind
+// the paper's queue-bound arguments.
+#include <cstdio>
+
+#include "sim/trace.h"
+#include "workload/drivers.h"
+#include "workload/patterns.h"
+
+using namespace silo;
+using namespace silo::sim;
+
+namespace {
+
+void run(Scheme scheme) {
+  ClusterConfig cfg;
+  cfg.topo.pods = 1;
+  cfg.topo.racks_per_pod = 1;
+  cfg.topo.servers_per_rack = 6;
+  cfg.topo.vm_slots_per_server = 4;
+  cfg.topo.oversubscription = 1.0;
+  cfg.scheme = scheme;
+  ClusterSim sim(cfg);
+
+  // OLDI tenant: 17 workers + 1 aggregator, synchronized 15 KB bursts.
+  TenantRequest a;
+  a.num_vms = 18;
+  a.tenant_class = TenantClass::kDelaySensitive;
+  a.guarantee = {250 * kMbps, 15 * kKB, 1 * kMsec, 1 * kGbps};
+  const auto ta = sim.add_tenant(a);
+  // A bulk neighbour keeps the shared queues warm.
+  TenantRequest b;
+  b.num_vms = 6;
+  b.tenant_class = TenantClass::kBandwidthOnly;
+  b.guarantee = {1 * kGbps, Bytes{1500}, 0, 1 * kGbps};
+  const auto tb = sim.add_tenant(b);
+  if (!ta || !tb) {
+    std::printf("%-7s: admission failed\n", scheme_name(scheme));
+    return;
+  }
+
+  workload::BulkDriver bulk(sim, *tb, workload::all_to_all(6),
+                            Bytes{128 * kKB});
+  workload::BurstDriver::Config bc;
+  bc.receiver = 17;
+  bc.message_size = 15 * kKB;
+  bc.epochs_per_sec = 50;
+  workload::BurstDriver bursts(sim, *ta, 18, bc, 31);
+
+  FabricTracer tracer(sim, 10 * kUsec);
+  bulk.start(100 * kMsec);
+  bursts.start(100 * kMsec);
+  tracer.start(100 * kMsec);
+  sim.run_until(120 * kMsec);
+
+  const auto hot = tracer.hottest_ports(3);
+  std::printf("%-7s: worst queue %6ld KB of %ld KB buffer; "
+              "top ports:", scheme_name(scheme),
+              static_cast<long>(tracer.max_queued_anywhere() / kKB),
+              static_cast<long>(cfg.topo.port_buffer / kKB));
+  for (const auto& [port, bytes] : hot)
+    std::printf(" #%d=%ldKB", port, static_cast<long>(bytes / kKB));
+  std::printf("  (burst p99 %.2f ms, drops %ld)\n",
+              bursts.latencies_us().percentile(99) / 1e3,
+              static_cast<long>(sim.fabric().total_drops()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Queue occupancy under synchronized 255 KB OLDI bursts + bulk load\n"
+      "(312 KB shallow buffers; sampled every 10 us across every port)\n\n");
+  for (auto scheme :
+       {Scheme::kTcp, Scheme::kDctcp, Scheme::kSilo}) {
+    run(scheme);
+  }
+  std::printf(
+      "\nUnder TCP the bulk traffic parks the queue near the buffer limit,\n"
+      "so each burst overflows it; Silo's placement guarantees the burst\n"
+      "fits in the headroom its admission control reserved.\n");
+  return 0;
+}

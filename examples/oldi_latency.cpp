@@ -1,0 +1,82 @@
+// OLDI (partition-aggregate) scenario from the paper's introduction: a
+// web-search-like tenant fans a query to workers, every worker responds
+// at once, and the slowest response dictates user-perceived latency. A
+// bandwidth-hungry neighbour shares the cluster.
+//
+// Runs the same workload under plain TCP and under Silo and prints the
+// response-time tail each delivers — the "why Silo exists" demo.
+#include <cstdio>
+
+#include "sim/cluster.h"
+#include "util/stats.h"
+#include "workload/drivers.h"
+#include "workload/patterns.h"
+
+using namespace silo;
+
+namespace {
+
+Stats run(sim::Scheme scheme) {
+  sim::ClusterConfig cfg;
+  cfg.topo.pods = 1;
+  cfg.topo.racks_per_pod = 1;
+  cfg.topo.servers_per_rack = 5;
+  cfg.topo.vm_slots_per_server = 4;
+  cfg.scheme = scheme;
+  cfg.tcp.min_rto = 10 * kMsec;
+  sim::ClusterSim cluster(cfg);
+
+  // The OLDI service: 10 VMs, aggregator + 9 workers.
+  TenantRequest oldi;
+  oldi.num_vms = 10;
+  oldi.tenant_class = TenantClass::kDelaySensitive;
+  oldi.guarantee = {300 * kMbps, 15 * kKB, 1 * kMsec, 1 * kGbps};
+  const auto svc = cluster.add_tenant(oldi);
+
+  // The neighbour: an 8-VM shuffle blasting all-to-all.
+  TenantRequest bulk;
+  bulk.num_vms = 8;
+  bulk.tenant_class = TenantClass::kBandwidthOnly;
+  bulk.guarantee = {1500 * kMbps, Bytes{1500}, 0, 1500 * kMbps};
+  const auto noisy = cluster.add_tenant(bulk);
+
+  if (!svc || !noisy) {
+    std::printf("admission failed under %s\n", sim::scheme_name(scheme));
+    return {};
+  }
+
+  workload::BulkDriver shuffle(cluster, *noisy, workload::all_to_all(8),
+                               Bytes{256 * kKB});
+  shuffle.start(400 * kMsec);
+
+  workload::BurstDriver::Config bc;
+  bc.receiver = 9;  // aggregator shares its server with the neighbour
+  bc.message_size = 10 * kKB;
+  bc.epochs_per_sec = 150;
+  workload::BurstDriver queries(cluster, *svc, 10, bc, 99);
+  queries.start(400 * kMsec);
+
+  cluster.run_until(500 * kMsec);
+  return queries.latencies_us();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("OLDI worker-response latency with a bulk-transfer neighbour\n");
+  std::printf("%-8s %10s %10s %10s %10s\n", "scheme", "p50 (us)", "p95 (us)",
+              "p99 (us)", "max (us)");
+  for (auto scheme : {sim::Scheme::kTcp, sim::Scheme::kDctcp,
+                      sim::Scheme::kSilo}) {
+    const auto lat = run(scheme);
+    if (lat.empty()) continue;
+    std::printf("%-8s %10.0f %10.0f %10.0f %10.0f\n",
+                sim::scheme_name(scheme), lat.percentile(50),
+                lat.percentile(95), lat.percentile(99), lat.max());
+  }
+  std::printf(
+      "\nA web-search task with a 20 ms budget can spend 16 ms computing\n"
+      "if its message tail is bounded at 4 ms (paper §2.2); only the\n"
+      "guarantee-based scheme makes that promise hold.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Walkthrough of the paper's Figure 5: why bandwidth-aware placement is
+// not enough and how Silo's queueing constraints drive VM placement.
+//
+// Three 10 GbE servers; a tenant asks for nine VMs with a 1 Gbps
+// guarantee, a 100 KB burst allowance and a 1 ms delay bound. A
+// bandwidth-aware placer happily packs VMs so that eight can burst at one
+// server's downlink simultaneously — overflowing its buffer — while Silo
+// spreads 3/3/3 and bounds every queue.
+#include <cstdio>
+
+#include "netcalc/curve.h"
+#include "placement/placement.h"
+
+using namespace silo;
+using namespace silo::netcalc;
+
+namespace {
+
+void show_port_analysis(const char* label, int senders, Bytes burst,
+                        RateBps ingress, RateBps line, Bytes buffer) {
+  // One-shot burst arithmetic, as in the paper's example.
+  const auto arrival = Curve::rate_limited_burst(
+      0, senders * burst, ingress);
+  const auto q = analyze_queue(arrival, Curve::constant_rate(line));
+  // One MTU of slack: the curve's instantaneous jump is packet-granular.
+  const bool fits = q.backlog_bound.value_or(1e18) <=
+                    static_cast<double>(buffer + kMtu);
+  std::printf(
+      "  %-28s %d senders x %3ld KB at %4.0f Gbps -> backlog %6.0f KB %s\n",
+      label, senders, static_cast<long>(burst / kKB), ingress / kGbps,
+      q.backlog_bound.value_or(-1) / 1e3, fits ? "(fits)" : "(OVERFLOWS)");
+}
+
+}  // namespace
+
+int main() {
+  const Bytes buffer = 400 * kKB;
+  std::printf("Figure 5 worked example — switch buffer %ld KB per port\n\n",
+              static_cast<long>(buffer / kKB));
+
+  std::printf(
+      "Worst-case burst toward the server hosting the receiver\n"
+      "(paper arithmetic, 300 KB switch buffer):\n");
+  // Bandwidth-aware placement can leave 8 VMs behind two access links.
+  show_port_analysis("bandwidth-aware placement:", 8, 100 * kKB, 20 * kGbps,
+                     10 * kGbps, 300 * kKB);
+  // Silo's spread leaves at most 6 senders behind the port.
+  show_port_analysis("Silo placement:", 6, 100 * kKB, 20 * kGbps, 10 * kGbps,
+                     300 * kKB);
+
+  std::printf("\nNow let Silo's placement engine decide:\n");
+  topology::TopologyConfig cfg;
+  cfg.pods = 1;
+  cfg.racks_per_pod = 1;
+  cfg.servers_per_rack = 3;
+  cfg.vm_slots_per_server = 3;
+  cfg.server_link_rate = 10 * kGbps;
+  cfg.oversubscription = 1.0;
+  cfg.port_buffer = buffer;
+  topology::Topology topo(cfg);
+  placement::PlacementEngine engine(topo, placement::Policy::kSilo);
+
+  TenantRequest req;
+  req.num_vms = 9;
+  req.guarantee = {1 * kGbps, 100 * kKB, 1 * kMsec, 10 * kGbps};
+  req.tenant_class = TenantClass::kDelaySensitive;
+  const auto placed = engine.place(req);
+  if (!placed) {
+    std::printf("  rejected (buffers too small for the rigorous bound)\n");
+    return 0;
+  }
+  int per_server[3] = {0, 0, 0};
+  for (int s : placed->vm_to_server) ++per_server[s];
+  std::printf("  placement: %d / %d / %d VMs per server\n", per_server[0],
+              per_server[1], per_server[2]);
+  for (int p = 0; p < topo.num_ports(); ++p) {
+    const topology::PortId id{p};
+    const TimeNs bound = engine.port_queue_bound(id);
+    if (bound > 0)
+      std::printf("  port %2d: queue bound %6.1f us (capacity %.1f us)\n", p,
+                  static_cast<double>(bound) / kUsec,
+                  static_cast<double>(topo.port(id).queue_capacity) / kUsec);
+  }
+  std::printf(
+      "\nEvery admitted port keeps its worst-case queue within capacity, so\n"
+      "synchronized bursts can never overflow a buffer (no loss, bounded\n"
+      "delay) — the property the bandwidth-only placement cannot give.\n");
+  return 0;
+}

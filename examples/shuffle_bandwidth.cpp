@@ -1,0 +1,78 @@
+// Data-parallel shuffle scenario: a MapReduce-style tenant needs its
+// shuffle to finish predictably — which, for large messages, is purely a
+// bandwidth guarantee (paper §2.3). Shows per-flow goodput against the
+// hose-model share and the resulting shuffle completion time.
+#include <cstdio>
+
+#include "core/guarantee.h"
+#include "sim/cluster.h"
+#include "workload/patterns.h"
+
+using namespace silo;
+
+int main() {
+  sim::ClusterConfig cfg;
+  cfg.topo.pods = 1;
+  cfg.topo.racks_per_pod = 1;
+  cfg.topo.servers_per_rack = 4;
+  cfg.topo.vm_slots_per_server = 2;
+  cfg.scheme = sim::Scheme::kSilo;
+  sim::ClusterSim cluster(cfg);
+
+  TenantRequest req;
+  req.num_vms = 8;
+  req.tenant_class = TenantClass::kBandwidthOnly;
+  req.guarantee = {2 * kGbps, Bytes{1500}, 0, 2 * kGbps};
+  const auto tenant = cluster.add_tenant(req);
+  if (!tenant) {
+    std::printf("admission failed\n");
+    return 1;
+  }
+
+  // Shuffle: every mapper sends 4 MB to every reducer (all-to-all).
+  const Bytes per_flow = 4 * kMB;
+  const auto pairs = workload::all_to_all(8);
+  int remaining = static_cast<int>(pairs.size());
+  TimeNs shuffle_done = 0;
+  for (const auto& [src, dst] : pairs) {
+    cluster.send_message(*tenant, src, dst, per_flow,
+                         [&](const sim::ClusterSim::MessageResult&) {
+                           if (--remaining == 0)
+                             shuffle_done = cluster.events().now();
+                         });
+  }
+  cluster.run_until(5 * kSec);
+
+  // Hose-model estimate: each VM sends to 7 peers from a 2 Gbps hose ->
+  // ~286 Mbps per flow -> 4 MB in ~112 ms (plus a little framing).
+  SiloGuarantee per_flow_g = req.guarantee;
+  per_flow_g.bandwidth /= 7;
+  per_flow_g.burst_rate = per_flow_g.bandwidth;
+  const TimeNs estimate = max_message_latency(per_flow_g, per_flow);
+
+  std::printf("8-VM shuffle, 4 MB per flow, 2 Gbps hose guarantee\n");
+  std::printf("completed: %s\n", remaining == 0 ? "yes" : "NO");
+  std::printf("shuffle completion: %.1f ms (hose estimate %.1f ms)\n",
+              static_cast<double>(shuffle_done) / kMsec,
+              static_cast<double>(estimate) / kMsec);
+
+  std::printf("\nper-pair goodput (cross-server pairs, Mbps):\n");
+  for (int s = 0; s < 8; ++s) {
+    for (int d = 0; d < 8; ++d) {
+      if (s == d ||
+          cluster.vm_server(*tenant, s) == cluster.vm_server(*tenant, d))
+        continue;
+      const double mbps =
+          static_cast<double>(cluster.pair_delivered_bytes(*tenant, s, d)) *
+          8.0 / (static_cast<double>(shuffle_done) / kSec) / 1e6 /
+          1.0;
+      if (s < 2 && d < 4)  // print a readable subset
+        std::printf("  vm%d -> vm%d : %6.0f\n", s, d, mbps);
+    }
+  }
+  std::printf(
+      "\nWith the guarantee in place the tenant can predict job cost from\n"
+      "data volume alone — the property §2.2 argues data-parallel tenants\n"
+      "pay for.\n");
+  return 0;
+}

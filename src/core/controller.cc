@@ -1,0 +1,78 @@
+#include "core/controller.h"
+
+#include <algorithm>
+
+#include "netcalc/curve.h"
+
+namespace silo {
+
+SiloController::SiloController(const topology::TopologyConfig& topo,
+                               const Options& options)
+    : topo_(topo),
+      engine_(topo_, options.policy, options.nic_delay_allowance,
+              options.hose_tightening) {}
+
+std::optional<TenantHandle> SiloController::admit(
+    const TenantRequest& request) {
+  auto placed = engine_.place(request);
+  if (!placed) return std::nullopt;
+  TenantHandle handle{placed->id, placed->vm_to_server};
+  tenants_.emplace(placed->id, TenantState{request, placed->vm_to_server});
+  return handle;
+}
+
+void SiloController::release(const TenantHandle& handle) {
+  engine_.remove(handle.id);
+  tenants_.erase(handle.id);
+}
+
+std::vector<PacerConfigRecord> SiloController::server_config(
+    int server) const {
+  std::vector<PacerConfigRecord> out;
+  for (const auto& [id, state] : tenants_) {
+    if (state.request.tenant_class == TenantClass::kBestEffort)
+      continue;  // best-effort VMs run unpaced at low priority (§4.4)
+    for (int v = 0; v < state.request.num_vms; ++v) {
+      if (state.vm_to_server[static_cast<std::size_t>(v)] != server) continue;
+      PacerConfigRecord rec;
+      rec.tenant = id;
+      rec.vm_index = v;
+      rec.server = server;
+      rec.guarantee = state.request.guarantee;
+      for (int p = 0; p < state.request.num_vms; ++p) {
+        if (p == v) continue;
+        rec.peers.emplace_back(p,
+                               state.vm_to_server[static_cast<std::size_t>(p)]);
+      }
+      out.push_back(std::move(rec));
+    }
+  }
+  // Deterministic order for config diffing by the driver.
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.tenant != b.tenant ? a.tenant < b.tenant
+                                : a.vm_index < b.vm_index;
+  });
+  return out;
+}
+
+DatacenterStats SiloController::stats() const {
+  DatacenterStats s;
+  s.total_slots = topo_.total_vm_slots();
+  s.free_slots = engine_.free_slots();
+  s.admitted_tenants = engine_.admitted_tenants();
+  for (int p = 0; p < topo_.num_ports(); ++p) {
+    const topology::PortId id{p};
+    s.max_port_reservation =
+        std::max(s.max_port_reservation, engine_.port_reservation(id));
+    const TimeNs bound = engine_.port_queue_bound(id);
+    if (bound >= 0 && topo_.port(id).queue_capacity > 0) {
+      s.max_queue_headroom_used =
+          std::max(s.max_queue_headroom_used,
+                   static_cast<double>(bound) /
+                       static_cast<double>(topo_.port(id).queue_capacity));
+    }
+  }
+  return s;
+}
+
+}  // namespace silo

@@ -1,0 +1,95 @@
+// SiloController: the provider-facing control plane.
+//
+// This is the non-simulation API a deployment would embed: it owns the
+// datacenter model and admission control, and for every admitted tenant
+// emits the per-server pacer configuration records that the hypervisor
+// filter driver (the prototype's NDIS driver) consumes — which VM slots
+// to pace, with what {B, S, Bmax}, and which peer VMs share the tenant's
+// hose so destination buckets can be coordinated.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/guarantee.h"
+#include "placement/placement.h"
+#include "topology/topology.h"
+
+namespace silo {
+
+/// One VM's pacing assignment on a server — everything the hypervisor
+/// needs to enforce the tenant's guarantees locally.
+struct PacerConfigRecord {
+  placement::TenantId tenant = -1;
+  int vm_index = 0;   ///< tenant-local VM id
+  int server = 0;
+  SiloGuarantee guarantee;
+  /// (tenant-local VM id, server) of every peer VM: the hypervisor keys
+  /// its per-destination token buckets and EyeQ coordination off these.
+  std::vector<std::pair<int, int>> peers;
+};
+
+struct TenantHandle {
+  placement::TenantId id = -1;
+  std::vector<int> vm_to_server;
+};
+
+struct DatacenterStats {
+  int total_slots = 0;
+  int free_slots = 0;
+  int admitted_tenants = 0;
+  /// Highest fraction of any port's line rate that is reserved.
+  double max_port_reservation = 0;
+  /// Worst admitted queue bound anywhere, as a fraction of that port's
+  /// queue capacity (<= 1 by construction for Silo policy).
+  double max_queue_headroom_used = 0;
+};
+
+class SiloController {
+ public:
+  struct Options {
+    placement::Policy policy = placement::Policy::kSilo;
+    TimeNs nic_delay_allowance = 50 * kUsec;
+    bool hose_tightening = true;
+  };
+
+  explicit SiloController(const topology::TopologyConfig& topo)
+      : SiloController(topo, Options{}) {}
+  SiloController(const topology::TopologyConfig& topo, const Options& options);
+
+  /// Admission control + placement; nullopt when the request cannot be
+  /// accommodated without violating someone's guarantees.
+  std::optional<TenantHandle> admit(const TenantRequest& request);
+
+  /// Release a tenant's VMs and reservations.
+  void release(const TenantHandle& handle);
+
+  /// Pacer configuration for every guaranteed VM currently on `server` —
+  /// the state pushed to that server's hypervisor driver.
+  std::vector<PacerConfigRecord> server_config(int server) const;
+
+  /// The §4.1 worst-case message latency a tenant admitted with
+  /// `guarantee` may advertise to its application.
+  static TimeNs message_latency_bound(const SiloGuarantee& guarantee,
+                                      Bytes message) {
+    return max_message_latency(guarantee, message);
+  }
+
+  DatacenterStats stats() const;
+
+  const topology::Topology& topo() const { return topo_; }
+  const placement::PlacementEngine& placement() const { return engine_; }
+
+ private:
+  struct TenantState {
+    TenantRequest request;
+    std::vector<int> vm_to_server;
+  };
+
+  topology::Topology topo_;
+  placement::PlacementEngine engine_;
+  std::unordered_map<placement::TenantId, TenantState> tenants_;
+};
+
+}  // namespace silo

@@ -1,0 +1,299 @@
+#include "flowsim/flow_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "pacer/hose_allocator.h"
+#include "util/rng.h"
+#include "workload/patterns.h"
+
+namespace silo::flowsim {
+namespace {
+
+struct Flow {
+  int job = -1;
+  int src_local = -1, dst_local = -1;
+  double remaining = 0;  ///< bytes
+  double rate = 0;       ///< bits/s, recomputed each step
+  std::vector<int> ports;
+  bool open = true;
+};
+
+struct Job {
+  placement::TenantId placement_id = -1;
+  bool class_a = false;
+  int n_vms = 0;
+  SiloGuarantee guarantee;
+  std::vector<int> vm_server;
+  std::vector<int> flow_ids;
+  int open_flows = 0;
+  double arrive_s = 0;
+  double compute_end_s = 0;
+  bool departed = false;
+  bool counted = false;  ///< arrived after warmup
+};
+
+/// Global max-min fairness over port capacities — ideal TCP emulation for
+/// the locality baseline. Intra-server flows (empty port list) are not
+/// fabric-constrained and run at the access-link rate.
+void maxmin_rates(std::vector<Flow>& flows, const std::vector<int>& active,
+                  const topology::Topology& topo) {
+  const int n_ports = topo.num_ports();
+  std::vector<double> cap(n_ports);
+  std::vector<int> count(n_ports, 0);
+  for (int p = 0; p < n_ports; ++p) cap[p] = topo.port(topology::PortId{p}).rate;
+
+  std::vector<int> unfrozen;
+  for (int f : active) {
+    if (flows[f].ports.empty()) {
+      flows[f].rate = topo.config().server_link_rate;
+      continue;
+    }
+    unfrozen.push_back(f);
+    for (int p : flows[f].ports) ++count[p];
+  }
+
+  while (!unfrozen.empty()) {
+    // Bottleneck port: smallest fair share among loaded ports.
+    double best = std::numeric_limits<double>::infinity();
+    int best_port = -1;
+    for (int p = 0; p < n_ports; ++p) {
+      if (count[p] == 0) continue;
+      const double share = cap[p] / count[p];
+      if (share < best) {
+        best = share;
+        best_port = p;
+      }
+    }
+    if (best_port < 0) break;
+    // Freeze every unfrozen flow crossing the bottleneck at the share.
+    std::vector<int> rest;
+    rest.reserve(unfrozen.size());
+    for (int f : unfrozen) {
+      const bool hits = std::find(flows[f].ports.begin(), flows[f].ports.end(),
+                                  best_port) != flows[f].ports.end();
+      if (!hits) {
+        rest.push_back(f);
+        continue;
+      }
+      flows[f].rate = best;
+      for (int p : flows[f].ports) {
+        cap[p] -= best;
+        if (cap[p] < 0) cap[p] = 0;
+        --count[p];
+      }
+    }
+    unfrozen.swap(rest);
+  }
+}
+
+/// Reserved-rate sharing for Silo/Oktopus: each job's open flows split the
+/// tenant's hose guarantees max-min fairly (no sharing across tenants).
+void reserved_rates(std::vector<Flow>& flows, Job& job) {
+  std::vector<pacer::HoseDemand> demands;
+  std::vector<int> ids;
+  for (int f : job.flow_ids) {
+    if (!flows[f].open) continue;
+    demands.push_back({flows[f].src_local, flows[f].dst_local,
+                       job.guarantee.bandwidth});
+    ids.push_back(f);
+  }
+  if (demands.empty()) return;
+  const std::vector<RateBps> caps(static_cast<std::size_t>(job.n_vms),
+                                  job.guarantee.bandwidth);
+  const auto rates = pacer::hose_allocate(demands, caps, caps);
+  for (std::size_t i = 0; i < ids.size(); ++i) flows[ids[i]].rate = rates[i];
+}
+
+}  // namespace
+
+FlowSimResult run_flow_sim(const FlowSimConfig& cfg) {
+  topology::Topology topo(cfg.topo);
+  placement::PlacementEngine placer(topo, cfg.policy);
+  Rng rng(cfg.seed);
+  FlowSimResult result;
+
+  const int total_slots = topo.total_vm_slots();
+  // Residence = max(compute, transfer duration) per class, both of which
+  // are sampled directly, so the Poisson arrival rate that realizes the
+  // occupancy target is predictable across policies.
+  const double res_a =
+      std::max(cfg.compute_time_mean_s, cfg.a_transfer_time_mean_s) * 1.15;
+  const double res_b =
+      std::max(cfg.compute_time_mean_s, cfg.b_transfer_time_mean_s) * 1.15;
+  const double residence_est = cfg.class_a_fraction * res_a +
+                               (1.0 - cfg.class_a_fraction) * res_b;
+  const double lambda =
+      cfg.occupancy * total_slots / (cfg.mean_vms * residence_est);
+
+  // Pre-generate Poisson arrivals.
+  std::vector<double> arrivals;
+  for (double t = rng.exponential(1.0 / lambda); t < cfg.sim_duration_s;
+       t += rng.exponential(1.0 / lambda))
+    arrivals.push_back(t);
+
+  std::vector<Flow> flows;
+  std::vector<Job> jobs;
+  std::vector<int> active_flows;
+
+  auto sample_vms = [&] {
+    // Geometric around the mean, at least 2 (a tenant needs VM pairs).
+    const double p = 1.0 / std::max(1.0, cfg.mean_vms - 1.0);
+    int n = 2;
+    while (rng.uniform() > p && n < 8 * cfg.mean_vms) ++n;
+    return n;
+  };
+  auto sample_bw = [&](double mean) {
+    return std::clamp(rng.exponential(mean), cfg.topo.server_link_rate / 100.0,
+                      cfg.topo.server_link_rate / 2.0);
+  };
+
+  double util_acc = 0;      // bit-seconds carried by the fabric
+  double occupancy_acc = 0; // slot-seconds occupied
+  double measured_s = 0;
+  double job_duration_acc = 0;
+
+  std::size_t next_arrival = 0;
+  const int steps =
+      static_cast<int>(std::ceil(cfg.sim_duration_s / cfg.step_s));
+  for (int step = 0; step < steps; ++step) {
+    const double t = step * cfg.step_s;
+    const bool measuring = t >= cfg.warmup_s;
+
+    // --- Arrivals -----------------------------------------------------
+    while (next_arrival < arrivals.size() &&
+           arrivals[next_arrival] < t + cfg.step_s) {
+      const double at = arrivals[next_arrival++];
+      const bool class_a = rng.uniform() < cfg.class_a_fraction;
+      TenantRequest req;
+      req.num_vms = sample_vms();
+      req.tenant_class = class_a ? TenantClass::kDelaySensitive
+                                 : TenantClass::kBandwidthOnly;
+      if (class_a) {
+        req.guarantee = {sample_bw(cfg.a_bandwidth_mean), cfg.a_burst,
+                         cfg.a_delay, cfg.a_burst_rate};
+        req.guarantee.burst_rate =
+            std::max(req.guarantee.burst_rate, req.guarantee.bandwidth);
+      } else {
+        req.guarantee = {sample_bw(cfg.b_bandwidth_mean), cfg.b_burst, 0,
+                         0};
+      }
+      if (measuring) {
+        ++result.arrivals;
+        (class_a ? result.arrivals_a : result.arrivals_b)++;
+      }
+      auto admitted = placer.place(req);
+      if (!admitted) continue;
+      if (measuring) {
+        ++result.admitted;
+        (class_a ? result.admitted_a : result.admitted_b)++;
+      }
+
+      Job job;
+      job.placement_id = admitted->id;
+      job.class_a = class_a;
+      job.n_vms = req.num_vms;
+      job.guarantee = req.guarantee;
+      job.vm_server = admitted->vm_to_server;
+      job.arrive_s = at;
+      job.compute_end_s = at + rng.exponential(cfg.compute_time_mean_s);
+      job.counted = measuring;
+
+      std::vector<workload::Pair> pairs;
+      if (class_a) {
+        pairs = workload::all_to_one(req.num_vms);
+      } else if (cfg.permutation_x <= 0 ||
+                 cfg.permutation_x >= req.num_vms - 1) {
+        pairs = workload::all_to_all(req.num_vms);
+      } else {
+        pairs = workload::permutation(req.num_vms, cfg.permutation_x, rng);
+      }
+      // One transfer-duration draw per job; each flow carries the bytes its
+      // reserved share moves in that time (class-A flows share the
+      // aggregator's hose, class-B flows get the full per-VM rate).
+      const double duration_s = rng.exponential(
+          class_a ? cfg.a_transfer_time_mean_s : cfg.b_transfer_time_mean_s);
+      const double per_flow_rate =
+          class_a ? req.guarantee.bandwidth / (req.num_vms - 1)
+                  : req.guarantee.bandwidth;
+      const double flow_bytes =
+          std::max(1.0, per_flow_rate / 8.0 * duration_s);
+      const int job_id = static_cast<int>(jobs.size());
+      for (const auto& [src, dst] : pairs) {
+        Flow fl;
+        fl.job = job_id;
+        fl.src_local = src;
+        fl.dst_local = dst;
+        fl.remaining = flow_bytes;
+        const int ss = job.vm_server[static_cast<std::size_t>(src)];
+        const int ds = job.vm_server[static_cast<std::size_t>(dst)];
+        for (auto pid : topo.path(ss, ds)) fl.ports.push_back(pid.value);
+        const int fid = static_cast<int>(flows.size());
+        flows.push_back(std::move(fl));
+        job.flow_ids.push_back(fid);
+        active_flows.push_back(fid);
+        ++job.open_flows;
+      }
+      jobs.push_back(std::move(job));
+    }
+
+    // --- Rates ---------------------------------------------------------
+    if (cfg.policy == placement::Policy::kLocality) {
+      maxmin_rates(flows, active_flows, topo);
+    } else {
+      for (auto& job : jobs)
+        if (!job.departed && job.open_flows > 0) reserved_rates(flows, job);
+    }
+
+    // --- Integrate -----------------------------------------------------
+    std::vector<int> still_active;
+    still_active.reserve(active_flows.size());
+    for (int f : active_flows) {
+      Flow& fl = flows[f];
+      const double moved = fl.rate * cfg.step_s / 8.0;  // bytes this step
+      fl.remaining -= moved;
+      if (measuring && !fl.ports.empty())
+        util_acc += fl.rate * cfg.step_s;  // bit-seconds on the fabric
+      if (fl.remaining <= 0) {
+        fl.open = false;
+        fl.rate = 0;
+        --jobs[fl.job].open_flows;
+      } else {
+        still_active.push_back(f);
+      }
+    }
+    active_flows.swap(still_active);
+
+    // --- Departures & occupancy ----------------------------------------
+    for (auto& job : jobs) {
+      if (job.departed) continue;
+      if (job.open_flows == 0 && job.compute_end_s <= t + cfg.step_s) {
+        job.departed = true;
+        placer.remove(job.placement_id);
+        if (job.counted) {
+          ++result.completed_jobs;
+          job_duration_acc += (t + cfg.step_s) - job.arrive_s;
+        }
+      }
+    }
+    if (measuring) {
+      occupancy_acc +=
+          (total_slots - placer.free_slots()) * cfg.step_s;
+      measured_s += cfg.step_s;
+    }
+  }
+
+  const double fabric_capacity =
+      static_cast<double>(topo.num_servers()) * cfg.topo.server_link_rate;
+  if (measured_s > 0) {
+    result.network_utilization = util_acc / (fabric_capacity * measured_s);
+    result.avg_occupancy = occupancy_acc / (total_slots * measured_s);
+  }
+  if (result.completed_jobs > 0)
+    result.avg_job_duration_s = job_duration_acc / result.completed_jobs;
+  return result;
+}
+
+}  // namespace silo::flowsim

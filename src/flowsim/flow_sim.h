@@ -1,0 +1,78 @@
+// Flow-level datacenter simulator (§6.3): Poisson tenant arrivals into a
+// large multi-rooted tree, jobs that move data between their VMs and then
+// finish after a compute time, and three bandwidth regimes —
+//   Silo / Oktopus : flows run at their (hose-model) reserved rates
+//   Locality (TCP) : ideal TCP emulation, global max-min fairness over
+//                    link capacities
+// The simulator advances in fixed fluid steps: rates are recomputed each
+// step, remaining bytes integrated, and finished jobs release their VMs.
+#pragma once
+
+#include <cstdint>
+
+#include "placement/placement.h"
+#include "topology/topology.h"
+#include "util/units.h"
+
+namespace silo::flowsim {
+
+struct FlowSimConfig {
+  topology::TopologyConfig topo;
+  placement::Policy policy = placement::Policy::kSilo;
+
+  double occupancy = 0.75;       ///< target average VM-slot occupancy
+  double class_a_fraction = 0.5;
+  double permutation_x = 1.0;    ///< class-B pattern; <= 0 means all-to-all
+  /// Geometric tenant size (>= 2). Keep this above vm_slots_per_server so
+  /// tenants actually span servers and exercise the fabric.
+  double mean_vms = 12.0;
+
+  // Class-A (delay-sensitive, all-to-one) guarantee means — Table 3.
+  RateBps a_bandwidth_mean = 0.25 * kGbps;
+  Bytes a_burst = 15 * kKB;
+  TimeNs a_delay = 1 * kMsec;
+  RateBps a_burst_rate = 1 * kGbps;
+
+  // Class-B (bandwidth-only) guarantee means — Table 3.
+  RateBps b_bandwidth_mean = 2 * kGbps;
+  Bytes b_burst = 1500;
+
+  /// Flow volumes are sized as (reserved per-flow rate) x (job transfer
+  /// duration), so a job's network time is the sampled duration no matter
+  /// what bandwidth it drew — occupancy stays the controlled variable,
+  /// matching the paper's methodology. OLDI (class-A) jobs move little
+  /// data; data-parallel (class-B) jobs are transfer-dominated.
+  double a_transfer_time_mean_s = 5.0;
+  double b_transfer_time_mean_s = 60.0;
+
+  double compute_time_mean_s = 20.0;
+  double sim_duration_s = 1500.0;
+  double warmup_s = 150.0;
+  double step_s = 1.0;
+  std::uint64_t seed = 1;
+};
+
+struct FlowSimResult {
+  int arrivals = 0, admitted = 0;
+  int arrivals_a = 0, admitted_a = 0;
+  int arrivals_b = 0, admitted_b = 0;
+  double admitted_frac() const {
+    return arrivals ? static_cast<double>(admitted) / arrivals : 0;
+  }
+  double admitted_frac_a() const {
+    return arrivals_a ? static_cast<double>(admitted_a) / arrivals_a : 0;
+  }
+  double admitted_frac_b() const {
+    return arrivals_b ? static_cast<double>(admitted_b) / arrivals_b : 0;
+  }
+  /// Time-averaged fabric throughput over the aggregate server access
+  /// capacity (intra-server flows carry no fabric traffic).
+  double network_utilization = 0;
+  double avg_occupancy = 0;
+  double avg_job_duration_s = 0;
+  int completed_jobs = 0;
+};
+
+FlowSimResult run_flow_sim(const FlowSimConfig& cfg);
+
+}  // namespace silo::flowsim

@@ -1,0 +1,381 @@
+#include "placement/placement.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace silo::placement {
+namespace {
+
+constexpr double kRateEps = 1e-6;  // relative slack on rate comparisons
+
+enum class PortKind {
+  kServerUp,
+  kServerDown,
+  kRackUp,
+  kRackDown,
+  kPodUp,
+  kPodDown
+};
+
+}  // namespace
+
+PlacementEngine::PlacementEngine(const topology::Topology& topo, Policy policy,
+                                 TimeNs nic_delay_allowance,
+                                 bool hose_tightening)
+    : topo_(topo),
+      policy_(policy),
+      nic_delay_allowance_(nic_delay_allowance),
+      hose_tightening_(hose_tightening) {
+  free_slots_.assign(topo.num_servers(), topo.config().vm_slots_per_server);
+  free_slots_rack_.assign(
+      topo.num_racks(),
+      topo.config().vm_slots_per_server * topo.config().servers_per_rack);
+  free_slots_pod_.assign(topo.num_pods(), topo.config().vm_slots_per_server *
+                                              topo.config().servers_per_rack *
+                                              topo.config().racks_per_pod);
+  free_slots_total_ = topo.total_vm_slots();
+  port_load_.resize(topo.num_ports());
+}
+
+TimeNs PlacementEngine::scope_path_capacity(Scope scope) const {
+  const TimeNs qs = topo_.port(topo_.server_up(0)).queue_capacity;
+  const TimeNs qr = topo_.num_racks() > 0
+                        ? topo_.port(topo_.rack_up(0)).queue_capacity
+                        : 0;
+  const TimeNs qp = topo_.port(topo_.pod_up(0)).queue_capacity;
+  // Only switch queues count: the source NIC is a pacing conformance
+  // point (void packets keep the wire curve-compliant).
+  switch (scope) {
+    case Scope::kServer:
+      return 0;
+    case Scope::kRack:  // ToR egress toward the destination server
+      return nic_delay_allowance_ + qs;
+    case Scope::kPod:
+      return nic_delay_allowance_ + qs + 2 * qr;
+    case Scope::kDatacenter:
+      return nic_delay_allowance_ + qs + 2 * qr + 2 * qp;
+  }
+  return 0;
+}
+
+Scope PlacementEngine::widest_scope_for_delay(const SiloGuarantee& g) const {
+  if (policy_ != Policy::kSilo || !g.wants_delay_guarantee())
+    return Scope::kDatacenter;
+  for (Scope s : {Scope::kDatacenter, Scope::kPod, Scope::kRack}) {
+    if (scope_path_capacity(s) <= g.delay) return s;
+  }
+  return Scope::kServer;
+}
+
+TimeNs PlacementEngine::upstream_capacity(int kind_int, Scope scope) const {
+  const auto kind = static_cast<PortKind>(kind_int);
+  const TimeNs qr = topo_.port(topo_.rack_up(0)).queue_capacity;
+  const TimeNs qp = topo_.port(topo_.pod_up(0)).queue_capacity;
+  // Queueing the tenant's traffic may already have absorbed before it
+  // reaches a port of this kind (Kurose propagation). The NIC egress is a
+  // conformance point, so up-traffic first queues at the ToR.
+  switch (kind) {
+    case PortKind::kServerUp:
+    case PortKind::kRackUp:
+      return 0;
+    case PortKind::kPodUp:
+      return qr;  // crossed the ToR uplink queue
+    case PortKind::kPodDown:
+      return qr + qp;
+    case PortKind::kRackDown:
+      return scope == Scope::kDatacenter ? qr + 2 * qp : qr;
+    case PortKind::kServerDown:
+      switch (scope) {
+        case Scope::kRack:
+          return 0;  // straight from conformant source NICs
+        case Scope::kPod:
+          return 2 * qr;
+        default:
+          return 2 * qr + 2 * qp;
+      }
+  }
+  return 0;
+}
+
+PortContribution PlacementEngine::cut_contribution(const TenantRequest& req,
+                                                   int m_side,
+                                                   TimeNs upstream,
+                                                   RateBps line_cap) const {
+  PortContribution c;
+  const int n = req.num_vms;
+  if (m_side <= 0 || m_side >= n) return c;  // nothing crosses this cut
+  const auto& g = req.guarantee;
+  const double hose_rate =
+      static_cast<double>(hose_tightening_ ? std::min(m_side, n - m_side)
+                                           : m_side) *
+      g.bandwidth;
+
+  if (policy_ == Policy::kOktopus) {
+    c.rate_bps = std::min(hose_rate, static_cast<double>(line_cap));
+    c.burst_rate_bps = c.rate_bps;
+    return c;
+  }
+
+  const RateBps bmax = g.burst_rate > 0 ? g.burst_rate : g.bandwidth;
+  // The m source VMs occupy at least ceil(m / slots-per-server) servers,
+  // so their combined wire rate cannot exceed that many access links.
+  const int min_servers =
+      (m_side + topo_.config().vm_slots_per_server - 1) /
+      topo_.config().vm_slots_per_server;
+  const RateBps source_cap =
+      static_cast<double>(min_servers) * topo_.config().server_link_rate;
+
+  // Closed-form equivalent of tenant_cut_curve + propagate_through_port
+  // (this runs in the inner loop of admission control, so no Curve
+  // allocations): the cut curve is min(mtu + brate*t, m*S + hose*t);
+  // shifting it left by `upstream` (Kurose) inflates both intercepts.
+  const double sustained = std::min(hose_rate, source_cap);
+  const double brate = std::max(
+      sustained, std::min(static_cast<double>(m_side) * bmax, source_cap));
+  const double up_ns = static_cast<double>(upstream);
+  const double burst0 = static_cast<double>(m_side) * g.burst;
+  c.rate_bps = sustained;
+  c.burst_bytes = burst0 + sustained / 8e9 * up_ns;
+  c.jump_bytes =
+      std::min(static_cast<double>(kMtu) + brate / 8e9 * up_ns, c.burst_bytes);
+  c.jump_bytes = std::max(c.jump_bytes, static_cast<double>(kMtu));
+  c.burst_rate_bps = upstream == 0 ? brate : source_cap;
+  (void)line_cap;
+  return c;
+}
+
+bool PlacementEngine::port_admits(int port, const PortContribution& c) const {
+  if (policy_ == Policy::kLocality) return true;
+  const auto id = topology::PortId{port};
+  const auto& p = topo_.port(id);
+  const auto& load = port_load_[port];
+  if (load.rate_bps() + c.rate_bps > p.rate * (1.0 + kRateEps)) return false;
+  // Bandwidth reservation is the whole story for Oktopus, and for the NIC
+  // egress (the pacer absorbs bursts before the wire, so feasibility there
+  // is purely about sustained rate).
+  if (policy_ == Policy::kOktopus || topo_.is_nic_port(id)) return true;
+  const TimeNs bound = load.queue_bound(p.rate, &c);
+  return bound >= 0 && bound <= p.queue_capacity;
+}
+
+bool PlacementEngine::server_ports_ok(const TenantRequest& req, int server,
+                                      int m_here, Scope scope) const {
+  if (policy_ == Policy::kLocality) return true;
+  const int n = req.num_vms;
+  if (m_here >= n) return true;  // all VMs colocated: no fabric traffic
+  const RateBps link = topo_.config().server_link_rate;
+  const auto up = cut_contribution(
+      req, m_here, upstream_capacity(static_cast<int>(PortKind::kServerUp), scope),
+      link);
+  if (!port_admits(topo_.server_up(server).value, up)) return false;
+  const auto down = cut_contribution(
+      req, n - m_here,
+      upstream_capacity(static_cast<int>(PortKind::kServerDown), scope), link);
+  return port_admits(topo_.server_down(server).value, down);
+}
+
+std::optional<PlacementEngine::CountMap> PlacementEngine::pack_servers(
+    const TenantRequest& req, const std::vector<int>& servers,
+    Scope scope) const {
+  CountMap counts;
+  int remaining = req.num_vms;
+  // Fault domains (§4.2.3): capping each server at ceil(n/d) VMs forces
+  // the tenant across at least d servers.
+  const int domains = std::max(1, req.min_fault_domains);
+  const int domain_cap = (req.num_vms + domains - 1) / domains;
+  for (int s : servers) {
+    if (remaining == 0) break;
+    const int cap =
+        std::min({free_slots_[s], remaining, domain_cap});
+    for (int m = cap; m >= 1; --m) {
+      if (server_ports_ok(req, s, m, scope)) {
+        counts.emplace_back(s, m);
+        remaining -= m;
+        break;
+      }
+    }
+  }
+  if (remaining > 0) return std::nullopt;
+  return counts;
+}
+
+std::vector<std::pair<int, PortContribution>>
+PlacementEngine::tenant_contributions(const TenantRequest& req,
+                                      const CountMap& counts,
+                                      Scope scope) const {
+  std::vector<std::pair<int, PortContribution>> out;
+  if (policy_ == Policy::kLocality ||
+      req.tenant_class == TenantClass::kBestEffort)
+    return out;  // best-effort traffic rides low priority: no reservation
+
+  const int n = req.num_vms;
+  const RateBps link = topo_.config().server_link_rate;
+  auto push = [&](topology::PortId id, int m_side, PortKind kind) {
+    const auto c = cut_contribution(
+        req, m_side, upstream_capacity(static_cast<int>(kind), scope), link);
+    if (c.rate_bps > 0 || c.burst_bytes > 0)
+      out.emplace_back(id.value, c);
+  };
+
+  std::unordered_map<int, int> per_rack, per_pod;
+  for (const auto& [server, m] : counts) {
+    push(topo_.server_up(server), m, PortKind::kServerUp);
+    push(topo_.server_down(server), n - m, PortKind::kServerDown);
+    per_rack[topo_.rack_of_server(server)] += m;
+    per_pod[topo_.pod_of_server(server)] += m;
+  }
+  if (scope >= Scope::kPod) {
+    for (const auto& [rack, m] : per_rack) {
+      push(topo_.rack_up(rack), m, PortKind::kRackUp);
+      push(topo_.rack_down(rack), n - m, PortKind::kRackDown);
+    }
+  }
+  if (scope >= Scope::kDatacenter && topo_.num_pods() > 1) {
+    for (const auto& [pod, m] : per_pod) {
+      push(topo_.pod_up(pod), m, PortKind::kPodUp);
+      push(topo_.pod_down(pod), n - m, PortKind::kPodDown);
+    }
+  }
+  return out;
+}
+
+bool PlacementEngine::validate_candidate(const TenantRequest& req,
+                                         const CountMap& counts,
+                                         Scope scope) const {
+  if (policy_ == Policy::kLocality) return true;
+  for (const auto& [port, c] : tenant_contributions(req, counts, scope)) {
+    if (!port_admits(port, c)) return false;
+  }
+  return true;
+}
+
+std::optional<PlacementEngine::CountMap> PlacementEngine::try_scope(
+    const TenantRequest& req, Scope scope, int anchor) const {
+  const auto& cfg = topo_.config();
+  std::vector<int> servers;
+  switch (scope) {
+    case Scope::kServer: {
+      if (req.min_fault_domains > 1) return std::nullopt;
+      if (free_slots_[anchor] < req.num_vms) return std::nullopt;
+      return CountMap{{anchor, req.num_vms}};
+    }
+    case Scope::kRack: {
+      const int first = topo_.first_server_of_rack(anchor);
+      for (int i = 0; i < cfg.servers_per_rack; ++i)
+        if (free_slots_[first + i] > 0) servers.push_back(first + i);
+      break;
+    }
+    case Scope::kPod: {
+      const int first_rack = topo_.first_rack_of_pod(anchor);
+      for (int r = 0; r < cfg.racks_per_pod; ++r) {
+        const int first = topo_.first_server_of_rack(first_rack + r);
+        for (int i = 0; i < cfg.servers_per_rack; ++i)
+          if (free_slots_[first + i] > 0) servers.push_back(first + i);
+      }
+      break;
+    }
+    case Scope::kDatacenter: {
+      for (int s = 0; s < topo_.num_servers(); ++s)
+        if (free_slots_[s] > 0) servers.push_back(s);
+      break;
+    }
+  }
+  auto counts = pack_servers(req, servers, scope);
+  if (!counts) return std::nullopt;
+  if (!validate_candidate(req, *counts, scope)) return std::nullopt;
+  return counts;
+}
+
+std::optional<AdmittedTenant> PlacementEngine::place(
+    const TenantRequest& request) {
+  if (request.num_vms < 1) return std::nullopt;
+  if (request.num_vms > free_slots_total_) return std::nullopt;
+  if (policy_ == Policy::kSilo &&
+      request.tenant_class != TenantClass::kBestEffort &&
+      request.guarantee.burst_rate > 0 &&
+      request.guarantee.burst_rate < request.guarantee.bandwidth)
+    return std::nullopt;  // malformed guarantee
+
+  const Scope widest = widest_scope_for_delay(request.guarantee);
+
+  for (int sc = static_cast<int>(Scope::kServer);
+       sc <= static_cast<int>(widest); ++sc) {
+    const auto scope = static_cast<Scope>(sc);
+    int anchors = 1;
+    switch (scope) {
+      case Scope::kServer:
+        anchors = topo_.num_servers();
+        break;
+      case Scope::kRack:
+        anchors = topo_.num_racks();
+        break;
+      case Scope::kPod:
+        anchors = topo_.num_pods();
+        break;
+      case Scope::kDatacenter:
+        anchors = 1;
+        break;
+    }
+    for (int a = 0; a < anchors; ++a) {
+      // Cheap slot-count skips keep first-fit fast in large datacenters.
+      if (scope == Scope::kServer && free_slots_[a] < request.num_vms)
+        continue;
+      if (scope == Scope::kRack && free_slots_rack_[a] < request.num_vms)
+        continue;
+      if (scope == Scope::kPod && free_slots_pod_[a] < request.num_vms)
+        continue;
+      if (auto counts = try_scope(request, scope, a)) {
+        TenantRecord rec;
+        rec.request = request;
+        rec.slot_usage = *counts;
+        rec.contributions = tenant_contributions(request, *counts, scope);
+        AdmittedTenant admitted;
+        commit(std::move(rec), admitted);
+        return admitted;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void PlacementEngine::commit(TenantRecord&& rec, AdmittedTenant& out) {
+  out.id = next_id_++;
+  for (const auto& [server, count] : rec.slot_usage) {
+    free_slots_[server] -= count;
+    free_slots_rack_[topo_.rack_of_server(server)] -= count;
+    free_slots_pod_[topo_.pod_of_server(server)] -= count;
+    free_slots_total_ -= count;
+    for (int i = 0; i < count; ++i) out.vm_to_server.push_back(server);
+  }
+  for (const auto& [port, c] : rec.contributions) port_load_[port].add(c);
+  rec.vm_to_server = out.vm_to_server;
+  tenants_.emplace(out.id, std::move(rec));
+}
+
+void PlacementEngine::remove(TenantId id) {
+  auto it = tenants_.find(id);
+  if (it == tenants_.end()) return;
+  for (const auto& [server, count] : it->second.slot_usage) {
+    free_slots_[server] += count;
+    free_slots_rack_[topo_.rack_of_server(server)] += count;
+    free_slots_pod_[topo_.pod_of_server(server)] += count;
+    free_slots_total_ += count;
+  }
+  for (const auto& [port, c] : it->second.contributions)
+    port_load_[port].remove(c);
+  tenants_.erase(it);
+}
+
+double PlacementEngine::port_reservation(topology::PortId p) const {
+  return port_load_[p.value].rate_bps() / topo_.port(p).rate;
+}
+
+TimeNs PlacementEngine::port_queue_bound(topology::PortId p) const {
+  const auto& load = port_load_[p.value];
+  if (load.empty()) return 0;
+  const auto analysis = netcalc::analyze_queue(
+      load.arrival_curve(), netcalc::Curve::constant_rate(topo_.port(p).rate));
+  return analysis.queue_bound.value_or(-1);
+}
+
+}  // namespace silo::placement

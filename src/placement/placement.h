@@ -1,0 +1,128 @@
+// VM placement & admission control (§4.2).
+//
+// Silo's placement maps a tenant's {B, S, d, Bmax} guarantees to two
+// queueing constraints at every switch port its traffic crosses:
+//   1. queue bound  <= queue capacity      (buffers never overflow)
+//   2. sum of queue capacities on each VM-pair path <= d
+// and then greedily packs VMs into the smallest topology scope (server,
+// rack, pod, datacenter) that satisfies both, preserving "high" links for
+// future tenants.
+//
+// The same greedy skeleton, parameterized by its admission policy, yields
+// the two baselines of the paper's evaluation: Oktopus (bandwidth-only
+// constraint) and locality-aware placement (no network constraint).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/guarantee.h"
+#include "placement/port_load.h"
+#include "topology/topology.h"
+
+namespace silo::placement {
+
+using TenantId = std::int64_t;
+
+enum class Policy {
+  kSilo,      ///< queue-bound + delay constraints via network calculus
+  kOktopus,   ///< hose-model bandwidth reservation only
+  kLocality,  ///< slots only; pack as close as possible
+};
+
+/// Topology scopes in packing order.
+enum class Scope { kServer = 0, kRack = 1, kPod = 2, kDatacenter = 3 };
+
+struct AdmittedTenant {
+  TenantId id = -1;
+  std::vector<int> vm_to_server;  ///< VM index -> server index
+};
+
+class PlacementEngine {
+ public:
+  /// `nic_delay_allowance` is the per-path budget charged for source-NIC
+  /// batching and same-server multiplexing (the pacer keeps the *wire*
+  /// curve-conformant, but a packet may wait up to about one IO batch
+  /// inside the NIC). It is added to every path's delay bound.
+  /// `hose_tightening` toggles the min(m, N-m)*B aggregation of §4.2.2
+  /// (ablation: the naive m*B bound admits strictly fewer tenants).
+  PlacementEngine(const topology::Topology& topo, Policy policy,
+                  TimeNs nic_delay_allowance = 50 * kUsec,
+                  bool hose_tightening = true);
+
+  /// Admission control + placement. Returns nullopt when the request
+  /// cannot be accommodated (its guarantees would be violated, or would
+  /// violate an already-admitted tenant's).
+  std::optional<AdmittedTenant> place(const TenantRequest& request);
+
+  /// Releases a tenant's slots and port reservations.
+  void remove(TenantId id);
+
+  int free_slots() const { return free_slots_total_; }
+  int admitted_tenants() const { return static_cast<int>(tenants_.size()); }
+
+  /// Fraction of a port's line rate reserved by admitted tenants.
+  double port_reservation(topology::PortId p) const;
+
+  /// Worst-case queuing delay currently admitted at a port (ns); 0 for an
+  /// idle port. Exposed for tests and the placement example.
+  TimeNs port_queue_bound(topology::PortId p) const;
+
+  /// Path-capacity delay bound for a tenant placed at the given scope —
+  /// what Silo checks against the tenant's delay guarantee d.
+  TimeNs scope_path_capacity(Scope scope) const;
+
+  const topology::Topology& topo() const { return topo_; }
+
+ private:
+  struct TenantRecord {
+    TenantRequest request;
+    std::vector<int> vm_to_server;
+    std::vector<std::pair<int, PortContribution>> contributions;  // port -> c
+    std::vector<std::pair<int, int>> slot_usage;  // server -> count
+  };
+
+  // Per-server VM counts for a candidate placement.
+  using CountMap = std::vector<std::pair<int, int>>;  // (server, count)
+
+  std::optional<CountMap> try_scope(const TenantRequest& req, Scope scope,
+                                    int anchor_server) const;
+  std::optional<CountMap> pack_servers(const TenantRequest& req,
+                                       const std::vector<int>& servers,
+                                       Scope scope) const;
+  bool server_ports_ok(const TenantRequest& req, int server, int m_here,
+                       Scope scope) const;
+  bool validate_candidate(const TenantRequest& req, const CountMap& counts,
+                          Scope scope) const;
+  std::vector<std::pair<int, PortContribution>> tenant_contributions(
+      const TenantRequest& req, const CountMap& counts, Scope scope) const;
+
+  /// Tenant's arrival-curve contribution at one port: cut curve for
+  /// `m_side` of `n` VMs behind the port, propagated through
+  /// `upstream_capacity` of queueing (0 at the pacer conformance point).
+  PortContribution cut_contribution(const TenantRequest& req, int m_side,
+                                    TimeNs upstream_capacity,
+                                    RateBps line_cap) const;
+
+  bool port_admits(int port, const PortContribution& c) const;
+  TimeNs upstream_capacity(int level, Scope scope) const;
+
+  Scope widest_scope_for_delay(const SiloGuarantee& g) const;
+  void commit(TenantRecord&& rec, AdmittedTenant& out);
+
+  const topology::Topology& topo_;
+  Policy policy_;
+  TimeNs nic_delay_allowance_;
+  bool hose_tightening_;
+  std::vector<int> free_slots_;
+  std::vector<int> free_slots_rack_;  // fast skip of full racks/pods
+  std::vector<int> free_slots_pod_;
+  int free_slots_total_ = 0;
+  std::vector<PortLoad> port_load_;
+  std::unordered_map<TenantId, TenantRecord> tenants_;
+  TenantId next_id_ = 0;
+};
+
+}  // namespace silo::placement

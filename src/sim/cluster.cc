@@ -1,0 +1,260 @@
+#include "sim/cluster.h"
+
+#include <stdexcept>
+
+namespace silo::sim {
+
+const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kSilo: return "Silo";
+    case Scheme::kTcp: return "TCP";
+    case Scheme::kDctcp: return "DCTCP";
+    case Scheme::kHull: return "HULL";
+    case Scheme::kOktopus: return "Okto";
+    case Scheme::kOktopusPlus: return "Okto+";
+    case Scheme::kQjump: return "QJUMP";
+    case Scheme::kPfabric: return "pFabric";
+  }
+  return "?";
+}
+
+ClusterSim::ClusterSim(const ClusterConfig& cfg) : cfg_(cfg) {
+  topo_ = std::make_unique<topology::Topology>(cfg.topo);
+  placer_ = std::make_unique<placement::PlacementEngine>(*topo_,
+                                                         placement_policy());
+  PortConfig port_template;
+  port_template.link_delay = cfg.link_delay;
+  if (cfg.scheme == Scheme::kDctcp) port_template.ecn_threshold = cfg.ecn_threshold;
+  if (cfg.scheme == Scheme::kHull) {
+    port_template.phantom_queue = true;
+    port_template.phantom_drain = cfg.phantom_drain;
+    port_template.phantom_threshold = cfg.phantom_threshold;
+  }
+  if (cfg.scheme == Scheme::kPfabric) port_template.pfabric = true;
+  fabric_ = std::make_unique<Fabric>(events_, *topo_, port_template);
+  fabric_->set_host_deliver([this](Packet p) { dispatch(std::move(p)); });
+
+  Host::Config host_cfg;
+  host_cfg.link_rate = cfg.topo.server_link_rate;
+  host_cfg.nic_mode = scheme_paced() ? pacer::NicMode::kPacedVoid
+                                     : pacer::NicMode::kBatched;
+  host_cfg.batch_window = cfg.batch_window;
+  host_cfg.tor_link_delay = cfg.link_delay;
+  host_cfg.loopback_delay = cfg.loopback_delay;
+  hosts_.reserve(topo_->num_servers());
+  for (int s = 0; s < topo_->num_servers(); ++s) {
+    hosts_.push_back(std::make_unique<Host>(events_, *fabric_, s, host_cfg));
+    hosts_.back()->set_local_deliver(
+        [this](Packet p) { dispatch(std::move(p)); });
+  }
+}
+
+ClusterSim::~ClusterSim() = default;
+
+placement::Policy ClusterSim::placement_policy() const {
+  switch (cfg_.scheme) {
+    case Scheme::kSilo:
+      return placement::Policy::kSilo;
+    case Scheme::kOktopus:
+    case Scheme::kOktopusPlus:
+      return placement::Policy::kOktopus;
+    default:
+      return placement::Policy::kLocality;
+  }
+}
+
+TimeNs ClusterSim::qjump_epoch() const {
+  // QJUMP's network epoch: long enough for every host to push one
+  // maximum-size packet through the shared fabric plus propagation —
+  // 2 * (n * mtu_time + path delay), the guaranteed-latency level.
+  const TimeNs mtu_time =
+      transmission_time(kMtu + kEthOverhead, cfg_.topo.server_link_rate);
+  return 2 * (topo_->num_servers() * mtu_time + 6 * cfg_.link_delay);
+}
+
+SiloGuarantee ClusterSim::pacing_guarantee(const SiloGuarantee& g) const {
+  SiloGuarantee out = g;
+  if (cfg_.scheme == Scheme::kOktopus) {
+    // Oktopus enforces the bandwidth reservation with no burst allowance.
+    out.burst = kMtu;
+    out.burst_rate = g.bandwidth;
+  } else if (cfg_.scheme == Scheme::kQjump) {
+    // One full packet per network epoch, regardless of the requested
+    // guarantee: QJUMP's guaranteed-latency level is deliberately slow.
+    out.bandwidth = static_cast<double>(kMtu) * 8e9 /
+                    static_cast<double>(qjump_epoch());
+    out.burst = kMtu;
+    out.burst_rate = out.bandwidth;
+  }
+  return out;
+}
+
+std::optional<int> ClusterSim::add_tenant(const TenantRequest& request) {
+  auto admitted = placer_->place(request);
+  if (!admitted) return std::nullopt;
+  return finish_admission(request, std::move(admitted->vm_to_server));
+}
+
+int ClusterSim::add_tenant_pinned(const TenantRequest& request,
+                                  std::vector<int> vm_to_server) {
+  if (static_cast<int>(vm_to_server.size()) != request.num_vms)
+    throw std::invalid_argument("pinned placement size != num_vms");
+  for (int s : vm_to_server)
+    if (s < 0 || s >= topo_->num_servers())
+      throw std::out_of_range("pinned placement server index");
+  return finish_admission(request, std::move(vm_to_server));
+}
+
+int ClusterSim::finish_admission(const TenantRequest& request,
+                                 std::vector<int> vm_to_server) {
+  TenantRuntime rt;
+  rt.request = request;
+  rt.vm_server = std::move(vm_to_server);
+  rt.vm_base = next_global_vm_;
+  next_global_vm_ += request.num_vms;
+  if (tenant_paced(request)) {
+    rt.pacers = std::make_unique<pacer::TenantPacerGroup>(
+        pacing_guarantee(request.guarantee), request.num_vms, kMtu,
+        rt.vm_base);
+    for (int v = 0; v < request.num_vms; ++v) {
+      hosts_[rt.vm_server[v]]->attach_pacer(rt.vm_base + v, &rt.pacers->vm(v));
+    }
+  }
+  tenants_.push_back(std::move(rt));
+  const int tenant = static_cast<int>(tenants_.size()) - 1;
+  if (tenants_[tenant].pacers) {
+    // Kick off periodic EyeQ-style destination-rate coordination.
+    events_.after(cfg_.rebalance_period, [this, tenant] {
+      rebalance_tenant(tenant);
+    });
+  }
+  return tenant;
+}
+
+int ClusterSim::tenant_vm_count(int tenant) const {
+  return tenants_.at(tenant).request.num_vms;
+}
+
+int ClusterSim::vm_server(int tenant, int local_vm) const {
+  return tenants_.at(tenant).vm_server.at(local_vm);
+}
+
+void ClusterSim::rebalance_tenant(int tenant) {
+  auto& rt = tenants_[tenant];
+  std::vector<pacer::HoseDemand> demands;
+  for (const auto& [key, flow_id] : rt.pair_to_flow) {
+    const auto& f = *flows_[flow_id]->flow;
+    if (f.bytes_written() > f.bytes_acked()) {
+      demands.push_back({f.src_vm() - rt.vm_base, f.dst_vm() - rt.vm_base,
+                         rt.request.guarantee.bandwidth});
+    }
+  }
+  if (!demands.empty()) rt.pacers->rebalance(events_.now(), demands);
+  events_.after(cfg_.rebalance_period,
+                [this, tenant] { rebalance_tenant(tenant); });
+}
+
+ClusterSim::FlowRuntime& ClusterSim::flow_for(int tenant, int src_local,
+                                              int dst_local) {
+  auto& rt = tenants_.at(tenant);
+  const std::int64_t key =
+      static_cast<std::int64_t>(src_local) * rt.request.num_vms + dst_local;
+  auto it = rt.pair_to_flow.find(key);
+  if (it != rt.pair_to_flow.end()) return *flows_[it->second];
+
+  const int flow_id = static_cast<int>(flows_.size());
+  const int src_vm = rt.vm_base + src_local;
+  const int dst_vm = rt.vm_base + dst_local;
+  const int src_server = rt.vm_server.at(src_local);
+  const int dst_server = rt.vm_server.at(dst_local);
+  TcpConfig tcp = cfg_.tcp;
+  tcp.dctcp =
+      cfg_.scheme == Scheme::kDctcp || cfg_.scheme == Scheme::kHull;
+  if (cfg_.scheme == Scheme::kPfabric) {
+    // pFabric's minimal transport: start near line rate and rely on the
+    // fabric's priority scheduling + a tight timeout for loss.
+    tcp.init_cwnd_pkts = 64;
+    tcp.min_rto = std::min<TimeNs>(cfg_.tcp.min_rto, 2 * kMsec);
+  }
+
+  auto fr = std::make_unique<FlowRuntime>();
+  fr->flow = std::make_unique<TcpFlow>(
+      events_, flow_id, src_vm, dst_vm, src_server, dst_server, tcp,
+      [this, src_server](Packet&& p) { hosts_[src_server]->send(std::move(p)); },
+      [this, dst_server](Packet&& p) { hosts_[dst_server]->send(std::move(p)); });
+  if (rt.request.tenant_class == TenantClass::kBestEffort ||
+      (cfg_.scheme == Scheme::kQjump &&
+       rt.request.tenant_class != TenantClass::kDelaySensitive))
+    fr->flow->set_priority(Priority::kBestEffort);
+  if (scheme_paced()) {
+    fr->flow->set_can_send([this, src_server, src_vm](int dst, Bytes bytes) {
+      return hosts_[src_server]->pacer_delay(events_.now(), src_vm, dst,
+                                             bytes) <= cfg_.tsq_horizon;
+    });
+  }
+  fr->flow->set_on_delivery([this, flow_id](std::int64_t delivered) {
+    on_flow_delivery(flow_id, delivered);
+  });
+  flows_.push_back(std::move(fr));
+  flow_tenant_.push_back(tenant);
+  rt.pair_to_flow.emplace(key, flow_id);
+  return *flows_[flow_id];
+}
+
+const ClusterSim::FlowRuntime* ClusterSim::find_flow(int tenant, int src_local,
+                                                     int dst_local) const {
+  const auto& rt = tenants_.at(tenant);
+  const std::int64_t key =
+      static_cast<std::int64_t>(src_local) * rt.request.num_vms + dst_local;
+  auto it = rt.pair_to_flow.find(key);
+  return it == rt.pair_to_flow.end() ? nullptr : flows_[it->second].get();
+}
+
+void ClusterSim::send_message(int tenant, int src_local, int dst_local,
+                              Bytes size, MsgCallback done) {
+  if (size <= 0) throw std::invalid_argument("message size must be positive");
+  auto& fr = flow_for(tenant, src_local, dst_local);
+  FlowRuntime::Boundary b;
+  b.end_seq = fr.flow->bytes_written() + size;
+  b.start = events_.now();
+  b.rto_index = fr.flow->rto_events().size();
+  b.done = std::move(done);
+  fr.boundaries.push_back(std::move(b));
+  fr.flow->app_write(size);
+}
+
+void ClusterSim::on_flow_delivery(int flow_id, std::int64_t delivered) {
+  auto& fr = *flows_[flow_id];
+  while (!fr.boundaries.empty() && fr.boundaries.front().end_seq <= delivered) {
+    auto b = std::move(fr.boundaries.front());
+    fr.boundaries.pop_front();
+    if (b.done) {
+      MessageResult res;
+      res.latency = events_.now() - b.start;
+      res.had_rto = fr.flow->rto_events().size() > b.rto_index;
+      b.done(res);
+    }
+  }
+}
+
+std::int64_t ClusterSim::pair_delivered_bytes(int tenant, int src_local,
+                                              int dst_local) const {
+  const auto* fr = find_flow(tenant, src_local, dst_local);
+  return fr ? fr->flow->bytes_delivered() : 0;
+}
+
+int ClusterSim::tenant_rto_count(int tenant) const {
+  int total = 0;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (flow_tenant_[i] == tenant)
+      total += static_cast<int>(flows_[i]->flow->rto_events().size());
+  }
+  return total;
+}
+
+void ClusterSim::dispatch(Packet p) {
+  if (p.flow_id < 0 || p.flow_id >= static_cast<int>(flows_.size())) return;
+  flows_[p.flow_id]->flow->on_packet(p);
+}
+
+}  // namespace silo::sim

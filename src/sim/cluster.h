@@ -1,0 +1,167 @@
+// ClusterSim: the experiment-facing facade of the packet simulator.
+//
+// It assembles a full multi-tenant datacenter: topology, switch fabric
+// (with per-scheme ECN / phantom-queue configuration), one Host per server,
+// VM placement by the scheme-appropriate policy, per-VM pacers for the
+// rate-enforcing schemes, and message-oriented TCP/DCTCP flows between VMs.
+//
+// Schemes reproduce the paper's comparison set (§6.2) — Silo, TCP, DCTCP,
+// HULL, Oktopus, Okto+ (Oktopus placement plus burst allowance) — plus the
+// two closest related-work designs from §7/Table 5: QJUMP and pFabric.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/guarantee.h"
+#include "placement/placement.h"
+#include "sim/network.h"
+#include "sim/transport.h"
+
+namespace silo::sim {
+
+/// The paper's comparison set (§6.2) plus QJUMP (§7, its closest related
+/// work): rate-limited priority levels — delay-sensitive tenants get a
+/// strict one-packet-per-network-epoch rate at high priority, bulk
+/// tenants run unpaced at low priority.
+enum class Scheme {
+  kSilo,
+  kTcp,
+  kDctcp,
+  kHull,
+  kOktopus,
+  kOktopusPlus,
+  kQjump,
+  kPfabric,  ///< remaining-size priority queues, aggressive minimal TCP
+};
+
+const char* scheme_name(Scheme s);
+
+struct ClusterConfig {
+  topology::TopologyConfig topo;
+  Scheme scheme = Scheme::kSilo;
+  TcpConfig tcp;                       ///< dctcp flag is set by the scheme
+  Bytes ecn_threshold = 97 * kKB;      ///< DCTCP K (~65 MTU packets at 10G)
+  Bytes phantom_threshold = 3 * kKB;   ///< HULL virtual-queue mark point
+  double phantom_drain = 0.95;
+  TimeNs link_delay = 500;
+  TimeNs batch_window = 50 * kUsec;
+  TimeNs loopback_delay = 5 * kUsec;
+  TimeNs rebalance_period = 1 * kMsec; ///< hose-rate coordination interval
+  /// TSQ-style backpressure: a flow stops handing packets to the host
+  /// while its pacer backlog exceeds this much queueing time.
+  TimeNs tsq_horizon = 1500 * kUsec;
+};
+
+class ClusterSim {
+ public:
+  explicit ClusterSim(const ClusterConfig& cfg);
+  ~ClusterSim();
+
+  /// Admit and place a tenant; nullopt when the placement policy rejects.
+  std::optional<int> add_tenant(const TenantRequest& request);
+
+  /// Admit a tenant at a fixed, manual placement (VM index -> server),
+  /// bypassing admission control — used to reproduce the paper's testbed
+  /// layouts exactly. Throws on invalid servers.
+  int add_tenant_pinned(const TenantRequest& request,
+                        std::vector<int> vm_to_server);
+
+  int num_tenants() const { return static_cast<int>(tenants_.size()); }
+  int tenant_vm_count(int tenant) const;
+  int vm_server(int tenant, int local_vm) const;
+
+  struct MessageResult {
+    TimeNs latency = 0;
+    bool had_rto = false;
+  };
+  using MsgCallback = std::function<void(const MessageResult&)>;
+
+  /// Write a `size`-byte message from one tenant VM to another at the
+  /// current simulation time; `done` fires when the last byte is delivered
+  /// in order at the receiver.
+  void send_message(int tenant, int src_local, int dst_local, Bytes size,
+                    MsgCallback done = nullptr);
+
+  /// Total bytes delivered in-order on the (src, dst) pair's flow.
+  std::int64_t pair_delivered_bytes(int tenant, int src_local,
+                                    int dst_local) const;
+  /// RTO count summed over a tenant's flows.
+  int tenant_rto_count(int tenant) const;
+
+  /// Introspection for tests and debugging: the transport object of a
+  /// pair's flow, or nullptr if no message was ever sent on the pair.
+  const TcpFlow* debug_flow(int tenant, int src_local, int dst_local) const {
+    const auto* fr = find_flow(tenant, src_local, dst_local);
+    return fr ? fr->flow.get() : nullptr;
+  }
+
+  /// QJUMP's network epoch for this fabric (exposed for tests/benches).
+  TimeNs qjump_epoch() const;
+
+  EventQueue& events() { return events_; }
+  Fabric& fabric() { return *fabric_; }
+  const topology::Topology& topo() const { return *topo_; }
+  const Host& host(int server) const { return *hosts_[server]; }
+  void run_until(TimeNs t) { events_.run_until(t); }
+
+ private:
+  struct FlowRuntime {
+    std::unique_ptr<TcpFlow> flow;
+    struct Boundary {
+      std::int64_t end_seq;
+      TimeNs start;
+      std::size_t rto_index;  ///< rto_events() size at message start
+      MsgCallback done;
+    };
+    std::deque<Boundary> boundaries;
+  };
+
+  struct TenantRuntime {
+    TenantRequest request;
+    std::vector<int> vm_server;  ///< local VM -> server
+    int vm_base = 0;             ///< first global VM id
+    std::unique_ptr<pacer::TenantPacerGroup> pacers;
+    std::unordered_map<std::int64_t, int> pair_to_flow;  ///< (src,dst) -> flow id
+  };
+
+  bool scheme_paced() const {
+    return cfg_.scheme == Scheme::kSilo || cfg_.scheme == Scheme::kOktopus ||
+           cfg_.scheme == Scheme::kOktopusPlus ||
+           cfg_.scheme == Scheme::kQjump;
+  }
+  bool tenant_paced(const TenantRequest& request) const {
+    if (!scheme_paced()) return false;
+    if (request.tenant_class == TenantClass::kBestEffort) return false;
+    // QJUMP only rate-limits the latency-sensitive level.
+    if (cfg_.scheme == Scheme::kQjump)
+      return request.tenant_class == TenantClass::kDelaySensitive;
+    return true;
+  }
+  placement::Policy placement_policy() const;
+  SiloGuarantee pacing_guarantee(const SiloGuarantee& g) const;
+  int finish_admission(const TenantRequest& request,
+                       std::vector<int> vm_to_server);
+  FlowRuntime& flow_for(int tenant, int src_local, int dst_local);
+  const FlowRuntime* find_flow(int tenant, int src_local, int dst_local) const;
+  void dispatch(Packet p);
+  void on_flow_delivery(int flow_id, std::int64_t delivered);
+  void rebalance_tenant(int tenant);
+
+  ClusterConfig cfg_;
+  EventQueue events_;
+  std::unique_ptr<topology::Topology> topo_;
+  std::unique_ptr<placement::PlacementEngine> placer_;
+  std::unique_ptr<Fabric> fabric_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<TenantRuntime> tenants_;
+  std::vector<std::unique_ptr<FlowRuntime>> flows_;  ///< by flow id
+  std::vector<int> flow_tenant_;                     ///< flow id -> tenant
+  int next_global_vm_ = 0;
+};
+
+}  // namespace silo::sim

@@ -1,0 +1,72 @@
+// Discrete-event engine for the packet-level simulator (the repository's
+// ns2 stand-in). Deterministic: ties in time break by insertion order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/units.h"
+
+namespace silo::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  TimeNs now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `t` (>= now).
+  void at(TimeNs t, Callback cb) {
+    heap_.push(Event{t < now_ ? now_ : t, seq_++, std::move(cb)});
+  }
+
+  /// Schedule `cb` after a delay.
+  void after(TimeNs delay, Callback cb) { at(now_ + delay, std::move(cb)); }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+  std::uint64_t processed() const { return processed_; }
+
+  /// Run the earliest event; returns false when none remain.
+  bool step() {
+    if (heap_.empty()) return false;
+    // Moving the callback out before pop keeps reentrant scheduling safe.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.cb();
+    return true;
+  }
+
+  /// Run events with time <= deadline; clock lands on the deadline.
+  void run_until(TimeNs deadline) {
+    while (!heap_.empty() && heap_.top().time <= deadline) step();
+    if (now_ < deadline) now_ = deadline;
+  }
+
+  void run_all() {
+    while (step()) {
+    }
+  }
+
+ private:
+  struct Event {
+    TimeNs time;
+    std::uint64_t seq;
+    Callback cb;
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  TimeNs now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace silo::sim

@@ -1,0 +1,222 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace silo::sim {
+
+Fabric::Fabric(EventQueue& events, const topology::Topology& topo,
+               const PortConfig& port_template)
+    : events_(events), topo_(topo) {
+  ports_.resize(topo.num_ports());
+  for (int i = 0; i < topo.num_ports(); ++i) {
+    PortConfig cfg = port_template;
+    cfg.rate = topo.port(topology::PortId{i}).rate;
+    cfg.buffer = topo.port(topology::PortId{i}).buffer;
+    ports_[i] = std::make_unique<SwitchPortSim>(
+        events, cfg, [this](Packet p) { advance(std::move(p)); });
+  }
+}
+
+const std::vector<topology::PortId>& Fabric::path_for(int src, int dst) {
+  const std::int64_t key =
+      static_cast<std::int64_t>(src) * topo_.num_servers() + dst;
+  auto it = path_cache_.find(key);
+  if (it == path_cache_.end())
+    it = path_cache_.emplace(key, topo_.path(src, dst)).first;
+  return it->second;
+}
+
+void Fabric::ingress_from_host(Packet p) {
+  if (p.is_void) return;  // first-hop switch drops void frames
+  p.hop = 1;              // path[0] (the NIC egress) was the host's wire
+  advance(std::move(p));
+}
+
+void Fabric::advance(Packet p) {
+  const auto& path = path_for(p.src_server, p.dst_server);
+  if (p.hop >= path.size()) {
+    if (host_deliver_) host_deliver_(std::move(p));
+    return;
+  }
+  const auto port_id = path[p.hop];
+  ++p.hop;
+  ports_[port_id.value]->enqueue(std::move(p));
+}
+
+std::int64_t Fabric::total_drops() const {
+  std::int64_t total = 0;
+  for (const auto& port : ports_) total += port->stats().drops;
+  return total;
+}
+
+std::int64_t Fabric::total_ecn_marks() const {
+  std::int64_t total = 0;
+  for (const auto& port : ports_) total += port->stats().ecn_marks;
+  return total;
+}
+
+Host::Host(EventQueue& events, Fabric& fabric, int server_id,
+           const Config& cfg)
+    : events_(events),
+      fabric_(fabric),
+      server_id_(server_id),
+      cfg_(cfg),
+      nic_(cfg.link_rate, cfg.nic_mode, cfg.batch_window) {
+  PortConfig lo;
+  lo.rate = cfg.loopback_rate;
+  lo.buffer = cfg.loopback_buffer;
+  lo.link_delay = cfg.loopback_delay;
+  loopback_ = std::make_unique<SwitchPortSim>(events, lo, [this](Packet p) {
+    if (local_deliver_) local_deliver_(std::move(p));
+  });
+}
+
+void Host::send(Packet p) {
+  if (p.dst_server == server_id_) {
+    // VM-to-VM on the same server: the virtual switch forwards internally
+    // at memory speed — fast, but a finite, contended resource.
+    loopback_->enqueue(std::move(p));
+    return;
+  }
+  if (pacers_.count(p.src_vm) > 0) {
+    const int vm = p.src_vm;
+    auto& dq = tx_[vm].dests[p.dst_vm];
+    if (dq.bytes + p.wire_bytes > cfg_.pacer_queue_cap) {
+      ++pacer_drops_;  // finite driver queue
+      return;
+    }
+    dq.bytes += p.wire_bytes;
+    dq.q.push_back(std::move(p));
+    schedule_release(vm);
+    return;
+  }
+  hand_to_nic(std::move(p), events_.now());
+}
+
+void Host::hand_to_nic(Packet p, TimeNs release) {
+  const std::uint64_t nic_id = next_nic_id_++;
+  in_nic_.emplace(nic_id, std::move(p));
+  nic_.enqueue(release, in_nic_.at(nic_id).wire_bytes, nic_id);
+  kick();
+}
+
+void Host::schedule_release(int vm) {
+  auto& v = tx_[vm];
+  auto* pacer = pacers_.at(vm);
+  // Earliest conformance over the head packets of all destination queues.
+  TimeNs best = -1;
+  for (auto& [dst, dq] : v.dests) {
+    if (dq.q.empty()) continue;
+    const TimeNs t =
+        pacer->peek(events_.now(), dst, dq.q.front().wire_bytes);
+    if (best < 0 || t < best) best = t;
+  }
+  if (best < 0) return;  // all queues empty
+  // Eligible one batch window early (NIC lookahead for void filling).
+  const TimeNs when =
+      std::max(events_.now(), best - nic_.batch_window());
+  if (v.release_scheduled && v.scheduled_at <= when) return;
+  v.release_scheduled = true;
+  v.scheduled_at = when;
+  const std::uint64_t gen = ++v.generation;
+  events_.at(when, [this, vm, gen] { release_one(vm, gen); });
+}
+
+void Host::release_one(int vm, std::uint64_t generation) {
+  auto& v = tx_[vm];
+  if (generation != v.generation || !v.release_scheduled) return;
+  v.release_scheduled = false;
+  auto* pacer = pacers_.at(vm);
+  // Re-derive the winner at release time (arrivals may have changed it).
+  // Backlogged destinations tie on the shared-bucket conformance time, so
+  // ties rotate round-robin after the last served destination — a strict
+  // "<" would let the lowest id starve every other queue.
+  TimeNs best = -1;
+  int best_dst = -1;
+  for (auto& [dst, dq] : v.dests) {
+    if (dq.q.empty()) continue;
+    const TimeNs t =
+        pacer->peek(events_.now(), dst, dq.q.front().wire_bytes);
+    const bool wins =
+        best < 0 || t < best ||
+        (t == best && best_dst <= v.last_served && dst > v.last_served);
+    if (wins) {
+      best = t;
+      best_dst = dst;
+    }
+  }
+  if (best_dst < 0) return;
+  v.last_served = best_dst;
+  // Release packets whose conformance falls within one NIC batch window —
+  // the lookahead Paced IO Batching needs to build void-filled batches.
+  // The shared-bucket cross-charging this allows is bounded by one window
+  // of bytes, which is negligible skew.
+  if (best > events_.now() + nic_.batch_window()) {
+    schedule_release(vm);
+    return;
+  }
+  auto& dq = v.dests[best_dst];
+  Packet p = std::move(dq.q.front());
+  dq.q.pop_front();
+  dq.bytes -= p.wire_bytes;
+  const TimeNs release = pacer->stamp(events_.now(), best_dst, p.wire_bytes);
+  hand_to_nic(std::move(p), release);
+  schedule_release(vm);
+}
+
+TimeNs Host::pacer_delay(TimeNs now, int src_vm, int dst_vm, Bytes bytes) {
+  auto it = pacers_.find(src_vm);
+  if (it == pacers_.end()) return 0;
+  const TimeNs head_wait = it->second->peek(now, dst_vm, bytes) - now;
+  auto vt = tx_.find(src_vm);
+  if (vt == tx_.end()) return head_wait;
+  auto dt = vt->second.dests.find(dst_vm);
+  if (dt == vt->second.dests.end()) return head_wait;
+  // Queued bytes drain at (at least) the VM's hose rate.
+  const double drain =
+      static_cast<double>(dt->second.bytes + bytes) * 8e9 /
+      it->second->guarantee().bandwidth;
+  return head_wait + static_cast<TimeNs>(drain);
+}
+
+void Host::kick() {
+  if (transmitting_) return;  // DMA completion will re-kick
+  const TimeNs start = nic_.next_start(events_.now());
+  if (start < 0) return;  // queue empty
+  if (build_scheduled_ && scheduled_start_ <= start) return;
+  build_scheduled_ = true;
+  scheduled_start_ = start;
+  const std::uint64_t gen = ++build_generation_;
+  events_.at(start, [this, gen] {
+    if (gen != build_generation_ || !build_scheduled_) return;
+    build_scheduled_ = false;
+    run_batch();
+  });
+}
+
+void Host::run_batch() {
+  auto slots = nic_.build_batch(events_.now());
+  if (slots.empty()) {
+    transmitting_ = false;
+    kick();
+    return;
+  }
+  transmitting_ = true;
+  for (const auto& slot : slots) {
+    if (slot.is_void) continue;  // occupies the wire; ToR will not see it
+    auto it = in_nic_.find(slot.id);
+    Packet pkt = std::move(it->second);
+    in_nic_.erase(it);
+    events_.at(slot.end + cfg_.tor_link_delay,
+               [this, pkt = std::move(pkt)]() mutable {
+                 fabric_.ingress_from_host(std::move(pkt));
+               });
+  }
+  const TimeNs batch_end = slots.back().end;
+  events_.at(batch_end, [this] {
+    transmitting_ = false;
+    kick();
+  });
+}
+
+}  // namespace silo::sim

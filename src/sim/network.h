@@ -1,0 +1,144 @@
+// Fabric (switch ports wired per the topology) and Host (per-server NIC
+// with Silo pacing) of the packet-level simulator.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "pacer/paced_nic.h"
+#include "pacer/vm_pacer.h"
+#include "sim/event_queue.h"
+#include "sim/packet.h"
+#include "sim/port.h"
+#include "topology/topology.h"
+
+namespace silo::sim {
+
+/// All switch egress queues of the datacenter, addressed by topology
+/// PortId. Routes packets hop by hop along the precomputed tree path.
+class Fabric {
+ public:
+  using DeliverFn = std::function<void(Packet)>;
+
+  Fabric(EventQueue& events, const topology::Topology& topo,
+         const PortConfig& port_template);
+
+  void set_host_deliver(DeliverFn fn) { host_deliver_ = std::move(fn); }
+
+  /// Entry point for packets leaving a host NIC (the server->ToR wire has
+  /// already been simulated by the NIC). Void packets die here: the first
+  /// hop switch discards them by MAC address.
+  void ingress_from_host(Packet p);
+
+  SwitchPortSim& port(topology::PortId id) { return *ports_[id.value]; }
+  const SwitchPortSim& port(topology::PortId id) const {
+    return *ports_[id.value];
+  }
+
+  std::int64_t total_drops() const;
+  std::int64_t total_ecn_marks() const;
+
+ private:
+  void advance(Packet p);
+  const std::vector<topology::PortId>& path_for(int src, int dst);
+
+  EventQueue& events_;
+  const topology::Topology& topo_;
+  std::vector<std::unique_ptr<SwitchPortSim>> ports_;
+  std::unordered_map<std::int64_t, std::vector<topology::PortId>> path_cache_;
+  DeliverFn host_deliver_;
+};
+
+/// One physical server: a NIC (optionally doing Paced IO Batching with
+/// void packets) plus the per-VM pacers of the tenants hosted here.
+class Host {
+ public:
+  struct Config {
+    RateBps link_rate = 10 * kGbps;
+    pacer::NicMode nic_mode = pacer::NicMode::kBatched;
+    TimeNs batch_window = 50 * kUsec;
+    TimeNs tor_link_delay = 500;    ///< NIC -> ToR propagation
+    TimeNs loopback_delay = 5 * kUsec;  ///< intra-server VM-to-VM delay
+    /// Virtual-switch forwarding capacity for colocated VM pairs — memory
+    /// bandwidth, not the wire, but decidedly finite.
+    RateBps loopback_rate = 20 * kGbps;
+    Bytes loopback_buffer = 2 * kMB;
+    /// Finite per-destination pacer queue, like the prototype driver's
+    /// token-bucket queues: overflow is dropped and TCP reacts to loss
+    /// instead of to unbounded stamp delays.
+    Bytes pacer_queue_cap = 512 * kKB;
+  };
+
+  Host(EventQueue& events, Fabric& fabric, int server_id, const Config& cfg);
+
+  int server_id() const { return server_id_; }
+
+  /// Register the pacer enforcing a hosted VM's guarantees (Silo/Oktopus
+  /// schemes). Unpaced VMs simply have no entry.
+  void attach_pacer(int global_vm, pacer::VmPacer* pacer) {
+    pacers_[global_vm] = pacer;
+  }
+
+  /// Inject a transport packet originating at a VM on this server.
+  void send(Packet p);
+
+  /// Delivery callback to the upper layer (cluster flow dispatch) for
+  /// intra-server traffic.
+  void set_local_deliver(Fabric::DeliverFn fn) {
+    local_deliver_ = std::move(fn);
+  }
+
+  const pacer::BatchStats& nic_stats() const { return nic_.stats(); }
+  std::int64_t pacer_drops() const { return pacer_drops_; }
+
+  /// Estimated wait a `bytes` packet from `src_vm` to `dst_vm` would see
+  /// in the pacer right now (0 for unpaced VMs) — the TSQ-style
+  /// backpressure signal transports poll before emitting.
+  TimeNs pacer_delay(TimeNs now, int src_vm, int dst_vm, Bytes bytes);
+
+ private:
+  // Paced transmission path: packets wait in per-destination queues and a
+  // single scheduler releases them in conformance order — charging the
+  // shared {B, S} bucket in *release* order keeps it work-conserving
+  // across destinations (per-flow future stamping would serialize them).
+  struct DestQueue {
+    std::deque<Packet> q;
+    Bytes bytes = 0;
+  };
+  struct VmTx {
+    std::map<int, DestQueue> dests;
+    bool release_scheduled = false;
+    TimeNs scheduled_at = 0;
+    std::uint64_t generation = 0;
+    int last_served = -1;  ///< round-robin position for conformance ties
+  };
+
+  void kick();
+  void run_batch();
+  void schedule_release(int vm);
+  void release_one(int vm, std::uint64_t generation);
+  void hand_to_nic(Packet p, TimeNs release);
+
+  EventQueue& events_;
+  Fabric& fabric_;
+  int server_id_;
+  Config cfg_;
+  pacer::PacedNic nic_;
+  std::unique_ptr<SwitchPortSim> loopback_;
+  std::unordered_map<int, pacer::VmPacer*> pacers_;
+  std::unordered_map<int, VmTx> tx_;
+  std::unordered_map<std::uint64_t, Packet> in_nic_;
+  std::uint64_t next_nic_id_ = 1;
+  std::int64_t pacer_drops_ = 0;
+  bool transmitting_ = false;
+  bool build_scheduled_ = false;
+  TimeNs scheduled_start_ = 0;
+  std::uint64_t build_generation_ = 0;
+  Fabric::DeliverFn local_deliver_;
+};
+
+}  // namespace silo::sim

@@ -1,0 +1,105 @@
+#include "sim/port.h"
+
+#include <algorithm>
+
+namespace silo::sim {
+
+void SwitchPortSim::maybe_mark(Packet& p) {
+  if (cfg_.phantom_queue) {
+    // HULL: a virtual queue drains at a fraction of line rate; marking off
+    // it keeps the *real* queue near-empty at the cost of bandwidth headroom.
+    const TimeNs now = events_.now();
+    const double drained = cfg_.rate * cfg_.phantom_drain / 8e9 *
+                           static_cast<double>(now - phantom_updated_);
+    phantom_bytes_ = std::max(0.0, phantom_bytes_ - drained);
+    phantom_updated_ = now;
+    phantom_bytes_ += static_cast<double>(p.wire_bytes);
+    if (phantom_bytes_ > static_cast<double>(cfg_.phantom_threshold)) {
+      p.ecn_marked = true;
+      ++stats_.ecn_marks;
+    }
+    return;
+  }
+  if (cfg_.ecn_threshold > 0 && queued_bytes_ > cfg_.ecn_threshold) {
+    p.ecn_marked = true;
+    ++stats_.ecn_marks;
+  }
+}
+
+void SwitchPortSim::enqueue_pfabric(Packet p) {
+  // Buffer full: evict the queued packet with the most remaining bytes if
+  // the newcomer is more urgent; otherwise drop the newcomer.
+  while (queued_bytes_ + p.wire_bytes > cfg_.buffer) {
+    auto worst = pfabric_queue_.begin();
+    for (auto it = pfabric_queue_.begin(); it != pfabric_queue_.end(); ++it)
+      if (it->remaining > worst->remaining) worst = it;
+    if (pfabric_queue_.empty() || worst->remaining <= p.remaining) {
+      ++stats_.drops;
+      return;
+    }
+    queued_bytes_ -= worst->wire_bytes;
+    ++stats_.drops;
+    pfabric_queue_.erase(worst);
+  }
+  queued_bytes_ += p.wire_bytes;
+  stats_.max_queue_bytes = std::max(stats_.max_queue_bytes, queued_bytes_);
+  pfabric_queue_.push_back(std::move(p));
+  if (!busy_) start_tx();
+}
+
+void SwitchPortSim::enqueue(Packet p) {
+  if (cfg_.pfabric) {
+    enqueue_pfabric(std::move(p));
+    return;
+  }
+  if (queued_bytes_ + p.wire_bytes > cfg_.buffer) {
+    ++stats_.drops;
+    return;
+  }
+  maybe_mark(p);
+  queued_bytes_ += p.wire_bytes;
+  stats_.max_queue_bytes = std::max(stats_.max_queue_bytes, queued_bytes_);
+  queue_[static_cast<int>(p.priority)].push_back(std::move(p));
+  if (!busy_) start_tx();
+}
+
+bool SwitchPortSim::dequeue_next(Packet& out) {
+  if (cfg_.pfabric) {
+    if (pfabric_queue_.empty()) return false;
+    auto best = pfabric_queue_.begin();
+    for (auto it = pfabric_queue_.begin(); it != pfabric_queue_.end(); ++it)
+      if (it->remaining < best->remaining) best = it;
+    out = std::move(*best);
+    pfabric_queue_.erase(best);
+    return true;
+  }
+  auto& q = !queue_[0].empty() ? queue_[0] : queue_[1];
+  if (q.empty()) return false;
+  out = std::move(q.front());
+  q.pop_front();
+  return true;
+}
+
+void SwitchPortSim::start_tx() {
+  Packet p;
+  if (!dequeue_next(p)) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  queued_bytes_ -= p.wire_bytes;
+  const TimeNs tx = transmission_time(p.wire_bytes + kEthOverhead, cfg_.rate);
+  events_.after(tx, [this, p = std::move(p)]() mutable { tx_done(std::move(p)); });
+}
+
+void SwitchPortSim::tx_done(Packet p) {
+  ++stats_.tx_packets;
+  stats_.tx_bytes += p.wire_bytes;
+  // Hand to the next hop after propagation; transmission of the next
+  // packet overlaps with propagation of this one.
+  events_.after(cfg_.link_delay,
+                [this, p = std::move(p)]() mutable { deliver_(std::move(p)); });
+  start_tx();
+}
+
+}  // namespace silo::sim

@@ -1,0 +1,68 @@
+// Output-queued switch port: drop-tail shared buffer, two 802.1q priority
+// levels, optional DCTCP ECN marking and optional HULL phantom queue.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/packet.h"
+#include "util/units.h"
+
+namespace silo::sim {
+
+struct PortConfig {
+  RateBps rate = 10 * kGbps;
+  Bytes buffer = 312 * kKB;     ///< shared across both priorities
+  Bytes ecn_threshold = 0;      ///< DCTCP K in bytes; 0 disables marking
+  bool phantom_queue = false;   ///< HULL: mark off a virtual queue instead
+  double phantom_drain = 0.95;  ///< phantom queue drains at this link fraction
+  Bytes phantom_threshold = 3 * kKB;
+  TimeNs link_delay = 500;      ///< propagation + forwarding to next hop
+  /// pFabric: serve the packet with the fewest remaining message bytes
+  /// first; when the buffer fills, evict the largest-remaining packet.
+  bool pfabric = false;
+};
+
+struct PortStats {
+  std::int64_t tx_packets = 0;
+  std::int64_t tx_bytes = 0;
+  std::int64_t drops = 0;
+  std::int64_t ecn_marks = 0;
+  Bytes max_queue_bytes = 0;
+};
+
+class SwitchPortSim {
+ public:
+  using DeliverFn = std::function<void(Packet)>;
+
+  SwitchPortSim(EventQueue& events, PortConfig cfg, DeliverFn deliver)
+      : events_(events), cfg_(cfg), deliver_(std::move(deliver)) {}
+
+  /// Queue a packet for transmission; drops when the buffer is full.
+  void enqueue(Packet p);
+
+  Bytes queued_bytes() const { return queued_bytes_; }
+  const PortStats& stats() const { return stats_; }
+  const PortConfig& config() const { return cfg_; }
+
+ private:
+  void maybe_mark(Packet& p);
+  void start_tx();
+  void tx_done(Packet p);
+  void enqueue_pfabric(Packet p);
+  bool dequeue_next(Packet& out);
+
+  EventQueue& events_;
+  PortConfig cfg_;
+  DeliverFn deliver_;
+  std::deque<Packet> queue_[2];  ///< [0]=guaranteed, [1]=best effort
+  std::vector<Packet> pfabric_queue_;  ///< unsorted; linear min/max scans
+  Bytes queued_bytes_ = 0;
+  bool busy_ = false;
+  double phantom_bytes_ = 0;
+  TimeNs phantom_updated_ = 0;
+  PortStats stats_;
+};
+
+}  // namespace silo::sim

@@ -1,0 +1,113 @@
+// Byte-stream transport over the packet simulator: TCP Reno with fast
+// retransmit/recovery and RTO backoff, plus the DCTCP ECN control law
+// (Alizadeh et al., SIGCOMM 2010). HULL's host side is DCTCP; its switch
+// side is the phantom queue in SwitchPortSim.
+//
+// One TcpFlow object models one unidirectional stream and both endpoints:
+// the simulator is global, so receiver logic (cumulative ACKs, ECN echo,
+// out-of-order reassembly, in-order delivery notifications) lives here too.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/packet.h"
+
+namespace silo::sim {
+
+struct TcpConfig {
+  Bytes mss = kMss;
+  double init_cwnd_pkts = 10;
+  double max_cwnd_pkts = 500;
+  TimeNs min_rto = 10 * kMsec;   ///< ns2-style floor; testbed-style is 200ms
+  TimeNs max_rto = 2 * kSec;
+  bool dctcp = false;
+  double dctcp_g = 1.0 / 16.0;
+};
+
+class TcpFlow {
+ public:
+  /// `send_data` injects packets at the source host; `send_ack` at the
+  /// destination host (ACKs flow through the reverse fabric path).
+  using SendFn = std::function<void(Packet&&)>;
+  using DeliverFn = std::function<void(std::int64_t in_order_bytes)>;
+  /// Backpressure probe (TSQ-style): may this flow hand another `bytes`
+  /// packet to the host right now? Re-polled on every ACK and app write.
+  using CanSendFn = std::function<bool(int dst_vm, Bytes bytes)>;
+
+  TcpFlow(EventQueue& events, int flow_id, int src_vm, int dst_vm,
+          int src_server, int dst_server, TcpConfig cfg, SendFn send_data,
+          SendFn send_ack);
+
+  /// Append `n` bytes to the stream (a message body).
+  void app_write(Bytes n);
+
+  /// Entry point for every packet addressed to this flow (data at the
+  /// receiver side, ACKs at the sender side).
+  void on_packet(const Packet& p);
+
+  void set_on_delivery(DeliverFn fn) { on_delivery_ = std::move(fn); }
+  void set_priority(Priority p) { priority_ = p; }
+  void set_can_send(CanSendFn fn) { can_send_ = std::move(fn); }
+
+  std::int64_t bytes_written() const { return stream_end_; }
+  std::int64_t bytes_delivered() const { return rcv_next_; }
+  std::int64_t bytes_acked() const { return snd_una_; }
+  const std::vector<TimeNs>& rto_events() const { return rto_events_; }
+  int flow_id() const { return flow_id_; }
+  int src_vm() const { return src_vm_; }
+  int dst_vm() const { return dst_vm_; }
+  double cwnd_bytes() const { return cwnd_; }
+
+ private:
+  void try_send();
+  void emit_segment(std::int64_t seq, Bytes len, bool retransmit);
+  void handle_ack(const Packet& ack);
+  void handle_data(const Packet& data);
+  void arm_rto();
+  void cancel_rto() { rto_armed_ = false; }
+  void rto_timer_fired();
+  void on_rto();
+  void dctcp_on_ack(std::int64_t newly_acked, bool marked);
+  void enter_loss_recovery();
+
+  EventQueue& events_;
+  TcpConfig cfg_;
+  int flow_id_, src_vm_, dst_vm_, src_server_, dst_server_;
+  SendFn send_data_, send_ack_;
+  DeliverFn on_delivery_;
+  CanSendFn can_send_;
+  Priority priority_ = Priority::kGuaranteed;
+
+  // Sender.
+  std::int64_t stream_end_ = 0;  ///< app bytes written so far
+  std::int64_t snd_una_ = 0;
+  std::int64_t snd_next_ = 0;
+  double cwnd_ = 0;
+  double ssthresh_ = 0;
+  int dupacks_ = 0;
+  bool in_recovery_ = false;
+  std::int64_t recover_seq_ = 0;
+  TimeNs srtt_ = 0, rttvar_ = 0, rto_ = 0;
+  bool rto_armed_ = false;
+  TimeNs rto_deadline_ = 0;
+  bool rto_event_pending_ = false;
+  bool tsq_retry_pending_ = false;
+  std::vector<TimeNs> rto_events_;
+  std::uint64_t next_packet_id_ = 1;
+
+  // DCTCP.
+  double alpha_ = 0.0;
+  std::int64_t dctcp_window_end_ = 0;
+  std::int64_t dctcp_acked_ = 0, dctcp_marked_ = 0;
+  bool cut_this_window_ = false;
+
+  // Receiver.
+  std::int64_t rcv_next_ = 0;
+  std::map<std::int64_t, std::int64_t> ooo_;  ///< out-of-order [start,end)
+};
+
+}  // namespace silo::sim

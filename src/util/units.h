@@ -1,0 +1,59 @@
+// Units and quantities used throughout the Silo library.
+//
+// Time is kept as integer nanoseconds (int64): at nanosecond resolution a
+// signed 64-bit tick counter spans ~292 years, far beyond any simulation,
+// and integer time keeps the discrete-event simulator deterministic.
+// Rates are double bits-per-second; sizes are integer bytes.
+#pragma once
+
+#include <cstdint>
+
+namespace silo {
+
+/// Simulated time in nanoseconds.
+using TimeNs = std::int64_t;
+
+inline constexpr TimeNs kNsec = 1;
+inline constexpr TimeNs kUsec = 1000;
+inline constexpr TimeNs kMsec = 1000 * kUsec;
+inline constexpr TimeNs kSec = 1000 * kMsec;
+
+/// Link / guarantee rate in bits per second.
+using RateBps = double;
+
+inline constexpr RateBps kKbps = 1e3;
+inline constexpr RateBps kMbps = 1e6;
+inline constexpr RateBps kGbps = 1e9;
+
+/// Data sizes in bytes.
+using Bytes = std::int64_t;
+
+inline constexpr Bytes kKB = 1000;
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMB = 1000 * kKB;
+
+/// Ethernet framing constants (used by the pacer and the packet simulator).
+/// An MTU-sized frame on the wire: 1500 B payload + 14 B Ethernet header +
+/// 4 B FCS + 8 B preamble + 12 B inter-frame gap.
+inline constexpr Bytes kMtu = 1500;
+inline constexpr Bytes kEthOverhead = 38;
+/// Minimum Ethernet frame on the wire, including preamble and IFG (the
+/// paper's 84-byte "void packet" floor: 64 B frame + 20 B preamble/IFG).
+inline constexpr Bytes kMinWireFrame = 84;
+
+/// Time to serialize `bytes` onto a link of rate `bps`, rounded up to a
+/// whole nanosecond so that back-to-back transmissions never overlap.
+constexpr TimeNs transmission_time(Bytes bytes, RateBps bps) {
+  if (bps <= 0.0) return 0;
+  const double ns = static_cast<double>(bytes) * 8.0 * 1e9 / bps;
+  const auto t = static_cast<TimeNs>(ns);
+  return (static_cast<double>(t) < ns) ? t + 1 : t;
+}
+
+/// Bytes that a rate can emit over an interval (truncated).
+constexpr Bytes bytes_in(RateBps bps, TimeNs dt) {
+  if (dt <= 0 || bps <= 0.0) return 0;
+  return static_cast<Bytes>(bps * static_cast<double>(dt) / 8e9);
+}
+
+}  // namespace silo

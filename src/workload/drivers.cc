@@ -1,0 +1,163 @@
+#include "workload/drivers.h"
+
+#include <algorithm>
+
+namespace silo::workload {
+
+// ---------------------------------------------------------------- EtcDriver
+
+EtcDriver::EtcDriver(sim::ClusterSim& cluster, int tenant, int server_vm,
+                     std::vector<int> client_vms, Config cfg,
+                     std::uint64_t seed)
+    : cluster_(cluster),
+      tenant_(tenant),
+      server_vm_(server_vm),
+      client_vms_(std::move(client_vms)),
+      cfg_(cfg),
+      rng_(seed) {}
+
+Bytes EtcDriver::sample_value_size() {
+  const double v =
+      rng_.generalized_pareto(cfg_.value_mu, cfg_.value_sigma, cfg_.value_xi);
+  return std::clamp(static_cast<Bytes>(v), cfg_.min_value, cfg_.max_value);
+}
+
+void EtcDriver::start(TimeNs until) {
+  until_ = until;
+  schedule_next();
+}
+
+void EtcDriver::schedule_next() {
+  const double gap_s = rng_.exponential(1.0 / cfg_.ops_per_sec);
+  const TimeNs t = cluster_.events().now() +
+                   static_cast<TimeNs>(gap_s * static_cast<double>(kSec));
+  if (t > until_) return;
+  cluster_.events().at(t, [this] {
+    const auto client = client_vms_[static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(client_vms_.size()) - 1))];
+    const Bytes value = sample_value_size();
+    const TimeNs sent = cluster_.events().now();
+    ++issued_;
+    // GET: request to the cache server; on arrival the server replies with
+    // the value; transaction latency is request-send -> response-delivered.
+    cluster_.send_message(
+        tenant_, client, server_vm_, cfg_.request_size,
+        [this, client, value, sent](const sim::ClusterSim::MessageResult&) {
+          const auto think = static_cast<TimeNs>(rng_.exponential(
+              static_cast<double>(cfg_.server_processing_mean)));
+          cluster_.events().after(think, [this, client, value, sent] {
+            cluster_.send_message(
+                tenant_, server_vm_, client, value,
+                [this, sent](const sim::ClusterSim::MessageResult&) {
+                  ++completed_;
+                  latencies_us_.add(
+                      static_cast<double>(cluster_.events().now() - sent) /
+                      static_cast<double>(kUsec));
+                });
+          });
+        });
+    schedule_next();
+  });
+}
+
+// --------------------------------------------------------------- BulkDriver
+
+BulkDriver::BulkDriver(sim::ClusterSim& cluster, int tenant,
+                       std::vector<Pair> pairs, Bytes chunk)
+    : cluster_(cluster), tenant_(tenant), pairs_(std::move(pairs)),
+      chunk_(chunk) {}
+
+void BulkDriver::start(TimeNs until) {
+  until_ = until;
+  started_ = cluster_.events().now();
+  for (std::size_t i = 0; i < pairs_.size(); ++i) pump(i);
+}
+
+void BulkDriver::pump(std::size_t pair_idx) {
+  if (cluster_.events().now() >= until_) return;
+  const auto [src, dst] = pairs_[pair_idx];
+  cluster_.send_message(
+      tenant_, src, dst, chunk_,
+      [this, pair_idx](const sim::ClusterSim::MessageResult& r) {
+        chunk_latencies_us_.add(static_cast<double>(r.latency) /
+                                static_cast<double>(kUsec));
+        pump(pair_idx);
+      });
+}
+
+double BulkDriver::goodput_bps() const {
+  std::int64_t bytes = 0;
+  for (const auto& [src, dst] : pairs_)
+    bytes += cluster_.pair_delivered_bytes(tenant_, src, dst);
+  const TimeNs elapsed = cluster_.events().now() - started_;
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(bytes) * 8e9 / static_cast<double>(elapsed);
+}
+
+// -------------------------------------------------------------- BurstDriver
+
+BurstDriver::BurstDriver(sim::ClusterSim& cluster, int tenant, int n_vms,
+                         Config cfg, std::uint64_t seed)
+    : cluster_(cluster), tenant_(tenant), n_vms_(n_vms), cfg_(cfg),
+      rng_(seed) {}
+
+void BurstDriver::start(TimeNs until) {
+  until_ = until;
+  schedule_next();
+}
+
+void BurstDriver::schedule_next() {
+  const double gap_s = rng_.exponential(1.0 / cfg_.epochs_per_sec);
+  const TimeNs t = cluster_.events().now() +
+                   static_cast<TimeNs>(gap_s * static_cast<double>(kSec));
+  if (t > until_) return;
+  cluster_.events().at(t, [this] {
+    // Partition-aggregate: every worker responds to the aggregator at once.
+    for (int v = 0; v < n_vms_; ++v) {
+      if (v == cfg_.receiver) continue;
+      ++issued_;
+      cluster_.send_message(
+          tenant_, v, cfg_.receiver, cfg_.message_size,
+          [this](const sim::ClusterSim::MessageResult& r) {
+            ++completed_;
+            latencies_us_.add(static_cast<double>(r.latency) /
+                              static_cast<double>(kUsec));
+            if (r.had_rto) ++rto_messages_;
+          });
+    }
+    schedule_next();
+  });
+}
+
+// ----------------------------------------------------- PoissonMessageDriver
+
+PoissonMessageDriver::PoissonMessageDriver(sim::ClusterSim& cluster,
+                                           int tenant, int src, int dst,
+                                           double msgs_per_sec, Bytes size,
+                                           std::uint64_t seed)
+    : cluster_(cluster), tenant_(tenant), src_(src), dst_(dst),
+      rate_(msgs_per_sec), size_(size), rng_(seed) {}
+
+void PoissonMessageDriver::start(TimeNs until) {
+  until_ = until;
+  schedule_next();
+}
+
+void PoissonMessageDriver::schedule_next() {
+  const double gap_s = rng_.exponential(1.0 / rate_);
+  const TimeNs t = cluster_.events().now() +
+                   static_cast<TimeNs>(gap_s * static_cast<double>(kSec));
+  if (t > until_) return;
+  cluster_.events().at(t, [this] {
+    ++issued_;
+    cluster_.send_message(tenant_, src_, dst_, size_,
+                          [this](const sim::ClusterSim::MessageResult& r) {
+                            ++completed_;
+                            latencies_us_.add(static_cast<double>(r.latency) /
+                                              static_cast<double>(kUsec));
+                          });
+    schedule_next();
+  });
+}
+
+}  // namespace silo::workload

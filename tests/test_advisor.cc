@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+#include "util/rng.h"
+
+namespace silo {
+namespace {
+
+WorkloadProfile fixed_profile(Bytes size = 10 * kKB, double rate = 200.0) {
+  WorkloadProfile p;
+  p.message_sizes.assign(64, size);
+  p.messages_per_sec = rate;
+  p.packet_delay = 1 * kMsec;
+  p.burst_rate = 1 * kGbps;
+  return p;
+}
+
+TEST(Advisor, AverageBandwidthAloneIsAlmostAlwaysLate) {
+  // Table 1, row M / column B: guaranteeing the raw average leaves the
+  // overwhelming majority of Poisson messages late.
+  const auto p = fixed_profile();
+  SiloGuarantee g{p.messages_per_sec * 10e3 * 8, 10 * kKB, 1 * kMsec,
+                  1 * kGbps};
+  const double late = evaluate_late_fraction(p, g, 20000, 1);
+  EXPECT_GT(late, 0.5);
+}
+
+TEST(Advisor, GenerousGuaranteeIsNeverLate) {
+  // Table 1, bottom-right corner.
+  const auto p = fixed_profile();
+  SiloGuarantee g{p.messages_per_sec * 10e3 * 8 * 3.0, 9 * 10 * kKB,
+                  1 * kMsec, 1 * kGbps};
+  EXPECT_LT(evaluate_late_fraction(p, g, 20000, 1), 0.005);
+}
+
+TEST(Advisor, LatenessMonotoneInBandwidth) {
+  const auto p = fixed_profile();
+  double prev = 1.1;
+  for (double mult : {1.0, 1.5, 2.0, 3.0}) {
+    SiloGuarantee g{p.messages_per_sec * 10e3 * 8 * mult, 3 * 10 * kKB,
+                    1 * kMsec, 1 * kGbps};
+    const double late = evaluate_late_fraction(p, g, 20000, 2);
+    EXPECT_LE(late, prev + 0.02) << mult;
+    prev = late;
+  }
+}
+
+TEST(Advisor, RecommendationMeetsTarget) {
+  const auto p = fixed_profile();
+  AdvisorOptions opts;
+  opts.target_late_fraction = 0.01;
+  const auto rec = recommend_guarantee(p, opts);
+  ASSERT_TRUE(rec.feasible);
+  EXPECT_LE(rec.expected_late_fraction, opts.target_late_fraction);
+  EXPECT_GT(rec.guarantee.bandwidth, rec.average_bandwidth * 0.99);
+  EXPECT_GE(rec.guarantee.burst, 10 * kKB);
+  // Recommendation is reproducible (deterministic seed).
+  const auto rec2 = recommend_guarantee(p, opts);
+  EXPECT_DOUBLE_EQ(rec.guarantee.bandwidth, rec2.guarantee.bandwidth);
+  EXPECT_EQ(rec.guarantee.burst, rec2.guarantee.burst);
+}
+
+TEST(Advisor, InfeasibleTargetReportsBestEffort) {
+  // An absurd arrival rate against a capped candidate grid cannot hit an
+  // (effectively) zero lateness target.
+  auto p = fixed_profile(100 * kKB, 2000.0);
+  p.burst_rate = 200 * kMbps;  // Bmax barely above the demands
+  AdvisorOptions opts;
+  opts.target_late_fraction = 0.0;
+  opts.bandwidth_multiples = {1.0};
+  opts.burst_multiples = {1.0};
+  const auto rec = recommend_guarantee(p, opts);
+  EXPECT_FALSE(rec.feasible);
+  EXPECT_GT(rec.expected_late_fraction, 0.0);
+}
+
+TEST(Advisor, Validation) {
+  WorkloadProfile empty;
+  empty.messages_per_sec = 10;
+  EXPECT_THROW(recommend_guarantee(empty), std::invalid_argument);
+  auto p = fixed_profile();
+  p.messages_per_sec = 0;
+  SiloGuarantee g{1e9, 1500, 0, 1e9};
+  EXPECT_THROW(evaluate_late_fraction(p, g, 100, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silo

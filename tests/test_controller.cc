@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+
+namespace silo {
+namespace {
+
+topology::TopologyConfig small_dc() {
+  topology::TopologyConfig cfg;
+  cfg.pods = 2;
+  cfg.racks_per_pod = 2;
+  cfg.servers_per_rack = 4;
+  cfg.vm_slots_per_server = 4;
+  return cfg;
+}
+
+TenantRequest tenant(int vms, RateBps bw = 500 * kMbps) {
+  TenantRequest r;
+  r.num_vms = vms;
+  r.guarantee = {bw, 15 * kKB, 2 * kMsec, 1 * kGbps};
+  r.tenant_class = TenantClass::kDelaySensitive;
+  return r;
+}
+
+TEST(Controller, AdmitReleaseLifecycle) {
+  SiloController ctl(small_dc());
+  const auto before = ctl.stats();
+  EXPECT_EQ(before.free_slots, before.total_slots);
+
+  const auto h = ctl.admit(tenant(8));
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->vm_to_server.size(), 8u);
+  EXPECT_EQ(ctl.stats().free_slots, before.total_slots - 8);
+  EXPECT_EQ(ctl.stats().admitted_tenants, 1);
+
+  ctl.release(*h);
+  const auto after = ctl.stats();
+  EXPECT_EQ(after.free_slots, after.total_slots);
+  EXPECT_EQ(after.admitted_tenants, 0);
+  EXPECT_DOUBLE_EQ(after.max_port_reservation, 0.0);
+}
+
+TEST(Controller, ServerConfigListsHostedVmsWithPeers) {
+  SiloController ctl(small_dc());
+  const auto h = ctl.admit(tenant(6));
+  ASSERT_TRUE(h);
+  int records_total = 0;
+  for (int s = 0; s < ctl.topo().num_servers(); ++s) {
+    const auto cfg = ctl.server_config(s);
+    records_total += static_cast<int>(cfg.size());
+    for (const auto& rec : cfg) {
+      EXPECT_EQ(rec.server, s);
+      EXPECT_EQ(rec.tenant, h->id);
+      EXPECT_EQ(rec.peers.size(), 5u);  // everyone else in the tenant
+      EXPECT_EQ(h->vm_to_server[static_cast<std::size_t>(rec.vm_index)], s);
+      EXPECT_DOUBLE_EQ(rec.guarantee.bandwidth, 500e6);
+      for (const auto& [peer_vm, peer_server] : rec.peers) {
+        EXPECT_NE(peer_vm, rec.vm_index);
+        EXPECT_EQ(h->vm_to_server[static_cast<std::size_t>(peer_vm)],
+                  peer_server);
+      }
+    }
+  }
+  EXPECT_EQ(records_total, 6);  // one record per VM, across all servers
+}
+
+TEST(Controller, BestEffortVmsAreNotPaced) {
+  SiloController ctl(small_dc());
+  TenantRequest be = tenant(4);
+  be.tenant_class = TenantClass::kBestEffort;
+  const auto h = ctl.admit(be);
+  ASSERT_TRUE(h);
+  for (int s = 0; s < ctl.topo().num_servers(); ++s)
+    EXPECT_TRUE(ctl.server_config(s).empty());
+}
+
+TEST(Controller, StatsReflectHeadroom) {
+  SiloController ctl(small_dc());
+  for (int i = 0; i < 6; ++i) ctl.admit(tenant(8, 1 * kGbps));
+  const auto s = ctl.stats();
+  EXPECT_GT(s.max_port_reservation, 0.0);
+  EXPECT_LE(s.max_port_reservation, 1.0 + 1e-9);
+  EXPECT_GT(s.max_queue_headroom_used, 0.0);
+  EXPECT_LE(s.max_queue_headroom_used, 1.0 + 1e-9);  // Silo's invariant
+}
+
+TEST(Controller, RejectsBeyondCapacity) {
+  SiloController ctl(small_dc());
+  int admitted = 0;
+  for (int i = 0; i < 30; ++i)
+    if (ctl.admit(tenant(8, 2 * kGbps))) ++admitted;
+  EXPECT_LT(admitted, 30);
+  // Whatever was admitted keeps every port's queue bound within capacity.
+  EXPECT_LE(ctl.stats().max_queue_headroom_used, 1.0 + 1e-9);
+}
+
+TEST(Controller, LatencyBoundHelperMatchesCore) {
+  SiloGuarantee g{500 * kMbps, 15 * kKB, 1 * kMsec, 1 * kGbps};
+  EXPECT_EQ(SiloController::message_latency_bound(g, 10 * kKB),
+            max_message_latency(g, 10 * kKB));
+}
+
+}  // namespace
+}  // namespace silo

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "sim/cluster.h"
+#include "workload/drivers.h"
+#include "workload/patterns.h"
+
+namespace silo::workload {
+namespace {
+
+sim::ClusterConfig tiny() {
+  sim::ClusterConfig cfg;
+  cfg.topo.pods = 1;
+  cfg.topo.racks_per_pod = 1;
+  cfg.topo.servers_per_rack = 4;
+  cfg.topo.vm_slots_per_server = 4;
+  cfg.topo.oversubscription = 1.0;
+  cfg.scheme = sim::Scheme::kTcp;
+  return cfg;
+}
+
+TEST(EtcDriver, IssuesAtConfiguredRate) {
+  sim::ClusterSim sim(tiny());
+  TenantRequest req;
+  req.num_vms = 5;
+  req.guarantee = {1 * kGbps, 1500, 0, 0};
+  const auto t = sim.add_tenant(req);
+  ASSERT_TRUE(t);
+  EtcDriver::Config cfg;
+  cfg.ops_per_sec = 5000;
+  EtcDriver etc(sim, *t, 0, {1, 2, 3, 4}, cfg, 3);
+  etc.start(500 * kMsec);
+  sim.run_until(600 * kMsec);
+  // Poisson process: expect ~2500 ops +- a few percent.
+  EXPECT_NEAR(static_cast<double>(etc.issued_ops()), 2500.0, 200.0);
+  EXPECT_EQ(etc.completed_ops(), etc.issued_ops());
+}
+
+TEST(EtcDriver, LatencyIncludesProcessingTime) {
+  sim::ClusterSim sim(tiny());
+  TenantRequest req;
+  req.num_vms = 2;
+  req.guarantee = {1 * kGbps, 1500, 0, 0};
+  const auto t = sim.add_tenant(req);
+  ASSERT_TRUE(t);
+  EtcDriver::Config fast;
+  fast.ops_per_sec = 2000;
+  fast.server_processing_mean = 1 * kUsec;
+  EtcDriver quick(sim, *t, 0, {1}, fast, 3);
+  quick.start(200 * kMsec);
+  sim.run_until(300 * kMsec);
+
+  sim::ClusterSim sim2(tiny());
+  const auto t2 = sim2.add_tenant(req);
+  EtcDriver::Config slow = fast;
+  slow.server_processing_mean = 200 * kUsec;
+  EtcDriver laggy(sim2, *t2, 0, {1}, slow, 3);
+  laggy.start(200 * kMsec);
+  sim2.run_until(300 * kMsec);
+
+  EXPECT_GT(laggy.latencies_us().mean(), quick.latencies_us().mean() + 100);
+}
+
+TEST(BurstDriver, IssuesPerEpochFanIn) {
+  sim::ClusterSim sim(tiny());
+  TenantRequest req;
+  req.num_vms = 6;
+  req.guarantee = {1 * kGbps, 15 * kKB, 0, 1 * kGbps};
+  const auto t = sim.add_tenant(req);
+  ASSERT_TRUE(t);
+  BurstDriver::Config cfg;
+  cfg.epochs_per_sec = 100;
+  cfg.message_size = 10 * kKB;
+  cfg.receiver = 5;
+  BurstDriver bursts(sim, *t, 6, cfg, 9);
+  bursts.start(500 * kMsec);
+  sim.run_until(700 * kMsec);
+  // Each epoch issues exactly n-1 = 5 messages.
+  EXPECT_EQ(bursts.issued_messages() % 5, 0);
+  EXPECT_NEAR(static_cast<double>(bursts.issued_messages()), 5 * 50.0, 75.0);
+  EXPECT_EQ(bursts.completed_messages(), bursts.issued_messages());
+  EXPECT_EQ(bursts.messages_with_rto(), 0);
+}
+
+TEST(BulkDriver, KeepsFlowsBacklogged) {
+  sim::ClusterSim sim(tiny());
+  TenantRequest req;
+  req.num_vms = 2;
+  req.guarantee = {1 * kGbps, 1500, 0, 0};
+  const auto t = sim.add_tenant(req);
+  ASSERT_TRUE(t);
+  BulkDriver bulk(sim, *t, {{0, 1}}, Bytes{64 * kKB});
+  bulk.start(100 * kMsec);
+  sim.run_until(100 * kMsec);
+  // Chunks completed back-to-back the whole time; chunk latency recorded.
+  EXPECT_GT(bulk.chunk_latencies_us().count(), 100u);
+  EXPECT_GT(bulk.goodput_bps() / 1e9, 1.0);  // unpaced TCP, 10G fabric
+  EXPECT_EQ(bulk.chunk_size(), 64 * kKB);
+}
+
+TEST(PoissonDriver, RespectsStopTime) {
+  sim::ClusterSim sim(tiny());
+  TenantRequest req;
+  req.num_vms = 2;
+  req.guarantee = {1 * kGbps, 1500, 0, 0};
+  const auto t = sim.add_tenant(req);
+  ASSERT_TRUE(t);
+  PoissonMessageDriver msgs(sim, *t, 0, 1, 1000.0, 2 * kKB, 4);
+  msgs.start(100 * kMsec);
+  sim.run_until(1 * kSec);
+  const auto at_end = msgs.issued();
+  sim.run_until(2 * kSec);
+  EXPECT_EQ(msgs.issued(), at_end);  // nothing scheduled past the stop
+  EXPECT_NEAR(static_cast<double>(at_end), 100.0, 35.0);
+}
+
+}  // namespace
+}  // namespace silo::workload

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "flowsim/flow_sim.h"
+
+namespace silo::flowsim {
+namespace {
+
+FlowSimConfig quick(placement::Policy policy, double occupancy) {
+  FlowSimConfig cfg;
+  cfg.topo.pods = 2;
+  cfg.topo.racks_per_pod = 2;
+  cfg.topo.servers_per_rack = 8;
+  cfg.topo.vm_slots_per_server = 8;
+  cfg.policy = policy;
+  cfg.occupancy = occupancy;
+  cfg.sim_duration_s = 400;
+  cfg.warmup_s = 100;
+  cfg.compute_time_mean_s = 30;
+  cfg.mean_vms = 6;
+  cfg.seed = 9;
+  cfg.mean_vms = 12;
+  cfg.b_transfer_time_mean_s = 30;
+  return cfg;
+}
+
+TEST(FlowSim, RunsAndProducesSaneMetrics) {
+  const auto res = run_flow_sim(quick(placement::Policy::kSilo, 0.6));
+  EXPECT_GT(res.arrivals, 20);
+  EXPECT_GT(res.admitted, 0);
+  EXPECT_LE(res.admitted, res.arrivals);
+  EXPECT_GE(res.network_utilization, 0.0);
+  EXPECT_LE(res.network_utilization, 1.0);
+  EXPECT_GT(res.avg_occupancy, 0.2);
+  EXPECT_LT(res.avg_occupancy, 1.0);
+  EXPECT_GT(res.completed_jobs, 0);
+}
+
+TEST(FlowSim, LocalityAdmitsMostAtLowOccupancy) {
+  // Locality only rejects on slot shortage, so at light load it admits
+  // nearly everything (geometric-tail giants may still not fit).
+  const auto res = run_flow_sim(quick(placement::Policy::kLocality, 0.4));
+  EXPECT_GT(res.admitted_frac(), 0.9);
+}
+
+TEST(FlowSim, SiloRejectsMoreThanOktopus) {
+  const auto silo = run_flow_sim(quick(placement::Policy::kSilo, 0.85));
+  const auto okto = run_flow_sim(quick(placement::Policy::kOktopus, 0.85));
+  EXPECT_LE(silo.admitted_frac(), okto.admitted_frac() + 0.02);
+  // Class-A (delay) tenants are the harder ones for Silo (paper §6.3).
+  EXPECT_LE(silo.admitted_frac_a(), silo.admitted_frac_b() + 0.05);
+}
+
+TEST(FlowSim, OccupancyTracksTarget) {
+  const auto lo = run_flow_sim(quick(placement::Policy::kLocality, 0.3));
+  const auto hi = run_flow_sim(quick(placement::Policy::kLocality, 0.8));
+  EXPECT_LT(lo.avg_occupancy, hi.avg_occupancy);
+}
+
+TEST(FlowSim, DenserTrafficRaisesUtilization) {
+  auto sparse = quick(placement::Policy::kSilo, 0.7);
+  sparse.permutation_x = 0.5;
+  auto dense = quick(placement::Policy::kSilo, 0.7);
+  dense.permutation_x = 0;  // all-to-all
+  const auto u_sparse = run_flow_sim(sparse).network_utilization;
+  const auto u_dense = run_flow_sim(dense).network_utilization;
+  EXPECT_GT(u_dense, u_sparse);
+}
+
+TEST(FlowSim, DeterministicForFixedSeed) {
+  const auto a = run_flow_sim(quick(placement::Policy::kOktopus, 0.6));
+  const auto b = run_flow_sim(quick(placement::Policy::kOktopus, 0.6));
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_DOUBLE_EQ(a.network_utilization, b.network_utilization);
+}
+
+}  // namespace
+}  // namespace silo::flowsim

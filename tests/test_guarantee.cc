@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/guarantee.h"
+
+namespace silo {
+namespace {
+
+SiloGuarantee paper_guarantee() {
+  // §6.1 tenant A, req 1: 210 Mbps, 1.5 KB burst, 1 ms delay, 1 Gbps Bmax.
+  return {210 * kMbps, Bytes{1500}, 1 * kMsec, 1 * kGbps};
+}
+
+TEST(Guarantee, SmallMessageWithinBurst) {
+  // M <= S: latency = M/Bmax + d.
+  const auto g = paper_guarantee();
+  const TimeNs lat = max_message_latency(g, 1500);
+  EXPECT_EQ(lat, transmission_time(1500, 1 * kGbps) + 1 * kMsec);
+}
+
+TEST(Guarantee, PaperMemcachedBound) {
+  // The paper reports a 2.01 ms message-latency guarantee for the
+  // memcached experiment. A transaction is a ~400 B request plus a
+  // <= 1 KB response: two one-way messages and two delay bounds.
+  const auto g = paper_guarantee();
+  const TimeNs request = max_message_latency(g, 400);
+  const TimeNs response = max_message_latency(g, 1024);
+  const double total_ms =
+      static_cast<double>(request + response) / static_cast<double>(kMsec);
+  EXPECT_NEAR(total_ms, 2.01, 0.02);
+}
+
+TEST(Guarantee, LargeMessageUsesAverageBandwidth) {
+  // M > S: latency = S/Bmax + (M-S)/B + d.
+  const auto g = paper_guarantee();
+  const Bytes m = 100 * kKB;
+  const TimeNs expected = transmission_time(1500, 1 * kGbps) +
+                          transmission_time(m - 1500, 210 * kMbps) + 1 * kMsec;
+  EXPECT_EQ(max_message_latency(g, m), expected);
+}
+
+TEST(Guarantee, MonotoneInSize) {
+  const auto g = paper_guarantee();
+  TimeNs prev = 0;
+  for (Bytes m : {Bytes{100}, Bytes{1500}, Bytes{1501}, Bytes{15000},
+                  Bytes{1500000}}) {
+    const TimeNs lat = max_message_latency(g, m);
+    EXPECT_GE(lat, prev) << m;
+    prev = lat;
+  }
+}
+
+TEST(Guarantee, BurstRateDefaultsToBandwidth) {
+  SiloGuarantee g{1 * kGbps, 10 * kKB, 0, 0};
+  EXPECT_EQ(max_message_latency(g, 1000),
+            transmission_time(1000, 1 * kGbps));
+}
+
+TEST(Guarantee, Validation) {
+  SiloGuarantee g{};
+  EXPECT_THROW(max_message_latency(g, 100), std::invalid_argument);
+  const auto ok = paper_guarantee();
+  EXPECT_THROW(max_message_latency(ok, -1), std::invalid_argument);
+}
+
+TEST(Guarantee, DelayFlag) {
+  EXPECT_TRUE(paper_guarantee().wants_delay_guarantee());
+  SiloGuarantee bw_only{1 * kGbps, 1500, 0, 0};
+  EXPECT_FALSE(bw_only.wants_delay_guarantee());
+}
+
+// Table 1 analytics: a message of size M on guarantee B*k with burst j*M
+// should have bound (min(M, jM)/Bmax + ...) — check the bound shrinks as
+// either knob grows.
+class LatencyKnobs : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LatencyKnobs, BoundShrinksWithKnobs) {
+  const auto [burst_mult, bw_mult] = GetParam();
+  const Bytes msg = 10 * kKB;
+  SiloGuarantee g{bw_mult * 100 * kMbps, burst_mult * msg, 0, 1 * kGbps};
+  SiloGuarantee tighter = g;
+  tighter.bandwidth *= 2;
+  EXPECT_LE(max_message_latency(tighter, 5 * msg),
+            max_message_latency(g, 5 * msg));
+  SiloGuarantee burstier = g;
+  burstier.burst += msg;
+  EXPECT_LE(max_message_latency(burstier, 5 * msg),
+            max_message_latency(g, 5 * msg));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Knobs, LatencyKnobs,
+    ::testing::Combine(::testing::Values(1, 3, 5, 7, 9),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace silo

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "netcalc/curve.h"
+
+namespace silo::netcalc {
+namespace {
+
+TEST(Curve, TokenBucketValues) {
+  // A_{B,S}(t) = S + B*t : 1 Gbps, 100 KB burst.
+  const auto a = Curve::token_bucket(1 * kGbps, 100 * kKB);
+  EXPECT_DOUBLE_EQ(a.value(0), 100e3);
+  EXPECT_NEAR(a.value(1 * kMsec), 100e3 + 125e3, 1.0);
+  EXPECT_DOUBLE_EQ(a.value(-5), 0.0);
+  EXPECT_DOUBLE_EQ(a.burst(), 100e3);
+  EXPECT_NEAR(a.long_run_slope() * 8e9, 1e9, 1.0);
+}
+
+TEST(Curve, RateLimitedBurstIsBelowTokenBucket) {
+  // A'(t) = min(mtu + Bmax t, S + B t) <= A_{B,S}(t) everywhere.
+  const auto tb = Curve::token_bucket(1 * kGbps, 100 * kKB);
+  const auto rl =
+      Curve::rate_limited_burst(1 * kGbps, 100 * kKB, 10 * kGbps);
+  for (TimeNs t : {TimeNs{0}, TimeNs{10 * kUsec}, TimeNs{79 * kUsec},
+                   TimeNs{200 * kUsec}, TimeNs{5 * kMsec}}) {
+    EXPECT_LE(rl.value(t), tb.value(t) + 1e-3) << "t=" << t;
+  }
+  // Before the crossover the burst drains at Bmax.
+  EXPECT_NEAR(rl.value(0), static_cast<double>(kMtu), 1.0);
+  // After (100KB-1.5KB)/(10G-1G) = ~87.6 us the curves meet.
+  EXPECT_NEAR(rl.value(1 * kMsec), tb.value(1 * kMsec), 2000.0);
+}
+
+TEST(Curve, RateLimitedBurstDegenerateCases) {
+  // Burst no larger than one MTU: single segment at rate B.
+  const auto c = Curve::rate_limited_burst(1 * kGbps, kMtu, 10 * kGbps);
+  EXPECT_EQ(c.segments().size(), 1u);
+  EXPECT_THROW(Curve::rate_limited_burst(2 * kGbps, 10 * kKB, 1 * kGbps),
+               std::invalid_argument);
+}
+
+TEST(Curve, ConstructorRejectsNonConcave) {
+  EXPECT_THROW(Curve({{0, 0.0, 1.0}, {10, 10.0, 2.0}}), std::invalid_argument);
+  EXPECT_THROW(Curve({{5, 0.0, 1.0}}), std::invalid_argument);   // not at 0
+  EXPECT_THROW(Curve({{0, 0.0, 1.0}, {10, 99.0, 0.5}}),          // discontinuous
+               std::invalid_argument);
+}
+
+TEST(Curve, PlusAddsValuesAndSlopes) {
+  const auto a = Curve::token_bucket(1 * kGbps, 10 * kKB);
+  const auto b = Curve::rate_limited_burst(2 * kGbps, 50 * kKB, 10 * kGbps);
+  const auto sum = a.plus(b);
+  for (TimeNs t : {TimeNs{0}, TimeNs{5 * kUsec}, TimeNs{100 * kUsec}}) {
+    EXPECT_NEAR(sum.value(t), a.value(t) + b.value(t), 1e-3) << t;
+  }
+}
+
+TEST(Curve, PlusWithZeroIsIdentity) {
+  const auto a = Curve::token_bucket(1 * kGbps, 10 * kKB);
+  const Curve zero;
+  EXPECT_NEAR(a.plus(zero).value(10 * kUsec), a.value(10 * kUsec), 1e-9);
+  EXPECT_NEAR(zero.plus(a).value(10 * kUsec), a.value(10 * kUsec), 1e-9);
+}
+
+TEST(Curve, MinWithComputesPointwiseMin) {
+  const auto a = Curve::token_bucket(1 * kGbps, 100 * kKB);
+  const auto b = Curve::token_bucket(10 * kGbps, 1500);
+  const auto m = a.min_with(b);
+  for (TimeNs t :
+       {TimeNs{0}, TimeNs{20 * kUsec}, TimeNs{87 * kUsec}, TimeNs{1 * kMsec}}) {
+    EXPECT_NEAR(m.value(t), std::min(a.value(t), b.value(t)), 20.0) << t;
+  }
+}
+
+TEST(Curve, ScaledMultiplies) {
+  const auto a = Curve::token_bucket(1 * kGbps, 10 * kKB);
+  const auto s = a.scaled(3.0);
+  EXPECT_NEAR(s.value(10 * kUsec), 3 * a.value(10 * kUsec), 1e-6);
+  EXPECT_TRUE(a.scaled(0.0).is_zero());
+  EXPECT_THROW(a.scaled(-1.0), std::invalid_argument);
+}
+
+TEST(Curve, TimeToReach) {
+  const auto a = Curve::token_bucket(8 * kGbps, 1000);  // 1 B/ns slope
+  EXPECT_EQ(a.time_to_reach(0), 0);
+  EXPECT_EQ(a.time_to_reach(1000.0).value(), 0);
+  EXPECT_EQ(a.time_to_reach(2000.0).value(), 1000);
+  const auto flat = Curve({{0, 100.0, 0.0}});
+  EXPECT_FALSE(flat.time_to_reach(200.0).has_value());
+}
+
+TEST(QueueAnalysis, NFlowsNPacketsInsight) {
+  // §3.1: n flows, each bursting one packet, total guaranteed bandwidth
+  // below capacity -> max queue is n packets.
+  const int n = 8;
+  Curve agg;
+  for (int i = 0; i < n; ++i)
+    agg = agg.plus(Curve::token_bucket(1 * kGbps, kMtu));
+  const auto q = analyze_queue(agg, Curve::constant_rate(10 * kGbps));
+  ASSERT_TRUE(q.backlog_bound.has_value());
+  EXPECT_LE(*q.backlog_bound, n * kMtu + 1.0);
+  EXPECT_GT(*q.backlog_bound, (n - 1) * kMtu);
+  ASSERT_TRUE(q.queue_bound.has_value());
+  // Delay bound ~= n packets serialized at link rate.
+  EXPECT_NEAR(static_cast<double>(*q.queue_bound),
+              static_cast<double>(transmission_time(n * kMtu, 10 * kGbps)),
+              static_cast<double>(transmission_time(kMtu, 10 * kGbps)));
+}
+
+TEST(QueueAnalysis, OverloadIsUnbounded) {
+  const auto a = Curve::token_bucket(11 * kGbps, kMtu);
+  const auto q = analyze_queue(a, Curve::constant_rate(10 * kGbps));
+  EXPECT_FALSE(q.queue_bound.has_value());
+  EXPECT_FALSE(q.backlog_bound.has_value());
+}
+
+TEST(QueueAnalysis, ZeroArrivalZeroBounds) {
+  const auto q = analyze_queue(Curve{}, Curve::constant_rate(10 * kGbps));
+  EXPECT_EQ(q.queue_bound.value(), 0);
+  EXPECT_DOUBLE_EQ(q.backlog_bound.value(), 0.0);
+}
+
+TEST(QueueAnalysis, Fig5WorstCaseBuffering) {
+  // Paper Fig. 5 arithmetic treats the burst as a one-shot event (no
+  // token refill while bursting): eight VMs deliver 800 KB at 20 Gbps
+  // into a 10 Gbps port -> half the bytes queue: 400 KB.
+  const auto burst8 = Curve::rate_limited_burst(0, 800 * kKB, 20 * kGbps);
+  const auto q = analyze_queue(burst8, Curve::constant_rate(10 * kGbps));
+  ASSERT_TRUE(q.backlog_bound.has_value());
+  EXPECT_NEAR(*q.backlog_bound, 400e3, 5e3);
+
+  // Silo's placement leaves only 6 senders behind the port: 600 KB at
+  // 20 Gbps -> 300 KB of buffering suffices.
+  const auto burst6 = Curve::rate_limited_burst(0, 600 * kKB, 20 * kGbps);
+  const auto q2 = analyze_queue(burst6, Curve::constant_rate(10 * kGbps));
+  EXPECT_NEAR(*q2.backlog_bound, 300e3, 5e3);
+
+  // With sustained-rate refill during the burst (what placement actually
+  // assumes), the bound is strictly larger — the conservative direction.
+  const auto refill =
+      Curve::rate_limited_burst(8 * 1 * kGbps, 800 * kKB, 20 * kGbps);
+  const auto q3 = analyze_queue(refill, Curve::constant_rate(10 * kGbps));
+  EXPECT_GT(*q3.backlog_bound, *q.backlog_bound);
+}
+
+TEST(QueueAnalysis, BusyPeriodExists) {
+  const auto a = Curve::rate_limited_burst(1 * kGbps, 100 * kKB, 10 * kGbps);
+  const auto q = analyze_queue(a, Curve::constant_rate(10 * kGbps));
+  ASSERT_TRUE(q.busy_period.has_value());
+  // The queue must drain within p; p >= time to serve the whole burst.
+  EXPECT_GT(*q.busy_period, 0);
+  EXPECT_TRUE(q.queue_bound.has_value());
+  EXPECT_LE(*q.queue_bound, *q.busy_period);
+}
+
+TEST(TenantCutCurve, HoseTightening) {
+  // 10 VMs, 7 on one side: sustained rate is min(7,3)*B but burst is 7*S.
+  const auto c =
+      tenant_cut_curve(10, 7, 1 * kGbps, 10 * kKB, 2 * kGbps, 100 * kGbps);
+  EXPECT_NEAR(c.long_run_slope() * 8e9, 3e9, 1e3);
+  // Burst: value reached quickly: at the knee the curve carries ~70KB.
+  const auto tb = Curve::token_bucket(3 * kGbps, 70 * kKB);
+  EXPECT_NEAR(c.value(1 * kMsec), tb.value(1 * kMsec), 2500.0);
+}
+
+TEST(TenantCutCurve, SymmetricCut) {
+  const auto a =
+      tenant_cut_curve(10, 5, 1 * kGbps, 10 * kKB, 2 * kGbps, 100 * kGbps);
+  EXPECT_NEAR(a.long_run_slope() * 8e9, 5e9, 1e3);
+  EXPECT_THROW(tenant_cut_curve(1, 0, kGbps, 1, kGbps, kGbps),
+               std::invalid_argument);
+  EXPECT_THROW(tenant_cut_curve(4, 4, kGbps, 1, kGbps, kGbps),
+               std::invalid_argument);
+}
+
+TEST(Propagation, BurstGrowsByRateTimesCapacity) {
+  // §4.2.2: a VM with A_{B,S} sends at most B*c + S in time c, so the
+  // egress curve after a port with queue capacity c is A_{B, B*c+S}.
+  const auto in = Curve::token_bucket(1 * kGbps, 10 * kKB);
+  const TimeNs c = 80 * kUsec;
+  const auto out = propagate_through_port(in, c, 10 * kGbps);
+  EXPECT_NEAR(out.long_run_slope(), in.long_run_slope(), 1e-12);
+  // Egress burst = in.value(c) = 10 KB + 1 Gbps * 80 us = 20 KB: at long
+  // horizons the egress curve sits exactly B*c above the ingress curve.
+  EXPECT_NEAR(out.value(10 * kMsec) - in.value(10 * kMsec), 10e3, 100.0);
+  // Against a downstream port slower than the propagation line rate the
+  // inflated burst translates into a strictly larger backlog bound.
+  const auto q_in = analyze_queue(in, Curve::constant_rate(2 * kGbps));
+  const auto q_out = analyze_queue(out, Curve::constant_rate(2 * kGbps));
+  ASSERT_TRUE(q_out.backlog_bound.has_value());
+  EXPECT_GT(*q_out.backlog_bound, *q_in.backlog_bound);
+  EXPECT_GE(*q_out.queue_bound, *q_in.queue_bound);
+}
+
+TEST(Propagation, ZeroCurvePassesThrough) {
+  const Curve zero;
+  EXPECT_TRUE(propagate_through_port(zero, kUsec, 10 * kGbps).is_zero());
+}
+
+
+TEST(Concatenation, ClosedForm) {
+  const auto path = concatenate({{10 * kGbps, 10 * kUsec},
+                                 {8 * kGbps, 20 * kUsec},
+                                 {16 * kGbps, 5 * kUsec}});
+  EXPECT_NEAR(path.rate, 8 * kGbps, 1);
+  EXPECT_EQ(path.latency, 35 * kUsec);
+  EXPECT_THROW(concatenate({}), std::invalid_argument);
+  EXPECT_THROW(concatenate({{0, 0}}), std::invalid_argument);
+}
+
+TEST(Concatenation, PayBurstsOnlyOnce) {
+  // The classic network-calculus result: the end-to-end bound through the
+  // concatenated path service is tighter than summing per-hop bounds with
+  // burst propagation between hops (what Silo's placement conservatively
+  // does).
+  const auto a = Curve::rate_limited_burst(1 * kGbps, 100 * kKB, 10 * kGbps);
+  const std::vector<RateLatency> hops(3, {10 * kGbps, 5 * kUsec});
+
+  const auto e2e = end_to_end_delay_bound(a, concatenate(hops));
+  ASSERT_TRUE(e2e.has_value());
+
+  TimeNs per_hop_sum = 0;
+  Curve at_hop = a;
+  for (const auto& hop : hops) {
+    const auto q = analyze_queue(at_hop, Curve::constant_rate(hop.rate));
+    ASSERT_TRUE(q.queue_bound.has_value());
+    per_hop_sum += hop.latency + *q.queue_bound;
+    at_hop = propagate_through_port(at_hop, *q.queue_bound, hop.rate);
+  }
+  EXPECT_LT(*e2e, per_hop_sum);
+  EXPECT_GT(*e2e, 0);
+}
+
+TEST(Concatenation, OverloadedPathUnbounded) {
+  const auto a = Curve::token_bucket(9 * kGbps, kMtu);
+  EXPECT_FALSE(
+      end_to_end_delay_bound(a, {8 * kGbps, 10 * kUsec}).has_value());
+  // Zero traffic still pays the scheduling latency.
+  EXPECT_EQ(end_to_end_delay_bound(Curve{}, {8 * kGbps, 10 * kUsec}),
+            10 * kUsec);
+}
+// Property sweep: queue bound grows with burst, shrinks with service rate.
+class QueueBoundSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QueueBoundSweep, MonotoneInBurst) {
+  const Bytes s = GetParam() * kKB;
+  const auto a1 = Curve::token_bucket(1 * kGbps, s);
+  const auto a2 = Curve::token_bucket(1 * kGbps, s + 10 * kKB);
+  const auto q1 = analyze_queue(a1, Curve::constant_rate(10 * kGbps));
+  const auto q2 = analyze_queue(a2, Curve::constant_rate(10 * kGbps));
+  EXPECT_LE(*q1.queue_bound, *q2.queue_bound);
+  EXPECT_LE(*q1.backlog_bound, *q2.backlog_bound);
+}
+
+TEST_P(QueueBoundSweep, MonotoneInServiceRate) {
+  const Bytes s = GetParam() * kKB;
+  const auto a = Curve::token_bucket(2 * kGbps, s);
+  const auto slow = analyze_queue(a, Curve::constant_rate(5 * kGbps));
+  const auto fast = analyze_queue(a, Curve::constant_rate(10 * kGbps));
+  EXPECT_GE(*slow.queue_bound, *fast.queue_bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bursts, QueueBoundSweep,
+                         ::testing::Values(1, 5, 10, 50, 100, 300));
+
+}  // namespace
+}  // namespace silo::netcalc

@@ -1,0 +1,374 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sim/port.h"
+#include "sim/transport.h"
+
+namespace silo::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue ev;
+  std::vector<int> order;
+  ev.at(30, [&] { order.push_back(3); });
+  ev.at(10, [&] { order.push_back(1); });
+  ev.at(20, [&] { order.push_back(2); });
+  ev.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(ev.now(), 30);
+  EXPECT_EQ(ev.processed(), 3u);
+}
+
+TEST(EventQueue, TiesBreakByInsertion) {
+  EventQueue ev;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) ev.at(7, [&, i] { order.push_back(i); });
+  ev.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ReentrantScheduling) {
+  EventQueue ev;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10) ev.after(5, tick);
+  };
+  ev.after(0, tick);
+  ev.run_all();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(ev.now(), 45);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue ev;
+  int fired = 0;
+  ev.at(10, [&] { ++fired; });
+  ev.at(100, [&] { ++fired; });
+  ev.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(ev.now(), 50);
+  EXPECT_EQ(ev.pending(), 1u);
+}
+
+TEST(EventQueue, PastEventsClampToNow) {
+  EventQueue ev;
+  ev.at(100, [] {});
+  ev.run_all();
+  TimeNs seen = -1;
+  ev.at(5, [&] { seen = ev.now(); });  // in the past: clamps to now
+  ev.run_all();
+  EXPECT_EQ(seen, 100);
+}
+
+PortConfig port_10g() {
+  PortConfig cfg;
+  cfg.rate = 10 * kGbps;
+  cfg.buffer = 312 * kKB;
+  cfg.link_delay = 500;
+  return cfg;
+}
+
+Packet data_packet(std::uint64_t id, Bytes payload = 1460) {
+  Packet p;
+  p.id = id;
+  p.flow_id = 0;
+  p.payload = payload;
+  p.wire_bytes = payload + kHeaderBytes;
+  return p;
+}
+
+TEST(SwitchPort, TransmitsAtLineRate) {
+  EventQueue ev;
+  std::vector<TimeNs> deliveries;
+  SwitchPortSim port(ev, port_10g(),
+                     [&](Packet) { deliveries.push_back(ev.now()); });
+  for (int i = 0; i < 5; ++i) port.enqueue(data_packet(i));
+  ev.run_all();
+  ASSERT_EQ(deliveries.size(), 5u);
+  // 1500+38 wire bytes at 10G = ~1230 ns per packet, back to back.
+  for (std::size_t i = 1; i < deliveries.size(); ++i)
+    EXPECT_NEAR(static_cast<double>(deliveries[i] - deliveries[i - 1]), 1231,
+                5);
+  EXPECT_EQ(port.stats().tx_packets, 5);
+}
+
+TEST(SwitchPort, DropsWhenBufferFull) {
+  EventQueue ev;
+  int delivered = 0;
+  auto cfg = port_10g();
+  cfg.buffer = 5 * 1500;  // room for ~5 packets
+  SwitchPortSim port(ev, cfg, [&](Packet) { ++delivered; });
+  for (int i = 0; i < 20; ++i) port.enqueue(data_packet(i));
+  ev.run_all();
+  EXPECT_GT(port.stats().drops, 0);
+  EXPECT_EQ(delivered + port.stats().drops, 20);
+}
+
+TEST(SwitchPort, EcnMarksAboveThreshold) {
+  EventQueue ev;
+  int marked = 0;
+  auto cfg = port_10g();
+  cfg.ecn_threshold = 3000;
+  SwitchPortSim port(ev, cfg, [&](Packet p) { marked += p.ecn_marked; });
+  for (int i = 0; i < 10; ++i) port.enqueue(data_packet(i));
+  ev.run_all();
+  EXPECT_GT(marked, 0);
+  EXPECT_LT(marked, 10);  // first packets see an empty queue
+}
+
+TEST(SwitchPort, PhantomQueueMarksEarly) {
+  EventQueue ev;
+  int marked = 0;
+  auto cfg = port_10g();
+  cfg.phantom_queue = true;
+  cfg.phantom_threshold = 3000;
+  cfg.phantom_drain = 0.95;
+  SwitchPortSim port(ev, cfg, [&](Packet p) { marked += p.ecn_marked; });
+  // Line-rate arrivals: the phantom queue (draining at 95%) builds up and
+  // marks even though the real queue would be shallow.
+  for (int i = 0; i < 50; ++i)
+    ev.at(i * 1231, [&, i] { port.enqueue(data_packet(i)); });
+  ev.run_all();
+  EXPECT_GT(marked, 5);
+}
+
+TEST(SwitchPort, PriorityServesGuaranteedFirst) {
+  EventQueue ev;
+  std::vector<Priority> order;
+  SwitchPortSim port(ev, port_10g(),
+                     [&](Packet p) { order.push_back(p.priority); });
+  // Fill while port is busy with the first packet.
+  Packet low = data_packet(1);
+  low.priority = Priority::kBestEffort;
+  Packet high = data_packet(2);
+  port.enqueue(data_packet(0));  // occupies the wire
+  port.enqueue(low);
+  port.enqueue(high);
+  ev.run_all();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[1], Priority::kGuaranteed);  // high jumped the low queue
+  EXPECT_EQ(order[2], Priority::kBestEffort);
+}
+
+
+TEST(SwitchPort, PfabricServesSmallestRemainingFirst) {
+  EventQueue ev;
+  auto cfg = port_10g();
+  cfg.pfabric = true;
+  std::vector<std::int64_t> order;
+  SwitchPortSim port(ev, cfg, [&](Packet p) { order.push_back(p.remaining); });
+  // First packet occupies the wire; the rest queue with mixed urgency.
+  Packet first = data_packet(0);
+  first.remaining = 1;
+  port.enqueue(first);
+  for (std::int64_t r : {500000, 1000, 200000, 50}) {
+    Packet p = data_packet(1);
+    p.remaining = r;
+    port.enqueue(p);
+  }
+  ev.run_all();
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[1], 50);       // most urgent jumps the queue
+  EXPECT_EQ(order[2], 1000);
+  EXPECT_EQ(order[3], 200000);
+  EXPECT_EQ(order[4], 500000);
+}
+
+TEST(SwitchPort, PfabricEvictsLargestOnOverflow) {
+  EventQueue ev;
+  auto cfg = port_10g();
+  cfg.pfabric = true;
+  cfg.buffer = 4 * 1500;  // room for ~4 packets
+  std::vector<std::int64_t> delivered;
+  SwitchPortSim port(ev, cfg,
+                     [&](Packet p) { delivered.push_back(p.remaining); });
+  // Fill with bulky packets, then push urgent ones: bulk gets evicted.
+  for (int i = 0; i < 5; ++i) {
+    Packet p = data_packet(i);
+    p.remaining = 1000000 + i;
+    port.enqueue(p);
+  }
+  for (int i = 0; i < 3; ++i) {
+    Packet p = data_packet(10 + i);
+    p.remaining = 10 + i;
+    port.enqueue(p);
+  }
+  ev.run_all();
+  EXPECT_GT(port.stats().drops, 0);
+  // Every urgent packet survived the overflow.
+  int urgent = 0;
+  for (auto r : delivered) urgent += r < 100;
+  EXPECT_EQ(urgent, 3);
+}
+// One TcpFlow across a single bottleneck port and back.
+struct Loop {
+  EventQueue ev;
+  SwitchPortSim fwd;
+  SwitchPortSim rev;
+  std::unique_ptr<TcpFlow> flow;
+
+  explicit Loop(TcpConfig cfg = {}, PortConfig pcfg = port_10g())
+      : fwd(ev, pcfg, [this](Packet p) { flow->on_packet(p); }),
+        rev(ev, pcfg, [this](Packet p) { flow->on_packet(p); }) {
+    flow = std::make_unique<TcpFlow>(
+        ev, 0, 0, 1, 0, 1, cfg,
+        [this](Packet&& p) { fwd.enqueue(std::move(p)); },
+        [this](Packet&& p) { rev.enqueue(std::move(p)); });
+  }
+};
+
+TEST(TcpFlow, DeliversAllBytesInOrder) {
+  Loop loop;
+  std::int64_t delivered = 0;
+  loop.flow->set_on_delivery([&](std::int64_t d) { delivered = d; });
+  loop.flow->app_write(1 * kMB);
+  loop.ev.run_all();
+  EXPECT_EQ(delivered, 1 * kMB);
+  EXPECT_EQ(loop.flow->bytes_acked(), 1 * kMB);
+  EXPECT_TRUE(loop.flow->rto_events().empty());
+}
+
+TEST(TcpFlow, ApproachesLineRate) {
+  Loop loop;
+  loop.flow->app_write(20 * kMB);
+  loop.ev.run_all();
+  const double secs =
+      static_cast<double>(loop.ev.now()) / static_cast<double>(kSec);
+  const double gbps = 20e6 * 8 / secs / 1e9;
+  // The transfer includes one slow-start overshoot + NewReno recovery
+  // episode, so average goodput sits below the 10G wire but well above
+  // half of it.
+  EXPECT_GT(gbps, 5.0);
+  EXPECT_LT(gbps, 10.0);
+}
+
+TEST(TcpFlow, RecoversFromLossViaFastRetransmit) {
+  auto pcfg = port_10g();
+  pcfg.buffer = 8 * 1500;  // shallow: slow-start overshoot drops packets
+  Loop loop({}, pcfg);
+  std::int64_t delivered = 0;
+  loop.flow->set_on_delivery([&](std::int64_t d) { delivered = d; });
+  loop.flow->app_write(5 * kMB);
+  loop.ev.run_all();
+  EXPECT_EQ(delivered, 5 * kMB);
+  EXPECT_GT(loop.fwd.stats().drops, 0);  // loss actually happened
+}
+
+TEST(TcpFlow, DctcpKeepsQueuesShorter) {
+  auto run = [&](bool dctcp) {
+    auto pcfg = port_10g();
+    pcfg.buffer = 312 * kKB;
+    if (dctcp) pcfg.ecn_threshold = 30 * kKB;
+    TcpConfig tcp;
+    tcp.dctcp = dctcp;
+    Loop loop(tcp, pcfg);
+    loop.flow->app_write(30 * kMB);
+    loop.ev.run_all();
+    return loop.fwd.stats().max_queue_bytes;
+  };
+  const auto q_tcp = run(false);
+  const auto q_dctcp = run(true);
+  EXPECT_LT(q_dctcp, q_tcp / 2);
+}
+
+TEST(TcpFlow, RtoFiresWhenAllAcksLost) {
+  // Reverse path with zero buffer: every ACK dropped -> sender must RTO.
+  EventQueue ev;
+  TcpConfig cfg;
+  cfg.min_rto = 10 * kMsec;
+  auto pcfg = port_10g();
+  int got_data = 0;
+  SwitchPortSim fwd(ev, pcfg, [&](Packet) { ++got_data; });
+  auto flow = std::make_unique<TcpFlow>(
+      ev, 0, 0, 1, 0, 1, cfg, [&](Packet&& p) { fwd.enqueue(std::move(p)); },
+      [](Packet&&) { /* ACK black hole */ });
+  flow->app_write(10000);
+  ev.run_until(100 * kMsec);
+  EXPECT_GT(flow->rto_events().size(), 1u);  // retried with backoff
+  EXPECT_GT(got_data, 0);
+}
+
+TEST(Fabric, RoutesAcrossRacksAndDropsVoids) {
+  EventQueue ev;
+  topology::TopologyConfig tcfg;
+  tcfg.pods = 2;
+  tcfg.racks_per_pod = 2;
+  tcfg.servers_per_rack = 2;
+  topology::Topology topo(tcfg);
+  Fabric fabric(ev, topo, PortConfig{});
+  std::vector<Packet> received;
+  fabric.set_host_deliver([&](Packet p) { received.push_back(p); });
+
+  Packet p = data_packet(1);
+  p.src_server = 0;
+  p.dst_server = 7;  // cross-pod
+  fabric.ingress_from_host(p);
+  Packet v = p;
+  v.is_void = true;
+  fabric.ingress_from_host(v);
+  ev.run_all();
+  ASSERT_EQ(received.size(), 1u);  // the void died at the first hop
+  EXPECT_EQ(received[0].dst_server, 7);
+  // Cross-pod: 5 switch hops each adding serialization + link delay.
+  EXPECT_GT(ev.now(), 5 * 500);
+}
+
+TEST(Host, PacedHostSpacesPacketsOnWire) {
+  EventQueue ev;
+  topology::TopologyConfig tcfg;
+  tcfg.pods = 1;
+  tcfg.racks_per_pod = 1;
+  tcfg.servers_per_rack = 2;
+  topology::Topology topo(tcfg);
+  Fabric fabric(ev, topo, PortConfig{});
+  std::vector<TimeNs> arrivals;
+  fabric.set_host_deliver([&](Packet) { arrivals.push_back(ev.now()); });
+
+  Host::Config hcfg;
+  hcfg.nic_mode = pacer::NicMode::kPacedVoid;
+  Host host(ev, fabric, 0, hcfg);
+  SiloGuarantee g{1 * kGbps, 1500, 0, 1 * kGbps};
+  pacer::VmPacer pacer(g);
+  host.attach_pacer(0, &pacer);
+
+  for (int i = 0; i < 10; ++i) {
+    Packet p = data_packet(i);
+    p.src_vm = 0;
+    p.dst_vm = 1;
+    p.src_server = 0;
+    p.dst_server = 1;
+    host.send(p);
+  }
+  ev.run_all();
+  ASSERT_EQ(arrivals.size(), 10u);
+  // 1500 B at 1 Gbps: 12 us spacing (modulo the last-hop serialization,
+  // which is identical for every packet).
+  for (std::size_t i = 1; i < arrivals.size(); ++i)
+    EXPECT_NEAR(static_cast<double>(arrivals[i] - arrivals[i - 1]), 12000,
+                300);
+  EXPECT_GT(host.nic_stats().void_packets, 0);
+}
+
+TEST(Host, LoopbackBypassesFabric) {
+  EventQueue ev;
+  topology::TopologyConfig tcfg;
+  tcfg.pods = 1;
+  tcfg.racks_per_pod = 1;
+  tcfg.servers_per_rack = 2;
+  topology::Topology topo(tcfg);
+  Fabric fabric(ev, topo, PortConfig{});
+  fabric.set_host_deliver([](Packet) { FAIL() << "loopback hit the fabric"; });
+  Host host(ev, fabric, 0, Host::Config{});
+  int local = 0;
+  host.set_local_deliver([&](Packet) { ++local; });
+  Packet p = data_packet(1);
+  p.src_server = 0;
+  p.dst_server = 0;
+  host.send(p);
+  ev.run_all();
+  EXPECT_EQ(local, 1);
+}
+
+}  // namespace
+}  // namespace silo::sim

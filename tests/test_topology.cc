@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "topology/topology.h"
+
+namespace silo::topology {
+namespace {
+
+TopologyConfig small() {
+  TopologyConfig cfg;
+  cfg.pods = 2;
+  cfg.racks_per_pod = 3;
+  cfg.servers_per_rack = 4;
+  cfg.vm_slots_per_server = 8;
+  cfg.server_link_rate = 10 * kGbps;
+  cfg.oversubscription = 5.0;
+  cfg.port_buffer = 312 * kKB;
+  return cfg;
+}
+
+TEST(Topology, Dimensions) {
+  Topology t(small());
+  EXPECT_EQ(t.num_pods(), 2);
+  EXPECT_EQ(t.num_racks(), 6);
+  EXPECT_EQ(t.num_servers(), 24);
+  EXPECT_EQ(t.total_vm_slots(), 192);
+  // 2 ports per server + 2 per rack + 2 per pod.
+  EXPECT_EQ(t.num_ports(), 2 * 24 + 2 * 6 + 2 * 2);
+}
+
+TEST(Topology, Oversubscription) {
+  Topology t(small());
+  // Rack uplink: 4 servers * 10G / 5 = 8 Gbps.
+  EXPECT_NEAR(t.rack_uplink_rate(), 8 * kGbps, 1);
+  // Pod uplink: 3 racks * 8G / 5 = 4.8 Gbps.
+  EXPECT_NEAR(t.pod_uplink_rate(), 4.8 * kGbps, 1e3);
+  EXPECT_NEAR(t.port(t.rack_up(0)).rate, 8 * kGbps, 1);
+  EXPECT_NEAR(t.port(t.pod_down(1)).rate, 4.8 * kGbps, 1e3);
+}
+
+TEST(Topology, IndexMaps) {
+  Topology t(small());
+  EXPECT_EQ(t.rack_of_server(0), 0);
+  EXPECT_EQ(t.rack_of_server(4), 1);
+  EXPECT_EQ(t.pod_of_server(11), 0);
+  EXPECT_EQ(t.pod_of_server(12), 1);
+  EXPECT_EQ(t.first_server_of_rack(2), 8);
+  EXPECT_EQ(t.first_rack_of_pod(1), 3);
+}
+
+TEST(Topology, QueueCapacityDerivedFromBuffer) {
+  Topology t(small());
+  // 312 KB at 10 Gbps = 249.6 us.
+  EXPECT_NEAR(static_cast<double>(t.port(t.server_up(0)).queue_capacity),
+              249.6e3, 1e3);
+  // Slower ports drain slower: higher queue capacity.
+  EXPECT_GT(t.port(t.pod_up(0)).queue_capacity,
+            t.port(t.server_up(0)).queue_capacity);
+}
+
+TEST(Topology, QueueCapacityOverride) {
+  auto cfg = small();
+  cfg.queue_capacity_override = 100 * kUsec;
+  Topology t(cfg);
+  EXPECT_EQ(t.port(t.server_up(0)).queue_capacity, 100 * kUsec);
+  EXPECT_EQ(t.port(t.pod_up(0)).queue_capacity, 100 * kUsec);
+}
+
+TEST(Topology, IntraServerPathIsEmpty) {
+  Topology t(small());
+  EXPECT_TRUE(t.path(3, 3).empty());
+  EXPECT_EQ(t.path_queue_capacity(3, 3), 0);
+}
+
+TEST(Topology, IntraRackPath) {
+  Topology t(small());
+  const auto p = t.path(0, 1);  // same rack
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0].value, t.server_up(0).value);
+  EXPECT_EQ(p[1].value, t.server_down(1).value);
+}
+
+TEST(Topology, IntraPodPath) {
+  Topology t(small());
+  const auto p = t.path(0, 5);  // rack 0 -> rack 1, same pod
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p[0].value, t.server_up(0).value);
+  EXPECT_EQ(p[1].value, t.rack_up(0).value);
+  EXPECT_EQ(p[2].value, t.rack_down(1).value);
+  EXPECT_EQ(p[3].value, t.server_down(5).value);
+}
+
+TEST(Topology, CrossPodPath) {
+  Topology t(small());
+  const auto p = t.path(0, 23);  // pod 0 -> pod 1
+  ASSERT_EQ(p.size(), 6u);
+  EXPECT_EQ(p[1].value, t.rack_up(0).value);
+  EXPECT_EQ(p[2].value, t.pod_up(0).value);
+  EXPECT_EQ(p[3].value, t.pod_down(1).value);
+  EXPECT_EQ(p[4].value, t.rack_down(5).value);
+}
+
+TEST(Topology, PathCapacityIncreasesWithDistance) {
+  Topology t(small());
+  const auto intra_rack = t.path_queue_capacity(0, 1);
+  const auto intra_pod = t.path_queue_capacity(0, 5);
+  const auto cross_pod = t.path_queue_capacity(0, 23);
+  EXPECT_LT(intra_rack, intra_pod);
+  EXPECT_LT(intra_pod, cross_pod);
+}
+
+TEST(Topology, RejectsBadConfig) {
+  auto cfg = small();
+  cfg.pods = 0;
+  EXPECT_THROW(Topology{cfg}, std::invalid_argument);
+  cfg = small();
+  cfg.oversubscription = 0.5;
+  EXPECT_THROW(Topology{cfg}, std::invalid_argument);
+}
+
+TEST(Topology, RejectsOutOfRange) {
+  Topology t(small());
+  EXPECT_THROW(t.path(0, 24), std::out_of_range);
+  EXPECT_THROW(t.server_up(-1), std::out_of_range);
+  EXPECT_THROW(t.rack_up(6), std::out_of_range);
+  EXPECT_THROW(t.pod_down(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace silo::topology

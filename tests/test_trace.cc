@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "sim/trace.h"
+#include "workload/drivers.h"
+#include "workload/patterns.h"
+
+namespace silo::sim {
+namespace {
+
+ClusterConfig tiny(Scheme scheme) {
+  ClusterConfig cfg;
+  cfg.topo.pods = 1;
+  cfg.topo.racks_per_pod = 1;
+  cfg.topo.servers_per_rack = 4;
+  cfg.topo.vm_slots_per_server = 2;
+  cfg.topo.oversubscription = 1.0;
+  cfg.scheme = scheme;
+  return cfg;
+}
+
+TEST(Trace, SamplesAtFixedPeriod) {
+  ClusterSim sim(tiny(Scheme::kTcp));
+  PortTracer tracer(sim, sim.topo().server_down(0), 100 * kUsec);
+  tracer.start(1 * kMsec);
+  sim.run_until(2 * kMsec);
+  ASSERT_EQ(tracer.samples().size(), 11u);  // t = 0, 100us, ..., 1ms
+  for (std::size_t i = 1; i < tracer.samples().size(); ++i)
+    EXPECT_EQ(tracer.samples()[i].at - tracer.samples()[i - 1].at, 100 * kUsec);
+}
+
+TEST(Trace, IdleFabricShowsEmptyQueues) {
+  ClusterSim sim(tiny(Scheme::kTcp));
+  FabricTracer tracer(sim, 50 * kUsec);
+  tracer.start(1 * kMsec);
+  sim.run_until(2 * kMsec);
+  EXPECT_EQ(tracer.max_queued_anywhere(), 0);
+}
+
+TEST(Trace, BulkTrafficBuildsQueuesUnderTcpNotSilo) {
+  auto run = [&](Scheme scheme) {
+    ClusterSim sim(tiny(scheme));
+    TenantRequest req;
+    req.num_vms = 8;
+    req.tenant_class = TenantClass::kBandwidthOnly;
+    req.guarantee = {1 * kGbps, Bytes{1500}, 0, 1 * kGbps};
+    auto t = sim.add_tenant(req);
+    EXPECT_TRUE(t.has_value());
+    workload::BulkDriver bulk(sim, *t, workload::all_to_all(8),
+                              Bytes{128 * kKB});
+    FabricTracer tracer(sim, 50 * kUsec);
+    bulk.start(100 * kMsec);
+    tracer.start(100 * kMsec);
+    sim.run_until(100 * kMsec);
+    return tracer.max_queued_anywhere();
+  };
+  const Bytes tcp_q = run(Scheme::kTcp);
+  const Bytes silo_q = run(Scheme::kSilo);
+  // Unpaced TCP fills shallow buffers; Silo's pacing keeps fabric queues
+  // a couple of orders of magnitude smaller.
+  EXPECT_GT(tcp_q, 100 * kKB);
+  EXPECT_LT(silo_q, tcp_q / 10);
+}
+
+TEST(Trace, HottestPortsSortedDescending) {
+  ClusterSim sim(tiny(Scheme::kTcp));
+  TenantRequest req;
+  req.num_vms = 4;
+  req.guarantee = {1 * kGbps, Bytes{1500}, 0, 0};
+  auto t = sim.add_tenant(req);
+  ASSERT_TRUE(t.has_value());
+  workload::BulkDriver bulk(sim, *t, {{0, 2}, {1, 2}, {3, 2}},
+                            Bytes{128 * kKB});
+  FabricTracer tracer(sim, 50 * kUsec);
+  bulk.start(50 * kMsec);
+  tracer.start(50 * kMsec);
+  sim.run_until(50 * kMsec);
+  const auto hot = tracer.hottest_ports(3);
+  ASSERT_EQ(hot.size(), 3u);
+  EXPECT_GE(hot[0].second, hot[1].second);
+  EXPECT_GE(hot[1].second, hot[2].second);
+  EXPECT_GT(hot[0].second, 0);
+}
+
+}  // namespace
+}  // namespace silo::sim

@@ -1,0 +1,141 @@
+// Congestion-control details: DCTCP's alpha dynamics, ECN echo fidelity,
+// RTT estimation, and recovery behavior — beyond the black-box transport
+// tests in test_sim.cc.
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "sim/port.h"
+#include "sim/transport.h"
+
+namespace silo::sim {
+namespace {
+
+PortConfig port(Bytes buffer = 312 * kKB, Bytes ecn = 0) {
+  PortConfig cfg;
+  cfg.rate = 10 * kGbps;
+  cfg.buffer = buffer;
+  cfg.ecn_threshold = ecn;
+  cfg.link_delay = 500;
+  return cfg;
+}
+
+struct Loop {
+  EventQueue ev;
+  SwitchPortSim fwd;
+  SwitchPortSim rev;
+  std::unique_ptr<TcpFlow> flow;
+
+  explicit Loop(TcpConfig cfg = {}, PortConfig pcfg = port())
+      : fwd(ev, pcfg, [this](Packet p) { flow->on_packet(p); }),
+        rev(ev, port(), [this](Packet p) { flow->on_packet(p); }) {
+    flow = std::make_unique<TcpFlow>(
+        ev, 0, 0, 1, 0, 1, cfg,
+        [this](Packet&& p) { fwd.enqueue(std::move(p)); },
+        [this](Packet&& p) { rev.enqueue(std::move(p)); });
+  }
+};
+
+TEST(Dctcp, ConvergesWithoutDropsWhenMarked) {
+  TcpConfig cfg;
+  cfg.dctcp = true;
+  Loop loop(cfg, port(312 * kKB, 30 * kKB));
+  loop.flow->app_write(30 * kMB);
+  loop.ev.run_all();
+  EXPECT_EQ(loop.flow->bytes_acked(), 30 * kMB);
+  EXPECT_GT(loop.fwd.stats().ecn_marks, 0);
+  EXPECT_EQ(loop.fwd.stats().drops, 0);   // marking averts loss entirely
+  EXPECT_TRUE(loop.flow->rto_events().empty());
+}
+
+TEST(Dctcp, ThroughputSurvivesMarking) {
+  // DCTCP's proportional backoff keeps throughput near the line despite
+  // persistent marking (unlike Reno's halving on loss).
+  TcpConfig cfg;
+  cfg.dctcp = true;
+  Loop loop(cfg, port(312 * kKB, 30 * kKB));
+  loop.flow->app_write(25 * kMB);
+  loop.ev.run_all();
+  const double secs =
+      static_cast<double>(loop.ev.now()) / static_cast<double>(kSec);
+  EXPECT_GT(25e6 * 8 / secs / 1e9, 6.0);
+}
+
+TEST(Dctcp, EcnEchoOnlyWhenMarked) {
+  // Below the marking threshold no packet carries CE, so a DCTCP flow
+  // behaves exactly like TCP (alpha stays 0, no cwnd reductions).
+  TcpConfig cfg;
+  cfg.dctcp = true;
+  Loop loop(cfg, port(312 * kKB, 200 * kKB));  // threshold far above BDP
+  loop.flow->app_write(256 * kKB);
+  loop.ev.run_all();
+  EXPECT_EQ(loop.fwd.stats().ecn_marks, 0);
+  EXPECT_EQ(loop.flow->bytes_acked(), 256 * kKB);
+}
+
+TEST(Transport, CwndGrowsInSlowStart) {
+  Loop loop;
+  const double initial = loop.flow->cwnd_bytes();
+  loop.flow->app_write(1 * kMB);
+  loop.ev.run_all();
+  EXPECT_GT(loop.flow->cwnd_bytes(), 2 * initial);
+}
+
+TEST(Transport, ZeroLossTransferHasNoRetransmits) {
+  // Cap the window below the buffer so slow start cannot overshoot.
+  TcpConfig cfg;
+  cfg.max_cwnd_pkts = 150;  // ~219 KB < 312 KB buffer
+  Loop loop(cfg);
+  std::int64_t delivered = 0;
+  loop.flow->set_on_delivery([&](std::int64_t d) { delivered = d; });
+  loop.flow->app_write(4 * kMB);
+  loop.ev.run_all();
+  EXPECT_EQ(delivered, 4 * kMB);
+  EXPECT_EQ(loop.fwd.stats().drops, 0);
+  // Bytes on the wire == bytes delivered + headers: no duplicates.
+  EXPECT_EQ(loop.fwd.stats().tx_bytes,
+            4 * kMB + loop.fwd.stats().tx_packets * kHeaderBytes);
+}
+
+TEST(Transport, ManySmallMessagesInterleaved) {
+  Loop loop;
+  std::int64_t delivered = 0;
+  loop.flow->set_on_delivery([&](std::int64_t d) { delivered = d; });
+  for (int i = 0; i < 200; ++i) {
+    loop.ev.at(i * 50 * kUsec, [&] { loop.flow->app_write(700); });
+  }
+  loop.ev.run_all();
+  EXPECT_EQ(delivered, 200 * 700);
+}
+
+TEST(Transport, BackpressureGateIsHonored) {
+  Loop loop;
+  int allowed = 3;
+  loop.flow->set_can_send([&](int, Bytes) { return allowed-- > 0; });
+  loop.flow->app_write(1 * kMB);
+  // Only the first three segments may leave immediately.
+  EXPECT_EQ(loop.flow->bytes_written() - 1 * kMB, 0);
+  loop.ev.run_until(100 * kUsec);
+  EXPECT_LE(loop.flow->bytes_acked(), 3 * kMss);
+}
+
+TEST(Transport, RtoBacksOffExponentially) {
+  EventQueue ev;
+  TcpConfig cfg;
+  cfg.min_rto = 10 * kMsec;
+  int delivered = 0;
+  SwitchPortSim fwd(ev, port(), [&](Packet) { ++delivered; });
+  TcpFlow flow(
+      ev, 0, 0, 1, 0, 1, cfg, [&](Packet&& p) { fwd.enqueue(std::move(p)); },
+      [](Packet&&) { /* ACK black hole */ });
+  flow.app_write(1000);
+  ev.run_until(200 * kMsec);
+  const auto& rtos = flow.rto_events();
+  ASSERT_GE(rtos.size(), 3u);
+  // Gaps grow ~2x each time.
+  const auto g1 = rtos[1] - rtos[0];
+  const auto g2 = rtos[2] - rtos[1];
+  EXPECT_NEAR(static_cast<double>(g2) / static_cast<double>(g1), 2.0, 0.3);
+}
+
+}  // namespace
+}  // namespace silo::sim

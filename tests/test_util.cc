@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace silo {
+namespace {
+
+TEST(Units, TransmissionTimeRoundsUp) {
+  // 1500 B at 10 Gbps = 1200 ns exactly.
+  EXPECT_EQ(transmission_time(1500, 10 * kGbps), 1200);
+  // 1 B at 10 Gbps = 0.8 ns -> rounds up to 1.
+  EXPECT_EQ(transmission_time(1, 10 * kGbps), 1);
+  EXPECT_EQ(transmission_time(0, 10 * kGbps), 0);
+  EXPECT_EQ(transmission_time(1500, 0), 0);
+}
+
+TEST(Units, PaperVoidPacketSpacing) {
+  // The paper: an 84-byte void packet at 10 Gbps gives ~68 ns granularity.
+  EXPECT_NEAR(static_cast<double>(transmission_time(kMinWireFrame, 10 * kGbps)),
+              67.2, 1.0);
+}
+
+TEST(Units, BytesInInterval) {
+  EXPECT_EQ(bytes_in(10 * kGbps, 1200), 1500);
+  EXPECT_EQ(bytes_in(1 * kGbps, 8), 1);
+  EXPECT_EQ(bytes_in(1 * kGbps, 0), 0);
+  EXPECT_EQ(bytes_in(-1.0, 100), 0);
+}
+
+TEST(Units, NineGbpsInterPacketGap) {
+  // §1: 9 Gbps limit with 1.5 KB packets on a 10 Gbps link needs 133 ns
+  // of inter-packet spacing.
+  const TimeNs at_9g = transmission_time(1500, 9 * kGbps);
+  const TimeNs at_10g = transmission_time(1500, 10 * kGbps);
+  EXPECT_NEAR(static_cast<double>(at_9g - at_10g), 133.0, 2.0);
+}
+
+TEST(Stats, BasicMoments) {
+  Stats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, Percentiles) {
+  Stats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.05);
+}
+
+TEST(Stats, PercentileOfEmptyThrows) {
+  Stats s;
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+  EXPECT_THROW([] { Stats t; t.add(1); t.percentile(101); }(),
+               std::invalid_argument);
+}
+
+TEST(Stats, FractionAbove) {
+  Stats s;
+  for (int i = 1; i <= 10; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.fraction_above(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.fraction_above(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.fraction_above(0.0), 1.0);
+}
+
+TEST(Stats, AddAfterQueryStaysCorrect) {
+  Stats s;
+  s.add(10);
+  EXPECT_DOUBLE_EQ(s.median(), 10);
+  s.add(0);
+  s.add(20);
+  EXPECT_DOUBLE_EQ(s.median(), 10);
+  EXPECT_DOUBLE_EQ(s.min(), 0);
+}
+
+TEST(Stats, MergeCombinesSamples) {
+  Stats a, b;
+  a.add(1);
+  a.add(2);
+  b.add(3);
+  b.add(4);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+}
+
+TEST(Stats, CdfMonotone) {
+  Stats s;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) s.add(rng.uniform());
+  const auto cdf = s.cdf(50);
+  ASSERT_EQ(cdf.size(), 50u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(1);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, GeneralizedParetoMean) {
+  // Mean of GP(mu=0, sigma, xi) is sigma / (1 - xi) for xi < 1.
+  Rng rng(2);
+  const double sigma = 214.48, xi = 0.348;
+  double sum = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) sum += rng.generalized_pareto(0, sigma, xi);
+  EXPECT_NEAR(sum / n, sigma / (1 - xi), 10.0);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(TextTable, FormatsRows) {
+  TextTable t({"a", "bb"});
+  t.add_row({"1", "2"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_EQ(TextTable::fmt(1.2345, 2), "1.23");
+}
+
+}  // namespace
+}  // namespace silo

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+#include "workload/patterns.h"
+
+namespace silo::workload {
+namespace {
+
+TEST(Patterns, AllToOne) {
+  const auto pairs = all_to_one(5, 2);
+  EXPECT_EQ(pairs.size(), 4u);
+  for (const auto& [s, d] : pairs) {
+    EXPECT_EQ(d, 2);
+    EXPECT_NE(s, 2);
+  }
+  EXPECT_THROW(all_to_one(1), std::invalid_argument);
+}
+
+TEST(Patterns, AllToAll) {
+  const auto pairs = all_to_all(4);
+  EXPECT_EQ(pairs.size(), 12u);
+  std::set<std::pair<int, int>> uniq(pairs.begin(), pairs.end());
+  EXPECT_EQ(uniq.size(), 12u);
+  for (const auto& [s, d] : pairs) EXPECT_NE(s, d);
+}
+
+TEST(Patterns, PermutationIntegerX) {
+  Rng rng(3);
+  const auto pairs = permutation(10, 2.0, rng);
+  EXPECT_EQ(pairs.size(), 20u);
+  // No self-loops, no duplicate destination per sender.
+  std::set<std::pair<int, int>> uniq(pairs.begin(), pairs.end());
+  EXPECT_EQ(uniq.size(), pairs.size());
+  for (const auto& [s, d] : pairs) EXPECT_NE(s, d);
+}
+
+TEST(Patterns, PermutationFractionalX) {
+  Rng rng(4);
+  // x = 0.5: on average half the VMs send one flow.
+  std::size_t total = 0;
+  for (int trial = 0; trial < 200; ++trial)
+    total += permutation(10, 0.5, rng).size();
+  EXPECT_NEAR(static_cast<double>(total) / 200.0, 5.0, 0.6);
+}
+
+TEST(Patterns, PermutationNMinusOneIsAllToAll) {
+  Rng rng(5);
+  const auto pairs = permutation(6, 5.0, rng);
+  EXPECT_EQ(pairs.size(), 30u);
+}
+
+TEST(Patterns, Validation) {
+  Rng rng(6);
+  EXPECT_THROW(permutation(1, 1.0, rng), std::invalid_argument);
+  EXPECT_THROW(permutation(4, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(all_to_all(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace silo::workload
