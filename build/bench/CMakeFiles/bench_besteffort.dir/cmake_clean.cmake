@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_besteffort.dir/bench_besteffort.cc.o"
+  "CMakeFiles/bench_besteffort.dir/bench_besteffort.cc.o.d"
+  "bench_besteffort"
+  "bench_besteffort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_besteffort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_pacer.dir/bench_fig10_pacer.cc.o"
+  "CMakeFiles/bench_fig10_pacer.dir/bench_fig10_pacer.cc.o.d"
+  "bench_fig10_pacer"
+  "bench_fig10_pacer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_pacer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

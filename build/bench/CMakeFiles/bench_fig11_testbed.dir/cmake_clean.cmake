@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_testbed.dir/bench_fig11_testbed.cc.o"
+  "CMakeFiles/bench_fig11_testbed.dir/bench_fig11_testbed.cc.o.d"
+  "bench_fig11_testbed"
+  "bench_fig11_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_ops.cc" "bench/CMakeFiles/bench_micro_ops.dir/bench_micro_ops.cc.o" "gcc" "bench/CMakeFiles/bench_micro_ops.dir/bench_micro_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/placement/CMakeFiles/silo_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/pacer/CMakeFiles/silo_pacer.dir/DependInfo.cmake"
+  "/root/repo/build/src/netcalc/CMakeFiles/silo_netcalc.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/silo_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/silo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

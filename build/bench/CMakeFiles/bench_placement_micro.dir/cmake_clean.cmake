@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_placement_micro.dir/bench_placement_micro.cc.o"
+  "CMakeFiles/bench_placement_micro.dir/bench_placement_micro.cc.o.d"
+  "bench_placement_micro"
+  "bench_placement_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_placement_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

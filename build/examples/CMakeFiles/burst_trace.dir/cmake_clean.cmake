@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_trace.dir/burst_trace.cpp.o"
+  "CMakeFiles/burst_trace.dir/burst_trace.cpp.o.d"
+  "burst_trace"
+  "burst_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

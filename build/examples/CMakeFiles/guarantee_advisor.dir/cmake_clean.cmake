@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guarantee_advisor.dir/guarantee_advisor.cpp.o"
+  "CMakeFiles/guarantee_advisor.dir/guarantee_advisor.cpp.o.d"
+  "guarantee_advisor"
+  "guarantee_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guarantee_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

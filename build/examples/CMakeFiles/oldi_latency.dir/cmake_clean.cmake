@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oldi_latency.dir/oldi_latency.cpp.o"
+  "CMakeFiles/oldi_latency.dir/oldi_latency.cpp.o.d"
+  "oldi_latency"
+  "oldi_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oldi_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

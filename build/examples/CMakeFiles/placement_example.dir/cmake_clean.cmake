@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_example.dir/placement_example.cpp.o"
+  "CMakeFiles/placement_example.dir/placement_example.cpp.o.d"
+  "placement_example"
+  "placement_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

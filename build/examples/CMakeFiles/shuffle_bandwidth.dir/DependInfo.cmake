@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/shuffle_bandwidth.cpp" "examples/CMakeFiles/shuffle_bandwidth.dir/shuffle_bandwidth.cpp.o" "gcc" "examples/CMakeFiles/shuffle_bandwidth.dir/shuffle_bandwidth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/silo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowsim/CMakeFiles/silo_flowsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/silo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/silo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/silo_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/pacer/CMakeFiles/silo_pacer.dir/DependInfo.cmake"
+  "/root/repo/build/src/netcalc/CMakeFiles/silo_netcalc.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/silo_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/silo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shuffle_bandwidth.dir/shuffle_bandwidth.cpp.o"
+  "CMakeFiles/shuffle_bandwidth.dir/shuffle_bandwidth.cpp.o.d"
+  "shuffle_bandwidth"
+  "shuffle_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shuffle_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

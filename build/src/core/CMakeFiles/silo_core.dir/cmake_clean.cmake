@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silo_core.dir/advisor.cc.o"
+  "CMakeFiles/silo_core.dir/advisor.cc.o.d"
+  "CMakeFiles/silo_core.dir/controller.cc.o"
+  "CMakeFiles/silo_core.dir/controller.cc.o.d"
+  "libsilo_core.a"
+  "libsilo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

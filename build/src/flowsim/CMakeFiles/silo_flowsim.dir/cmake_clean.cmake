@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silo_flowsim.dir/flow_sim.cc.o"
+  "CMakeFiles/silo_flowsim.dir/flow_sim.cc.o.d"
+  "libsilo_flowsim.a"
+  "libsilo_flowsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silo_flowsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

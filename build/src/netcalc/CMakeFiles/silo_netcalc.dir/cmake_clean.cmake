@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silo_netcalc.dir/curve.cc.o"
+  "CMakeFiles/silo_netcalc.dir/curve.cc.o.d"
+  "libsilo_netcalc.a"
+  "libsilo_netcalc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silo_netcalc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

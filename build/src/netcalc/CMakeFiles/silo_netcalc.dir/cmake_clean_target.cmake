@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsilo_netcalc.a"
+)

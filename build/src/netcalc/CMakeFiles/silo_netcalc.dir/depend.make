@@ -1,0 +1,2 @@
+# Empty dependencies file for silo_netcalc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pacer/hose_allocator.cc" "src/pacer/CMakeFiles/silo_pacer.dir/hose_allocator.cc.o" "gcc" "src/pacer/CMakeFiles/silo_pacer.dir/hose_allocator.cc.o.d"
+  "/root/repo/src/pacer/paced_nic.cc" "src/pacer/CMakeFiles/silo_pacer.dir/paced_nic.cc.o" "gcc" "src/pacer/CMakeFiles/silo_pacer.dir/paced_nic.cc.o.d"
+  "/root/repo/src/pacer/vm_pacer.cc" "src/pacer/CMakeFiles/silo_pacer.dir/vm_pacer.cc.o" "gcc" "src/pacer/CMakeFiles/silo_pacer.dir/vm_pacer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/silo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

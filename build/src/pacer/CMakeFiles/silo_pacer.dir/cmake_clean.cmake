@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silo_pacer.dir/hose_allocator.cc.o"
+  "CMakeFiles/silo_pacer.dir/hose_allocator.cc.o.d"
+  "CMakeFiles/silo_pacer.dir/paced_nic.cc.o"
+  "CMakeFiles/silo_pacer.dir/paced_nic.cc.o.d"
+  "CMakeFiles/silo_pacer.dir/vm_pacer.cc.o"
+  "CMakeFiles/silo_pacer.dir/vm_pacer.cc.o.d"
+  "libsilo_pacer.a"
+  "libsilo_pacer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silo_pacer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

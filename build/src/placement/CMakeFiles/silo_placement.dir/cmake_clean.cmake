@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silo_placement.dir/placement.cc.o"
+  "CMakeFiles/silo_placement.dir/placement.cc.o.d"
+  "libsilo_placement.a"
+  "libsilo_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silo_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silo_sim.dir/cluster.cc.o"
+  "CMakeFiles/silo_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/silo_sim.dir/network.cc.o"
+  "CMakeFiles/silo_sim.dir/network.cc.o.d"
+  "CMakeFiles/silo_sim.dir/port.cc.o"
+  "CMakeFiles/silo_sim.dir/port.cc.o.d"
+  "CMakeFiles/silo_sim.dir/trace.cc.o"
+  "CMakeFiles/silo_sim.dir/trace.cc.o.d"
+  "CMakeFiles/silo_sim.dir/transport.cc.o"
+  "CMakeFiles/silo_sim.dir/transport.cc.o.d"
+  "libsilo_sim.a"
+  "libsilo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silo_topology.dir/topology.cc.o"
+  "CMakeFiles/silo_topology.dir/topology.cc.o.d"
+  "libsilo_topology.a"
+  "libsilo_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silo_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

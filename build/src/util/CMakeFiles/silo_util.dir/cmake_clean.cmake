@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silo_util.dir/stats.cc.o"
+  "CMakeFiles/silo_util.dir/stats.cc.o.d"
+  "libsilo_util.a"
+  "libsilo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/drivers.cc" "src/workload/CMakeFiles/silo_workload.dir/drivers.cc.o" "gcc" "src/workload/CMakeFiles/silo_workload.dir/drivers.cc.o.d"
+  "/root/repo/src/workload/patterns.cc" "src/workload/CMakeFiles/silo_workload.dir/patterns.cc.o" "gcc" "src/workload/CMakeFiles/silo_workload.dir/patterns.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/silo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/silo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pacer/CMakeFiles/silo_pacer.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/silo_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/netcalc/CMakeFiles/silo_netcalc.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/silo_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silo_workload.dir/drivers.cc.o"
+  "CMakeFiles/silo_workload.dir/drivers.cc.o.d"
+  "CMakeFiles/silo_workload.dir/patterns.cc.o"
+  "CMakeFiles/silo_workload.dir/patterns.cc.o.d"
+  "libsilo_workload.a"
+  "libsilo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_advisor.cc" "tests/CMakeFiles/silo_tests.dir/test_advisor.cc.o" "gcc" "tests/CMakeFiles/silo_tests.dir/test_advisor.cc.o.d"
+  "/root/repo/tests/test_cluster.cc" "tests/CMakeFiles/silo_tests.dir/test_cluster.cc.o" "gcc" "tests/CMakeFiles/silo_tests.dir/test_cluster.cc.o.d"
+  "/root/repo/tests/test_controller.cc" "tests/CMakeFiles/silo_tests.dir/test_controller.cc.o" "gcc" "tests/CMakeFiles/silo_tests.dir/test_controller.cc.o.d"
+  "/root/repo/tests/test_drivers.cc" "tests/CMakeFiles/silo_tests.dir/test_drivers.cc.o" "gcc" "tests/CMakeFiles/silo_tests.dir/test_drivers.cc.o.d"
+  "/root/repo/tests/test_flowsim.cc" "tests/CMakeFiles/silo_tests.dir/test_flowsim.cc.o" "gcc" "tests/CMakeFiles/silo_tests.dir/test_flowsim.cc.o.d"
+  "/root/repo/tests/test_guarantee.cc" "tests/CMakeFiles/silo_tests.dir/test_guarantee.cc.o" "gcc" "tests/CMakeFiles/silo_tests.dir/test_guarantee.cc.o.d"
+  "/root/repo/tests/test_integration_property.cc" "tests/CMakeFiles/silo_tests.dir/test_integration_property.cc.o" "gcc" "tests/CMakeFiles/silo_tests.dir/test_integration_property.cc.o.d"
+  "/root/repo/tests/test_netcalc.cc" "tests/CMakeFiles/silo_tests.dir/test_netcalc.cc.o" "gcc" "tests/CMakeFiles/silo_tests.dir/test_netcalc.cc.o.d"
+  "/root/repo/tests/test_pacer.cc" "tests/CMakeFiles/silo_tests.dir/test_pacer.cc.o" "gcc" "tests/CMakeFiles/silo_tests.dir/test_pacer.cc.o.d"
+  "/root/repo/tests/test_placement.cc" "tests/CMakeFiles/silo_tests.dir/test_placement.cc.o" "gcc" "tests/CMakeFiles/silo_tests.dir/test_placement.cc.o.d"
+  "/root/repo/tests/test_regression.cc" "tests/CMakeFiles/silo_tests.dir/test_regression.cc.o" "gcc" "tests/CMakeFiles/silo_tests.dir/test_regression.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/silo_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/silo_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_topology.cc" "tests/CMakeFiles/silo_tests.dir/test_topology.cc.o" "gcc" "tests/CMakeFiles/silo_tests.dir/test_topology.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/silo_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/silo_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_transport_detail.cc" "tests/CMakeFiles/silo_tests.dir/test_transport_detail.cc.o" "gcc" "tests/CMakeFiles/silo_tests.dir/test_transport_detail.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/silo_tests.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/silo_tests.dir/test_util.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/silo_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/silo_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/silo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowsim/CMakeFiles/silo_flowsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/silo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/silo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/silo_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/pacer/CMakeFiles/silo_pacer.dir/DependInfo.cmake"
+  "/root/repo/build/src/netcalc/CMakeFiles/silo_netcalc.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/silo_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/silo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
