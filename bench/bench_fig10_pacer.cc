@@ -125,5 +125,26 @@ int main(int argc, char** argv) {
       "Paper reference: pacer saturates 10G, data rate >98%% of ideal\n"
       "except at 9 Gbps; CPU peaks ~2.1 cores at 9 Gbps where the void\n"
       "packet rate is highest; minimum achievable spacing 68 ns.\n");
+
+  if (flags.has("json")) {
+    bench::JsonObject out;
+    out.put("bench", std::string("fig10_pacer"))
+        .put("duration_ms", static_cast<std::int64_t>(duration / kMsec));
+    bench::JsonObject limits;
+    for (int g = 1; g <= 10; ++g) {
+      const auto r = run_pacer(g * kGbps, line, NicMode::kPacedVoid, duration);
+      bench::JsonObject row;
+      row.put("cores", r.cores)
+          .put("mpps", r.mpps)
+          .put("data_gbps", r.data_gbps)
+          .put("void_gbps", r.void_gbps);
+      limits.put(std::to_string(g) + "gbps", row);
+    }
+    out.put("rate_limits", limits)
+        .put("paced_min_gap_ns", static_cast<std::int64_t>(paced.min_data_gap))
+        .put("batched_min_gap_ns",
+             static_cast<std::int64_t>(burst.min_data_gap));
+    bench::write_json_file("BENCH_fig10_pacer.json", out);
+  }
   return 0;
 }

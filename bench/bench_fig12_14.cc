@@ -15,6 +15,7 @@
 //
 // Scaled from the paper's 3200 VMs to an 80-VM fabric (tunable via
 // flags); the comparison shape, not absolute scale, is the target.
+#include <chrono>
 #include <memory>
 #include <vector>
 
@@ -36,6 +37,9 @@ struct SchemeResult {
   std::vector<double> tenant_p99_ratio;  // p99 / estimate per class-A tenant
   std::vector<double> b_ratio;           // avg chunk latency / estimate
   int admitted_a = 0, admitted_b = 0, requested = 0;
+  // Engine throughput for --json reporting (BENCH_fig12_14.json).
+  std::uint64_t events = 0;
+  double wall_s = 0;
 };
 
 struct ExpConfig {
@@ -140,7 +144,11 @@ SchemeResult run_scheme(sim::Scheme scheme, const ExpConfig& ec) {
         cluster, b.id, workload::all_to_all(ec.b_vms), ec.b_chunk);
     b.driver->start(ec.duration);
   }
+  const auto wall0 = std::chrono::steady_clock::now();
   cluster.run_until(ec.duration + 100 * kMsec);
+  const auto wall1 = std::chrono::steady_clock::now();
+  res.events = cluster.events().processed();
+  res.wall_s = std::chrono::duration<double>(wall1 - wall0).count();
 
   for (auto& a : as) {
     res.class_a_latency_us.merge(a.driver->latencies_us());
@@ -265,5 +273,30 @@ int main(int argc, char** argv) {
       "worse at the median; TCP suffers RTOs for ~21%% of tenants (14%% for\n"
       "HULL). Class-B: Silo/Okto finish exactly at the estimate; TCP/HULL\n"
       "vary around it with a long tail.\n");
+
+  if (flags.has("json")) {
+    JsonObject out;
+    out.put("bench", std::string("fig12_14"))
+        .put("duration_ms", static_cast<std::int64_t>(ec.duration / kMsec))
+        .put("load_factor", ec.load_factor)
+        .put("seed", static_cast<std::int64_t>(ec.seed));
+    JsonObject per_scheme;
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      const auto& r = results[i];
+      JsonObject s;
+      s.put("median_ms", r.class_a_latency_us.percentile(50) / 1e3)
+          .put("p95_ms", r.class_a_latency_us.percentile(95) / 1e3)
+          .put("p99_ms", r.class_a_latency_us.percentile(99) / 1e3)
+          .put("messages", static_cast<std::int64_t>(r.class_a_latency_us.count()))
+          .put("admitted_a", r.admitted_a)
+          .put("admitted_b", r.admitted_b)
+          .put("events", r.events)
+          .put("wall_s", r.wall_s)
+          .put("events_per_sec", r.events / r.wall_s);
+      per_scheme.put(sim::scheme_name(schemes[i]), s);
+    }
+    out.put("schemes", per_scheme);
+    write_json_file("BENCH_fig12_14.json", out);
+  }
   return 0;
 }

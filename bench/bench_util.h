@@ -1,12 +1,16 @@
 // Shared helpers for the experiment benches: a tiny --key=value flag
-// parser (every bench must also run sensibly with no arguments) and
-// common printing utilities.
+// parser (every bench must also run sensibly with no arguments), common
+// printing utilities, and a minimal JSON writer for machine-readable
+// BENCH_*.json result files (--json mode).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/stats.h"
 
@@ -47,6 +51,65 @@ inline void print_header(const char* experiment, const char* description) {
   std::printf("=============================================================\n");
   std::printf("%s\n%s\n", experiment, description);
   std::printf("=============================================================\n");
+}
+
+/// Insertion-ordered JSON object builder. Values are rendered on insert;
+/// nesting works by putting another JsonObject. Keys/strings are assumed
+/// not to need escaping (bench identifiers only).
+class JsonObject {
+ public:
+  JsonObject& put(const std::string& key, double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.8g", v);
+    return raw(key, buf);
+  }
+  JsonObject& put(const std::string& key, std::int64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonObject& put(const std::string& key, std::uint64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonObject& put(const std::string& key, int v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonObject& put(const std::string& key, const std::string& v) {
+    return raw(key, "\"" + v + "\"");
+  }
+  JsonObject& put(const std::string& key, const JsonObject& obj) {
+    return raw(key, obj.str());
+  }
+
+  std::string str() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i) out += ", ";
+      out += "\"" + fields_[i].first + "\": " + fields_[i].second;
+    }
+    return out + "}";
+  }
+
+ private:
+  JsonObject& raw(const std::string& key, std::string rendered) {
+    fields_.emplace_back(key, std::move(rendered));
+    return *this;
+  }
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Write `obj` to `path` (pretty enough for diffing: one line). Returns
+/// false and prints a warning on IO failure.
+inline bool write_json_file(const std::string& path, const JsonObject& obj) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string body = obj.str();
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace silo::bench

@@ -48,8 +48,9 @@ void PacedNic::fill_void(std::vector<WireSlot>& out, TimeNs& cursor,
   }
 }
 
-std::vector<WireSlot> PacedNic::build_batch(TimeNs now) {
-  std::vector<WireSlot> out;
+const std::vector<WireSlot>& PacedNic::build_batch(TimeNs now) {
+  std::vector<WireSlot>& out = batch_;
+  out.clear();
   if (queue_.empty()) return out;
 
   const TimeNs start = std::max(now, queue_.front().release);

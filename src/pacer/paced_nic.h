@@ -56,7 +56,9 @@ class PacedNic {
 
   /// Build the wire schedule of one batch starting no earlier than `now`.
   /// Consumes the packets it schedules. Empty result iff queue is empty.
-  std::vector<WireSlot> build_batch(TimeNs now);
+  /// The returned reference aliases an internal buffer that the next
+  /// build_batch call overwrites — consume it before rebuilding.
+  const std::vector<WireSlot>& build_batch(TimeNs now);
 
   const BatchStats& stats() const { return stats_; }
   RateBps line_rate() const { return line_rate_; }
@@ -79,6 +81,7 @@ class PacedNic {
   TimeNs batch_window_;
   std::deque<Pending> queue_;  // pacer stamps are non-decreasing per VM;
                                // cross-VM merge keeps it sorted on insert
+  std::vector<WireSlot> batch_;  ///< reused across build_batch calls
   BatchStats stats_;
 };
 

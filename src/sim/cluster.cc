@@ -32,7 +32,7 @@ ClusterSim::ClusterSim(const ClusterConfig& cfg) : cfg_(cfg) {
   }
   if (cfg.scheme == Scheme::kPfabric) port_template.pfabric = true;
   fabric_ = std::make_unique<Fabric>(events_, *topo_, port_template);
-  fabric_->set_host_deliver([this](Packet p) { dispatch(std::move(p)); });
+  fabric_->set_host_deliver([this](PacketHandle h) { dispatch(h); });
 
   Host::Config host_cfg;
   host_cfg.link_rate = cfg.topo.server_link_rate;
@@ -44,8 +44,7 @@ ClusterSim::ClusterSim(const ClusterConfig& cfg) : cfg_(cfg) {
   hosts_.reserve(topo_->num_servers());
   for (int s = 0; s < topo_->num_servers(); ++s) {
     hosts_.push_back(std::make_unique<Host>(events_, *fabric_, s, host_cfg));
-    hosts_.back()->set_local_deliver(
-        [this](Packet p) { dispatch(std::move(p)); });
+    hosts_.back()->set_local_deliver([this](PacketHandle h) { dispatch(h); });
   }
 }
 
@@ -124,9 +123,8 @@ int ClusterSim::finish_admission(const TenantRequest& request,
   const int tenant = static_cast<int>(tenants_.size()) - 1;
   if (tenants_[tenant].pacers) {
     // Kick off periodic EyeQ-style destination-rate coordination.
-    events_.after(cfg_.rebalance_period, [this, tenant] {
-      rebalance_tenant(tenant);
-    });
+    events_.schedule_after(cfg_.rebalance_period, EventKind::kClusterRebalance,
+                           this, static_cast<std::uint32_t>(tenant));
   }
   return tenant;
 }
@@ -150,8 +148,8 @@ void ClusterSim::rebalance_tenant(int tenant) {
     }
   }
   if (!demands.empty()) rt.pacers->rebalance(events_.now(), demands);
-  events_.after(cfg_.rebalance_period,
-                [this, tenant] { rebalance_tenant(tenant); });
+  events_.schedule_after(cfg_.rebalance_period, EventKind::kClusterRebalance,
+                         this, static_cast<std::uint32_t>(tenant));
 }
 
 ClusterSim::FlowRuntime& ClusterSim::flow_for(int tenant, int src_local,
@@ -180,8 +178,8 @@ ClusterSim::FlowRuntime& ClusterSim::flow_for(int tenant, int src_local,
   auto fr = std::make_unique<FlowRuntime>();
   fr->flow = std::make_unique<TcpFlow>(
       events_, flow_id, src_vm, dst_vm, src_server, dst_server, tcp,
-      [this, src_server](Packet&& p) { hosts_[src_server]->send(std::move(p)); },
-      [this, dst_server](Packet&& p) { hosts_[dst_server]->send(std::move(p)); });
+      [this, src_server](PacketHandle h) { hosts_[src_server]->send(h); },
+      [this, dst_server](PacketHandle h) { hosts_[dst_server]->send(h); });
   if (rt.request.tenant_class == TenantClass::kBestEffort ||
       (cfg_.scheme == Scheme::kQjump &&
        rt.request.tenant_class != TenantClass::kDelaySensitive))
@@ -252,8 +250,13 @@ int ClusterSim::tenant_rto_count(int tenant) const {
   return total;
 }
 
-void ClusterSim::dispatch(Packet p) {
+void ClusterSim::dispatch(PacketHandle h) {
+  // Copy out and recycle the handle first: on_packet allocates the ACK from
+  // the same pool, which may grow the arena under a live reference.
+  const Packet p = events_.pool().get(h);
+  events_.pool().free(h);
   if (p.flow_id < 0 || p.flow_id >= static_cast<int>(flows_.size())) return;
+  if (tap_) tap_(p);
   flows_[p.flow_id]->flow->on_packet(p);
 }
 

@@ -103,6 +103,12 @@ class ClusterSim {
   /// QJUMP's network epoch for this fabric (exposed for tests/benches).
   TimeNs qjump_epoch() const;
 
+  /// Debug/test tap: observes every packet at final delivery (right before
+  /// the transport consumes it). Used by determinism regression tests to
+  /// checksum the full delivered-packet trace.
+  using PacketTap = std::function<void(const Packet&)>;
+  void set_packet_tap(PacketTap tap) { tap_ = std::move(tap); }
+
   EventQueue& events() { return events_; }
   Fabric& fabric() { return *fabric_; }
   const topology::Topology& topo() const { return *topo_; }
@@ -146,9 +152,11 @@ class ClusterSim {
   SiloGuarantee pacing_guarantee(const SiloGuarantee& g) const;
   int finish_admission(const TenantRequest& request,
                        std::vector<int> vm_to_server);
+  friend class EventQueue;  ///< typed-event dispatch (rebalance timer)
+
   FlowRuntime& flow_for(int tenant, int src_local, int dst_local);
   const FlowRuntime* find_flow(int tenant, int src_local, int dst_local) const;
-  void dispatch(Packet p);
+  void dispatch(PacketHandle h);
   void on_flow_delivery(int flow_id, std::int64_t delivered);
   void rebalance_tenant(int tenant);
 
@@ -162,6 +170,7 @@ class ClusterSim {
   std::vector<std::unique_ptr<FlowRuntime>> flows_;  ///< by flow id
   std::vector<int> flow_tenant_;                     ///< flow id -> tenant
   int next_global_vm_ = 0;
+  PacketTap tap_;
 };
 
 }  // namespace silo::sim

@@ -13,7 +13,7 @@ Fabric::Fabric(EventQueue& events, const topology::Topology& topo,
     cfg.rate = topo.port(topology::PortId{i}).rate;
     cfg.buffer = topo.port(topology::PortId{i}).buffer;
     ports_[i] = std::make_unique<SwitchPortSim>(
-        events, cfg, [this](Packet p) { advance(std::move(p)); });
+        events, cfg, [this](PacketHandle h) { advance(h); });
   }
 }
 
@@ -26,21 +26,29 @@ const std::vector<topology::PortId>& Fabric::path_for(int src, int dst) {
   return it->second;
 }
 
-void Fabric::ingress_from_host(Packet p) {
-  if (p.is_void) return;  // first-hop switch drops void frames
-  p.hop = 1;              // path[0] (the NIC egress) was the host's wire
-  advance(std::move(p));
+void Fabric::ingress_from_host(PacketHandle h) {
+  Packet& p = events_.pool().get(h);
+  if (p.is_void) {  // first-hop switch drops void frames
+    events_.pool().free(h);
+    return;
+  }
+  p.hop = 1;  // path[0] (the NIC egress) was the host's wire
+  advance(h);
 }
 
-void Fabric::advance(Packet p) {
+void Fabric::advance(PacketHandle h) {
+  Packet& p = events_.pool().get(h);
   const auto& path = path_for(p.src_server, p.dst_server);
   if (p.hop >= path.size()) {
-    if (host_deliver_) host_deliver_(std::move(p));
+    if (host_deliver_)
+      host_deliver_(h);
+    else
+      events_.pool().free(h);
     return;
   }
   const auto port_id = path[p.hop];
   ++p.hop;
-  ports_[port_id.value]->enqueue(std::move(p));
+  ports_[port_id.value]->enqueue(h);
 }
 
 std::int64_t Fabric::total_drops() const {
@@ -66,16 +74,21 @@ Host::Host(EventQueue& events, Fabric& fabric, int server_id,
   lo.rate = cfg.loopback_rate;
   lo.buffer = cfg.loopback_buffer;
   lo.link_delay = cfg.loopback_delay;
-  loopback_ = std::make_unique<SwitchPortSim>(events, lo, [this](Packet p) {
-    if (local_deliver_) local_deliver_(std::move(p));
-  });
+  loopback_ =
+      std::make_unique<SwitchPortSim>(events, lo, [this](PacketHandle h) {
+        if (local_deliver_)
+          local_deliver_(h);
+        else
+          events_.pool().free(h);
+      });
 }
 
-void Host::send(Packet p) {
+void Host::send(PacketHandle h) {
+  const Packet& p = events_.pool().get(h);
   if (p.dst_server == server_id_) {
     // VM-to-VM on the same server: the virtual switch forwards internally
     // at memory speed — fast, but a finite, contended resource.
-    loopback_->enqueue(std::move(p));
+    loopback_->enqueue(h);
     return;
   }
   if (pacers_.count(p.src_vm) > 0) {
@@ -83,20 +96,20 @@ void Host::send(Packet p) {
     auto& dq = tx_[vm].dests[p.dst_vm];
     if (dq.bytes + p.wire_bytes > cfg_.pacer_queue_cap) {
       ++pacer_drops_;  // finite driver queue
+      events_.pool().free(h);
       return;
     }
     dq.bytes += p.wire_bytes;
-    dq.q.push_back(std::move(p));
+    dq.q.push_back(h);
     schedule_release(vm);
     return;
   }
-  hand_to_nic(std::move(p), events_.now());
+  hand_to_nic(h, events_.now());
 }
 
-void Host::hand_to_nic(Packet p, TimeNs release) {
-  const std::uint64_t nic_id = next_nic_id_++;
-  in_nic_.emplace(nic_id, std::move(p));
-  nic_.enqueue(release, in_nic_.at(nic_id).wire_bytes, nic_id);
+void Host::hand_to_nic(PacketHandle h, TimeNs release) {
+  // The NIC slot id *is* the packet handle — no side map needed.
+  nic_.enqueue(release, events_.pool().get(h).wire_bytes, h);
   kick();
 }
 
@@ -107,8 +120,8 @@ void Host::schedule_release(int vm) {
   TimeNs best = -1;
   for (auto& [dst, dq] : v.dests) {
     if (dq.q.empty()) continue;
-    const TimeNs t =
-        pacer->peek(events_.now(), dst, dq.q.front().wire_bytes);
+    const TimeNs t = pacer->peek(events_.now(), dst,
+                                 events_.pool().get(dq.q.front()).wire_bytes);
     if (best < 0 || t < best) best = t;
   }
   if (best < 0) return;  // all queues empty
@@ -119,10 +132,11 @@ void Host::schedule_release(int vm) {
   v.release_scheduled = true;
   v.scheduled_at = when;
   const std::uint64_t gen = ++v.generation;
-  events_.at(when, [this, vm, gen] { release_one(vm, gen); });
+  events_.schedule(when, EventKind::kHostRelease, this,
+                   static_cast<std::uint32_t>(vm), gen);
 }
 
-void Host::release_one(int vm, std::uint64_t generation) {
+void Host::handle_release(int vm, std::uint64_t generation) {
   auto& v = tx_[vm];
   if (generation != v.generation || !v.release_scheduled) return;
   v.release_scheduled = false;
@@ -135,8 +149,8 @@ void Host::release_one(int vm, std::uint64_t generation) {
   int best_dst = -1;
   for (auto& [dst, dq] : v.dests) {
     if (dq.q.empty()) continue;
-    const TimeNs t =
-        pacer->peek(events_.now(), dst, dq.q.front().wire_bytes);
+    const TimeNs t = pacer->peek(events_.now(), dst,
+                                 events_.pool().get(dq.q.front()).wire_bytes);
     const bool wins =
         best < 0 || t < best ||
         (t == best && best_dst <= v.last_served && dst > v.last_served);
@@ -156,11 +170,12 @@ void Host::release_one(int vm, std::uint64_t generation) {
     return;
   }
   auto& dq = v.dests[best_dst];
-  Packet p = std::move(dq.q.front());
+  const PacketHandle h = dq.q.front();
   dq.q.pop_front();
-  dq.bytes -= p.wire_bytes;
-  const TimeNs release = pacer->stamp(events_.now(), best_dst, p.wire_bytes);
-  hand_to_nic(std::move(p), release);
+  dq.bytes -= events_.pool().get(h).wire_bytes;
+  const TimeNs release =
+      pacer->stamp(events_.now(), best_dst, events_.pool().get(h).wire_bytes);
+  hand_to_nic(h, release);
   schedule_release(vm);
 }
 
@@ -187,15 +202,17 @@ void Host::kick() {
   build_scheduled_ = true;
   scheduled_start_ = start;
   const std::uint64_t gen = ++build_generation_;
-  events_.at(start, [this, gen] {
-    if (gen != build_generation_ || !build_scheduled_) return;
-    build_scheduled_ = false;
-    run_batch();
-  });
+  events_.schedule(start, EventKind::kHostBuild, this, 0, gen);
+}
+
+void Host::handle_build(std::uint64_t generation) {
+  if (generation != build_generation_ || !build_scheduled_) return;
+  build_scheduled_ = false;
+  run_batch();
 }
 
 void Host::run_batch() {
-  auto slots = nic_.build_batch(events_.now());
+  const auto& slots = nic_.build_batch(events_.now());
   if (slots.empty()) {
     transmitting_ = false;
     kick();
@@ -204,19 +221,20 @@ void Host::run_batch() {
   transmitting_ = true;
   for (const auto& slot : slots) {
     if (slot.is_void) continue;  // occupies the wire; ToR will not see it
-    auto it = in_nic_.find(slot.id);
-    Packet pkt = std::move(it->second);
-    in_nic_.erase(it);
-    events_.at(slot.end + cfg_.tor_link_delay,
-               [this, pkt = std::move(pkt)]() mutable {
-                 fabric_.ingress_from_host(std::move(pkt));
-               });
+    events_.schedule(slot.end + cfg_.tor_link_delay, EventKind::kHostIngress,
+                     this, static_cast<PacketHandle>(slot.id));
   }
   const TimeNs batch_end = slots.back().end;
-  events_.at(batch_end, [this] {
-    transmitting_ = false;
-    kick();
-  });
+  events_.schedule(batch_end, EventKind::kHostBatchEnd, this);
+}
+
+void Host::handle_batch_end() {
+  transmitting_ = false;
+  kick();
+}
+
+void Host::handle_ingress(PacketHandle h) {
+  fabric_.ingress_from_host(h);
 }
 
 }  // namespace silo::sim

@@ -1,5 +1,9 @@
 // Fabric (switch ports wired per the topology) and Host (per-server NIC
 // with Silo pacing) of the packet-level simulator.
+//
+// Packets travel as PacketPool handles; the NIC batch slot id doubles as
+// the packet handle, so there is no per-packet map or allocation between
+// the pacer queues and the wire.
 #pragma once
 
 #include <deque>
@@ -13,6 +17,7 @@
 #include "pacer/vm_pacer.h"
 #include "sim/event_queue.h"
 #include "sim/packet.h"
+#include "sim/packet_pool.h"
 #include "sim/port.h"
 #include "topology/topology.h"
 
@@ -22,7 +27,8 @@ namespace silo::sim {
 /// PortId. Routes packets hop by hop along the precomputed tree path.
 class Fabric {
  public:
-  using DeliverFn = std::function<void(Packet)>;
+  /// Receives ownership of the delivered handle.
+  using DeliverFn = std::function<void(PacketHandle)>;
 
   Fabric(EventQueue& events, const topology::Topology& topo,
          const PortConfig& port_template);
@@ -31,8 +37,8 @@ class Fabric {
 
   /// Entry point for packets leaving a host NIC (the server->ToR wire has
   /// already been simulated by the NIC). Void packets die here: the first
-  /// hop switch discards them by MAC address.
-  void ingress_from_host(Packet p);
+  /// hop switch discards them by MAC address. Takes ownership.
+  void ingress_from_host(PacketHandle h);
 
   SwitchPortSim& port(topology::PortId id) { return *ports_[id.value]; }
   const SwitchPortSim& port(topology::PortId id) const {
@@ -43,7 +49,7 @@ class Fabric {
   std::int64_t total_ecn_marks() const;
 
  private:
-  void advance(Packet p);
+  void advance(PacketHandle h);
   const std::vector<topology::PortId>& path_for(int src, int dst);
 
   EventQueue& events_;
@@ -84,7 +90,8 @@ class Host {
   }
 
   /// Inject a transport packet originating at a VM on this server.
-  void send(Packet p);
+  /// Takes ownership of the handle.
+  void send(PacketHandle h);
 
   /// Delivery callback to the upper layer (cluster flow dispatch) for
   /// intra-server traffic.
@@ -101,12 +108,14 @@ class Host {
   TimeNs pacer_delay(TimeNs now, int src_vm, int dst_vm, Bytes bytes);
 
  private:
+  friend class EventQueue;  ///< typed-event dispatch
+
   // Paced transmission path: packets wait in per-destination queues and a
   // single scheduler releases them in conformance order — charging the
   // shared {B, S} bucket in *release* order keeps it work-conserving
   // across destinations (per-flow future stamping would serialize them).
   struct DestQueue {
-    std::deque<Packet> q;
+    std::deque<PacketHandle> q;
     Bytes bytes = 0;
   };
   struct VmTx {
@@ -120,8 +129,11 @@ class Host {
   void kick();
   void run_batch();
   void schedule_release(int vm);
-  void release_one(int vm, std::uint64_t generation);
-  void hand_to_nic(Packet p, TimeNs release);
+  void handle_release(int vm, std::uint64_t generation);
+  void handle_build(std::uint64_t generation);
+  void handle_batch_end();
+  void handle_ingress(PacketHandle h);
+  void hand_to_nic(PacketHandle h, TimeNs release);
 
   EventQueue& events_;
   Fabric& fabric_;
@@ -131,8 +143,6 @@ class Host {
   std::unique_ptr<SwitchPortSim> loopback_;
   std::unordered_map<int, pacer::VmPacer*> pacers_;
   std::unordered_map<int, VmTx> tx_;
-  std::unordered_map<std::uint64_t, Packet> in_nic_;
-  std::uint64_t next_nic_id_ = 1;
   std::int64_t pacer_drops_ = 0;
   bool transmitting_ = false;
   bool build_scheduled_ = false;

@@ -26,80 +26,97 @@ void SwitchPortSim::maybe_mark(Packet& p) {
   }
 }
 
-void SwitchPortSim::enqueue_pfabric(Packet p) {
+void SwitchPortSim::enqueue_pfabric(PacketHandle h) {
+  PacketPool& pool = events_.pool();
+  const Packet& p = pool.get(h);
   // Buffer full: evict the queued packet with the most remaining bytes if
-  // the newcomer is more urgent; otherwise drop the newcomer.
-  while (queued_bytes_ + p.wire_bytes > cfg_.buffer) {
-    auto worst = pfabric_queue_.begin();
-    for (auto it = pfabric_queue_.begin(); it != pfabric_queue_.end(); ++it)
-      if (it->remaining > worst->remaining) worst = it;
-    if (pfabric_queue_.empty() || worst->remaining <= p.remaining) {
+  // the newcomer is more urgent; otherwise drop the newcomer. The set is
+  // ordered by (remaining, arrival), so the victim — earliest arrival among
+  // the largest remaining — is found with one lower_bound from the back.
+  while (!pfabric_queue_.empty() &&
+         queued_bytes_ + p.wire_bytes > cfg_.buffer) {
+    const std::int64_t worst_remaining = std::prev(pfabric_queue_.end())->remaining;
+    if (worst_remaining <= p.remaining) {
       ++stats_.drops;
+      pool.free(h);
       return;
     }
-    queued_bytes_ -= worst->wire_bytes;
+    const auto worst =
+        pfabric_queue_.lower_bound(PfEntry{worst_remaining, 0, kNullPacket});
+    queued_bytes_ -= pool.get(worst->handle).wire_bytes;
     ++stats_.drops;
+    pool.free(worst->handle);
     pfabric_queue_.erase(worst);
+  }
+  if (queued_bytes_ + p.wire_bytes > cfg_.buffer) {
+    ++stats_.drops;  // alone it exceeds the buffer
+    pool.free(h);
+    return;
   }
   queued_bytes_ += p.wire_bytes;
   stats_.max_queue_bytes = std::max(stats_.max_queue_bytes, queued_bytes_);
-  pfabric_queue_.push_back(std::move(p));
+  pfabric_queue_.insert(PfEntry{p.remaining, pfabric_arrivals_++, h});
   if (!busy_) start_tx();
 }
 
-void SwitchPortSim::enqueue(Packet p) {
+void SwitchPortSim::enqueue(PacketHandle h) {
   if (cfg_.pfabric) {
-    enqueue_pfabric(std::move(p));
+    enqueue_pfabric(h);
     return;
   }
+  Packet& p = events_.pool().get(h);
   if (queued_bytes_ + p.wire_bytes > cfg_.buffer) {
     ++stats_.drops;
+    events_.pool().free(h);
     return;
   }
   maybe_mark(p);
   queued_bytes_ += p.wire_bytes;
   stats_.max_queue_bytes = std::max(stats_.max_queue_bytes, queued_bytes_);
-  queue_[static_cast<int>(p.priority)].push_back(std::move(p));
+  queue_[static_cast<int>(p.priority)].push_back(h);
   if (!busy_) start_tx();
 }
 
-bool SwitchPortSim::dequeue_next(Packet& out) {
+PacketHandle SwitchPortSim::dequeue_next() {
   if (cfg_.pfabric) {
-    if (pfabric_queue_.empty()) return false;
-    auto best = pfabric_queue_.begin();
-    for (auto it = pfabric_queue_.begin(); it != pfabric_queue_.end(); ++it)
-      if (it->remaining < best->remaining) best = it;
-    out = std::move(*best);
+    if (pfabric_queue_.empty()) return kNullPacket;
+    // Head of the set: fewest remaining bytes, earliest arrival among ties.
+    const auto best = pfabric_queue_.begin();
+    const PacketHandle h = best->handle;
     pfabric_queue_.erase(best);
-    return true;
+    return h;
   }
   auto& q = !queue_[0].empty() ? queue_[0] : queue_[1];
-  if (q.empty()) return false;
-  out = std::move(q.front());
+  if (q.empty()) return kNullPacket;
+  const PacketHandle h = q.front();
   q.pop_front();
-  return true;
+  return h;
 }
 
 void SwitchPortSim::start_tx() {
-  Packet p;
-  if (!dequeue_next(p)) {
+  const PacketHandle h = dequeue_next();
+  if (h == kNullPacket) {
     busy_ = false;
     return;
   }
   busy_ = true;
+  const Packet& p = events_.pool().get(h);
   queued_bytes_ -= p.wire_bytes;
   const TimeNs tx = transmission_time(p.wire_bytes + kEthOverhead, cfg_.rate);
-  events_.after(tx, [this, p = std::move(p)]() mutable { tx_done(std::move(p)); });
+  events_.schedule_after(tx, EventKind::kPortTxDone, this, h);
 }
 
-void SwitchPortSim::tx_done(Packet p) {
+void SwitchPortSim::handle_tx_done(PacketHandle h) {
   ++stats_.tx_packets;
-  stats_.tx_bytes += p.wire_bytes;
+  stats_.tx_bytes += events_.pool().get(h).wire_bytes;
   // Hand to the next hop after propagation; transmission of the next
   // packet overlaps with propagation of this one.
-  events_.after(cfg_.link_delay,
-                [this, p = std::move(p)]() mutable { deliver_(std::move(p)); });
+  events_.schedule_after(cfg_.link_delay, EventKind::kPortDeliver, this, h);
   start_tx();
+}
+
+void SwitchPortSim::handle_deliver(PacketHandle h) {
+  deliver_(h);  // ownership moves to the next hop
 }
 
 }  // namespace silo::sim

@@ -1,12 +1,18 @@
 // Output-queued switch port: drop-tail shared buffer, two 802.1q priority
 // levels, optional DCTCP ECN marking and optional HULL phantom queue.
+//
+// Packets are pool handles; transmission and propagation self-schedule as
+// typed events (kPortTxDone / kPortDeliver) — nothing on the per-packet
+// path allocates. The deliver callback receives ownership of the handle.
 #pragma once
 
 #include <deque>
 #include <functional>
+#include <set>
 
 #include "sim/event_queue.h"
 #include "sim/packet.h"
+#include "sim/packet_pool.h"
 #include "util/units.h"
 
 namespace silo::sim {
@@ -34,30 +40,50 @@ struct PortStats {
 
 class SwitchPortSim {
  public:
-  using DeliverFn = std::function<void(Packet)>;
+  /// Receives ownership of the delivered packet handle; the callee (next
+  /// hop, host, or test) must free or forward it.
+  using DeliverFn = std::function<void(PacketHandle)>;
 
   SwitchPortSim(EventQueue& events, PortConfig cfg, DeliverFn deliver)
       : events_(events), cfg_(cfg), deliver_(std::move(deliver)) {}
 
-  /// Queue a packet for transmission; drops when the buffer is full.
-  void enqueue(Packet p);
+  /// Queue a packet for transmission; drops (and frees) when the buffer is
+  /// full. Takes ownership of the handle.
+  void enqueue(PacketHandle h);
 
   Bytes queued_bytes() const { return queued_bytes_; }
   const PortStats& stats() const { return stats_; }
   const PortConfig& config() const { return cfg_; }
 
  private:
+  friend class EventQueue;  ///< typed-event dispatch
+
+  /// pFabric queue entry: ordered by (remaining, arrival) so the head is
+  /// the most urgent packet (earliest arrival among ties) and the largest
+  /// remaining value is at the back — both O(log n).
+  struct PfEntry {
+    std::int64_t remaining;
+    std::uint64_t arrival;
+    PacketHandle handle;
+    bool operator<(const PfEntry& o) const {
+      return remaining != o.remaining ? remaining < o.remaining
+                                      : arrival < o.arrival;
+    }
+  };
+
   void maybe_mark(Packet& p);
   void start_tx();
-  void tx_done(Packet p);
-  void enqueue_pfabric(Packet p);
-  bool dequeue_next(Packet& out);
+  void handle_tx_done(PacketHandle h);
+  void handle_deliver(PacketHandle h);
+  void enqueue_pfabric(PacketHandle h);
+  PacketHandle dequeue_next();
 
   EventQueue& events_;
   PortConfig cfg_;
   DeliverFn deliver_;
-  std::deque<Packet> queue_[2];  ///< [0]=guaranteed, [1]=best effort
-  std::vector<Packet> pfabric_queue_;  ///< unsorted; linear min/max scans
+  std::deque<PacketHandle> queue_[2];  ///< [0]=guaranteed, [1]=best effort
+  std::set<PfEntry> pfabric_queue_;
+  std::uint64_t pfabric_arrivals_ = 0;
   Bytes queued_bytes_ = 0;
   bool busy_ = false;
   double phantom_bytes_ = 0;

@@ -17,7 +17,11 @@ void PortTracer::sample() {
   samples_.push_back(
       {cluster_.events().now(), cluster_.fabric().port(port_).queued_bytes()});
   if (cluster_.events().now() + period_ <= until_) {
-    cluster_.events().after(period_, [this] { sample(); });
+    // Typed raw event: periodic sampling stays off the std::function path.
+    cluster_.events().raw_after(
+        period_,
+        [](void* self, std::uint32_t) { static_cast<PortTracer*>(self)->sample(); },
+        this);
   }
 }
 

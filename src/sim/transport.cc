@@ -39,10 +39,7 @@ void TcpFlow::try_send() {
       // blocked with nothing outstanding would never hear one — poll.
       if (!tsq_retry_pending_) {
         tsq_retry_pending_ = true;
-        events_.after(250 * kUsec, [this] {
-          tsq_retry_pending_ = false;
-          try_send();
-        });
+        events_.schedule_after(250 * kUsec, EventKind::kFlowTsqRetry, this);
       }
       break;
     }
@@ -52,8 +49,14 @@ void TcpFlow::try_send() {
   if (snd_una_ < snd_next_ && !rto_armed_) arm_rto();
 }
 
+void TcpFlow::handle_tsq_retry() {
+  tsq_retry_pending_ = false;
+  try_send();
+}
+
 void TcpFlow::emit_segment(std::int64_t seq, Bytes len, bool retransmit) {
-  Packet p;
+  const PacketHandle h = events_.pool().alloc();
+  Packet& p = events_.pool().get(h);
   p.id = next_packet_id_++;
   p.flow_id = flow_id_;
   p.src_vm = src_vm_;
@@ -67,7 +70,7 @@ void TcpFlow::emit_segment(std::int64_t seq, Bytes len, bool retransmit) {
   p.priority = priority_;
   p.remaining = stream_end_ - seq;  // pFabric urgency
   (void)retransmit;
-  send_data_(std::move(p));
+  send_data_(h);
 }
 
 void TcpFlow::on_packet(const Packet& p) {
@@ -80,6 +83,10 @@ void TcpFlow::on_packet(const Packet& p) {
 void TcpFlow::handle_data(const Packet& p) {
   const std::int64_t start = p.seq;
   const std::int64_t end = p.seq + p.payload;
+  // `p` may live in the pool arena; copy what the ACK echoes before the
+  // alloc below can grow the arena and invalidate the reference.
+  const bool ecn_echo = p.ecn_marked;
+  const TimeNs data_ts = p.enqueue_time;
   if (end > rcv_next_) {
     // Merge [start, end) into the reassembly map.
     auto [it, inserted] = ooo_.emplace(start, end);
@@ -108,7 +115,8 @@ void TcpFlow::handle_data(const Packet& p) {
   }
   // Cumulative ACK, echoing the congestion mark and the data timestamp
   // (timestamp option) for RTT sampling.
-  Packet ack;
+  const PacketHandle ah = events_.pool().alloc();
+  Packet& ack = events_.pool().get(ah);
   ack.id = next_packet_id_++;
   ack.flow_id = flow_id_;
   ack.is_ack = true;
@@ -118,10 +126,10 @@ void TcpFlow::handle_data(const Packet& p) {
   ack.dst_server = src_server_;
   ack.wire_bytes = kHeaderBytes;
   ack.ack_seq = rcv_next_;
-  ack.ecn_echo = p.ecn_marked;
-  ack.enqueue_time = p.enqueue_time;
+  ack.ecn_echo = ecn_echo;
+  ack.enqueue_time = data_ts;
   ack.priority = priority_;
-  send_ack_(std::move(ack));
+  send_ack_(ah);
 }
 
 void TcpFlow::arm_rto() {
@@ -132,7 +140,7 @@ void TcpFlow::arm_rto() {
   rto_deadline_ = events_.now() + rto_;
   if (!rto_event_pending_) {
     rto_event_pending_ = true;
-    events_.at(rto_deadline_, [this] { rto_timer_fired(); });
+    events_.schedule(rto_deadline_, EventKind::kFlowRtoTimer, this);
   }
 }
 
@@ -141,7 +149,7 @@ void TcpFlow::rto_timer_fired() {
   if (!rto_armed_) return;
   if (events_.now() < rto_deadline_) {
     rto_event_pending_ = true;
-    events_.at(rto_deadline_, [this] { rto_timer_fired(); });
+    events_.schedule(rto_deadline_, EventKind::kFlowRtoTimer, this);
     return;
   }
   on_rto();

@@ -15,6 +15,7 @@
 
 #include "sim/event_queue.h"
 #include "sim/packet.h"
+#include "sim/packet_pool.h"
 
 namespace silo::sim {
 
@@ -31,8 +32,9 @@ struct TcpConfig {
 class TcpFlow {
  public:
   /// `send_data` injects packets at the source host; `send_ack` at the
-  /// destination host (ACKs flow through the reverse fabric path).
-  using SendFn = std::function<void(Packet&&)>;
+  /// destination host (ACKs flow through the reverse fabric path). The
+  /// callee receives ownership of the pool handle.
+  using SendFn = std::function<void(PacketHandle)>;
   using DeliverFn = std::function<void(std::int64_t in_order_bytes)>;
   /// Backpressure probe (TSQ-style): may this flow hand another `bytes`
   /// packet to the host right now? Re-polled on every ACK and app write.
@@ -63,6 +65,8 @@ class TcpFlow {
   double cwnd_bytes() const { return cwnd_; }
 
  private:
+  friend class EventQueue;  ///< typed-event dispatch
+
   void try_send();
   void emit_segment(std::int64_t seq, Bytes len, bool retransmit);
   void handle_ack(const Packet& ack);
@@ -70,6 +74,7 @@ class TcpFlow {
   void arm_rto();
   void cancel_rto() { rto_armed_ = false; }
   void rto_timer_fired();
+  void handle_tsq_retry();
   void on_rto();
   void dctcp_on_ack(std::int64_t newly_acked, bool marked);
   void enter_loss_recovery();

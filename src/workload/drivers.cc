@@ -32,32 +32,38 @@ void EtcDriver::schedule_next() {
   const TimeNs t = cluster_.events().now() +
                    static_cast<TimeNs>(gap_s * static_cast<double>(kSec));
   if (t > until_) return;
-  cluster_.events().at(t, [this] {
-    const auto client = client_vms_[static_cast<std::size_t>(rng_.uniform_int(
-        0, static_cast<std::int64_t>(client_vms_.size()) - 1))];
-    const Bytes value = sample_value_size();
-    const TimeNs sent = cluster_.events().now();
-    ++issued_;
-    // GET: request to the cache server; on arrival the server replies with
-    // the value; transaction latency is request-send -> response-delivered.
-    cluster_.send_message(
-        tenant_, client, server_vm_, cfg_.request_size,
-        [this, client, value, sent](const sim::ClusterSim::MessageResult&) {
-          const auto think = static_cast<TimeNs>(rng_.exponential(
-              static_cast<double>(cfg_.server_processing_mean)));
-          cluster_.events().after(think, [this, client, value, sent] {
-            cluster_.send_message(
-                tenant_, server_vm_, client, value,
-                [this, sent](const sim::ClusterSim::MessageResult&) {
-                  ++completed_;
-                  latencies_us_.add(
-                      static_cast<double>(cluster_.events().now() - sent) /
-                      static_cast<double>(kUsec));
-                });
-          });
+  // Arrivals ride typed raw events; the per-transaction response chain below
+  // stays on std::function callbacks (cold, message-granularity).
+  cluster_.events().raw_at(
+      t, [](void* self, std::uint32_t) { static_cast<EtcDriver*>(self)->on_arrival(); },
+      this);
+}
+
+void EtcDriver::on_arrival() {
+  const auto client = client_vms_[static_cast<std::size_t>(rng_.uniform_int(
+      0, static_cast<std::int64_t>(client_vms_.size()) - 1))];
+  const Bytes value = sample_value_size();
+  const TimeNs sent = cluster_.events().now();
+  ++issued_;
+  // GET: request to the cache server; on arrival the server replies with
+  // the value; transaction latency is request-send -> response-delivered.
+  cluster_.send_message(
+      tenant_, client, server_vm_, cfg_.request_size,
+      [this, client, value, sent](const sim::ClusterSim::MessageResult&) {
+        const auto think = static_cast<TimeNs>(rng_.exponential(
+            static_cast<double>(cfg_.server_processing_mean)));
+        cluster_.events().after(think, [this, client, value, sent] {
+          cluster_.send_message(
+              tenant_, server_vm_, client, value,
+              [this, sent](const sim::ClusterSim::MessageResult&) {
+                ++completed_;
+                latencies_us_.add(
+                    static_cast<double>(cluster_.events().now() - sent) /
+                    static_cast<double>(kUsec));
+              });
         });
-    schedule_next();
-  });
+      });
+  schedule_next();
 }
 
 // --------------------------------------------------------------- BulkDriver
@@ -111,22 +117,26 @@ void BurstDriver::schedule_next() {
   const TimeNs t = cluster_.events().now() +
                    static_cast<TimeNs>(gap_s * static_cast<double>(kSec));
   if (t > until_) return;
-  cluster_.events().at(t, [this] {
-    // Partition-aggregate: every worker responds to the aggregator at once.
-    for (int v = 0; v < n_vms_; ++v) {
-      if (v == cfg_.receiver) continue;
-      ++issued_;
-      cluster_.send_message(
-          tenant_, v, cfg_.receiver, cfg_.message_size,
-          [this](const sim::ClusterSim::MessageResult& r) {
-            ++completed_;
-            latencies_us_.add(static_cast<double>(r.latency) /
-                              static_cast<double>(kUsec));
-            if (r.had_rto) ++rto_messages_;
-          });
-    }
-    schedule_next();
-  });
+  cluster_.events().raw_at(
+      t, [](void* self, std::uint32_t) { static_cast<BurstDriver*>(self)->on_arrival(); },
+      this);
+}
+
+void BurstDriver::on_arrival() {
+  // Partition-aggregate: every worker responds to the aggregator at once.
+  for (int v = 0; v < n_vms_; ++v) {
+    if (v == cfg_.receiver) continue;
+    ++issued_;
+    cluster_.send_message(
+        tenant_, v, cfg_.receiver, cfg_.message_size,
+        [this](const sim::ClusterSim::MessageResult& r) {
+          ++completed_;
+          latencies_us_.add(static_cast<double>(r.latency) /
+                            static_cast<double>(kUsec));
+          if (r.had_rto) ++rto_messages_;
+        });
+  }
+  schedule_next();
 }
 
 // ----------------------------------------------------- PoissonMessageDriver
@@ -148,16 +158,23 @@ void PoissonMessageDriver::schedule_next() {
   const TimeNs t = cluster_.events().now() +
                    static_cast<TimeNs>(gap_s * static_cast<double>(kSec));
   if (t > until_) return;
-  cluster_.events().at(t, [this] {
-    ++issued_;
-    cluster_.send_message(tenant_, src_, dst_, size_,
-                          [this](const sim::ClusterSim::MessageResult& r) {
-                            ++completed_;
-                            latencies_us_.add(static_cast<double>(r.latency) /
-                                              static_cast<double>(kUsec));
-                          });
-    schedule_next();
-  });
+  cluster_.events().raw_at(
+      t,
+      [](void* self, std::uint32_t) {
+        static_cast<PoissonMessageDriver*>(self)->on_arrival();
+      },
+      this);
+}
+
+void PoissonMessageDriver::on_arrival() {
+  ++issued_;
+  cluster_.send_message(tenant_, src_, dst_, size_,
+                        [this](const sim::ClusterSim::MessageResult& r) {
+                          ++completed_;
+                          latencies_us_.add(static_cast<double>(r.latency) /
+                                            static_cast<double>(kUsec));
+                        });
+  schedule_next();
 }
 
 }  // namespace silo::workload

@@ -49,6 +49,7 @@ class EtcDriver {
 
  private:
   void schedule_next();
+  void on_arrival();
   Bytes sample_value_size();
 
   sim::ClusterSim& cluster_;
@@ -114,6 +115,7 @@ class BurstDriver {
 
  private:
   void schedule_next();
+  void on_arrival();
 
   sim::ClusterSim& cluster_;
   int tenant_;
@@ -141,6 +143,7 @@ class PoissonMessageDriver {
 
  private:
   void schedule_next();
+  void on_arrival();
 
   sim::ClusterSim& cluster_;
   int tenant_, src_, dst_;

@@ -50,8 +50,11 @@ TEST(Regression, HostSchedulerIsFairAcrossDestinations) {
   topology::Topology topo(tc);
   sim::Fabric fabric(ev, topo, sim::PortConfig{});
   std::int64_t recv[5] = {0, 0, 0, 0, 0};
-  fabric.set_host_deliver(
-      [&](sim::Packet p) { recv[p.dst_vm] += p.payload; });
+  fabric.set_host_deliver([&](sim::PacketHandle h) {
+    const sim::Packet& p = ev.pool().get(h);
+    recv[p.dst_vm] += p.payload;
+    ev.pool().free(h);
+  });
   sim::Host::Config hc;
   hc.nic_mode = pacer::NicMode::kPacedVoid;
   sim::Host host(ev, fabric, 0, hc);
@@ -72,7 +75,7 @@ TEST(Regression, HostSchedulerIsFairAcrossDestinations) {
         p.dst_server = d;
         p.payload = 1460;
         p.wire_bytes = 1500;
-        host.send(p);
+        host.send(ev.pool().clone(p));
       }
     }
     if (ev.now() < 50 * kMsec) ev.after(100 * kUsec, refill);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sim/event_queue.h"
 #include "sim/network.h"
 #include "sim/port.h"
@@ -61,6 +63,68 @@ TEST(EventQueue, PastEventsClampToNow) {
   EXPECT_EQ(seen, 100);
 }
 
+// --- Timing-wheel specifics: ordering across slot, group and overflow
+// boundaries of the hierarchical wheel (256 ns ticks, 256 slots, 2 levels).
+
+TEST(EventQueue, OrdersAcrossAllWheelLevels) {
+  EventQueue ev;
+  // One event per magnitude: same tick, level-0 slot, level-1 slot, and
+  // overflow heap (~65 us and ~16.8 ms are the level spans).
+  const std::vector<TimeNs> times = {3 * kSec,  20 * kMsec, 70 * kUsec,
+                                     1 * kUsec, 100,        1};
+  std::vector<TimeNs> fired;
+  for (TimeNs t : times) ev.at(t, [&, t] { fired.push_back(t); });
+  ev.run_all();
+  std::vector<TimeNs> want = times;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(fired, want);
+  EXPECT_EQ(ev.now(), 3 * kSec);
+}
+
+TEST(EventQueue, TiesBreakByInsertionInEveryLevel) {
+  EventQueue ev;
+  std::vector<int> order;
+  // Ties at a far-future time pass through overflow -> level 1 -> level 0
+  // -> due run; insertion order must survive the whole cascade.
+  for (int i = 0; i < 8; ++i) ev.at(123 * kMsec, [&, i] { order.push_back(i); });
+  ev.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueue, ReentrantSchedulingAcrossGroupBoundaries) {
+  EventQueue ev;
+  // Each event schedules the next one ~one level-0 span away, repeatedly
+  // forcing group advancement and cascades while dispatching.
+  int count = 0;
+  std::function<void()> hop = [&] {
+    if (++count < 100) ev.after(63 * kUsec + 7, hop);
+  };
+  ev.after(0, hop);
+  ev.run_all();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(ev.now(), 99 * (63 * kUsec + 7));
+}
+
+TEST(EventQueue, InterleavedNearAndFarEvents) {
+  EventQueue ev;
+  std::vector<std::pair<TimeNs, int>> fired;
+  // Far-future periodic (overflow heap) interleaved with dense near-term
+  // events scheduled reentrantly.
+  for (int i = 1; i <= 4; ++i)
+    ev.at(i * 20 * kMsec, [&, i] { fired.push_back({ev.now(), 1000 + i}); });
+  int n = 0;
+  std::function<void()> tick = [&] {
+    fired.push_back({ev.now(), n});
+    if (++n < 5000) ev.after(17 * kUsec, tick);
+  };
+  ev.at(0, tick);
+  ev.run_all();
+  ASSERT_EQ(fired.size(), 5004u);
+  for (std::size_t i = 1; i < fired.size(); ++i)
+    EXPECT_LE(fired[i - 1].first, fired[i].first);
+  EXPECT_EQ(ev.processed(), 5004u);
+}
+
 PortConfig port_10g() {
   PortConfig cfg;
   cfg.rate = 10 * kGbps;
@@ -81,9 +145,11 @@ Packet data_packet(std::uint64_t id, Bytes payload = 1460) {
 TEST(SwitchPort, TransmitsAtLineRate) {
   EventQueue ev;
   std::vector<TimeNs> deliveries;
-  SwitchPortSim port(ev, port_10g(),
-                     [&](Packet) { deliveries.push_back(ev.now()); });
-  for (int i = 0; i < 5; ++i) port.enqueue(data_packet(i));
+  SwitchPortSim port(ev, port_10g(), [&](PacketHandle h) {
+    deliveries.push_back(ev.now());
+    ev.pool().free(h);
+  });
+  for (int i = 0; i < 5; ++i) port.enqueue(ev.pool().clone(data_packet(i)));
   ev.run_all();
   ASSERT_EQ(deliveries.size(), 5u);
   // 1500+38 wire bytes at 10G = ~1230 ns per packet, back to back.
@@ -98,8 +164,11 @@ TEST(SwitchPort, DropsWhenBufferFull) {
   int delivered = 0;
   auto cfg = port_10g();
   cfg.buffer = 5 * 1500;  // room for ~5 packets
-  SwitchPortSim port(ev, cfg, [&](Packet) { ++delivered; });
-  for (int i = 0; i < 20; ++i) port.enqueue(data_packet(i));
+  SwitchPortSim port(ev, cfg, [&](PacketHandle h) {
+    ++delivered;
+    ev.pool().free(h);
+  });
+  for (int i = 0; i < 20; ++i) port.enqueue(ev.pool().clone(data_packet(i)));
   ev.run_all();
   EXPECT_GT(port.stats().drops, 0);
   EXPECT_EQ(delivered + port.stats().drops, 20);
@@ -110,8 +179,11 @@ TEST(SwitchPort, EcnMarksAboveThreshold) {
   int marked = 0;
   auto cfg = port_10g();
   cfg.ecn_threshold = 3000;
-  SwitchPortSim port(ev, cfg, [&](Packet p) { marked += p.ecn_marked; });
-  for (int i = 0; i < 10; ++i) port.enqueue(data_packet(i));
+  SwitchPortSim port(ev, cfg, [&](PacketHandle h) {
+    marked += ev.pool().get(h).ecn_marked;
+    ev.pool().free(h);
+  });
+  for (int i = 0; i < 10; ++i) port.enqueue(ev.pool().clone(data_packet(i)));
   ev.run_all();
   EXPECT_GT(marked, 0);
   EXPECT_LT(marked, 10);  // first packets see an empty queue
@@ -124,11 +196,14 @@ TEST(SwitchPort, PhantomQueueMarksEarly) {
   cfg.phantom_queue = true;
   cfg.phantom_threshold = 3000;
   cfg.phantom_drain = 0.95;
-  SwitchPortSim port(ev, cfg, [&](Packet p) { marked += p.ecn_marked; });
+  SwitchPortSim port(ev, cfg, [&](PacketHandle h) {
+    marked += ev.pool().get(h).ecn_marked;
+    ev.pool().free(h);
+  });
   // Line-rate arrivals: the phantom queue (draining at 95%) builds up and
   // marks even though the real queue would be shallow.
   for (int i = 0; i < 50; ++i)
-    ev.at(i * 1231, [&, i] { port.enqueue(data_packet(i)); });
+    ev.at(i * 1231, [&, i] { port.enqueue(ev.pool().clone(data_packet(i))); });
   ev.run_all();
   EXPECT_GT(marked, 5);
 }
@@ -136,15 +211,17 @@ TEST(SwitchPort, PhantomQueueMarksEarly) {
 TEST(SwitchPort, PriorityServesGuaranteedFirst) {
   EventQueue ev;
   std::vector<Priority> order;
-  SwitchPortSim port(ev, port_10g(),
-                     [&](Packet p) { order.push_back(p.priority); });
+  SwitchPortSim port(ev, port_10g(), [&](PacketHandle h) {
+    order.push_back(ev.pool().get(h).priority);
+    ev.pool().free(h);
+  });
   // Fill while port is busy with the first packet.
   Packet low = data_packet(1);
   low.priority = Priority::kBestEffort;
   Packet high = data_packet(2);
-  port.enqueue(data_packet(0));  // occupies the wire
-  port.enqueue(low);
-  port.enqueue(high);
+  port.enqueue(ev.pool().clone(data_packet(0)));  // occupies the wire
+  port.enqueue(ev.pool().clone(low));
+  port.enqueue(ev.pool().clone(high));
   ev.run_all();
   ASSERT_EQ(order.size(), 3u);
   EXPECT_EQ(order[1], Priority::kGuaranteed);  // high jumped the low queue
@@ -157,15 +234,18 @@ TEST(SwitchPort, PfabricServesSmallestRemainingFirst) {
   auto cfg = port_10g();
   cfg.pfabric = true;
   std::vector<std::int64_t> order;
-  SwitchPortSim port(ev, cfg, [&](Packet p) { order.push_back(p.remaining); });
+  SwitchPortSim port(ev, cfg, [&](PacketHandle h) {
+    order.push_back(ev.pool().get(h).remaining);
+    ev.pool().free(h);
+  });
   // First packet occupies the wire; the rest queue with mixed urgency.
   Packet first = data_packet(0);
   first.remaining = 1;
-  port.enqueue(first);
+  port.enqueue(ev.pool().clone(first));
   for (std::int64_t r : {500000, 1000, 200000, 50}) {
     Packet p = data_packet(1);
     p.remaining = r;
-    port.enqueue(p);
+    port.enqueue(ev.pool().clone(p));
   }
   ev.run_all();
   ASSERT_EQ(order.size(), 5u);
@@ -181,18 +261,20 @@ TEST(SwitchPort, PfabricEvictsLargestOnOverflow) {
   cfg.pfabric = true;
   cfg.buffer = 4 * 1500;  // room for ~4 packets
   std::vector<std::int64_t> delivered;
-  SwitchPortSim port(ev, cfg,
-                     [&](Packet p) { delivered.push_back(p.remaining); });
+  SwitchPortSim port(ev, cfg, [&](PacketHandle h) {
+    delivered.push_back(ev.pool().get(h).remaining);
+    ev.pool().free(h);
+  });
   // Fill with bulky packets, then push urgent ones: bulk gets evicted.
   for (int i = 0; i < 5; ++i) {
     Packet p = data_packet(i);
     p.remaining = 1000000 + i;
-    port.enqueue(p);
+    port.enqueue(ev.pool().clone(p));
   }
   for (int i = 0; i < 3; ++i) {
     Packet p = data_packet(10 + i);
     p.remaining = 10 + i;
-    port.enqueue(p);
+    port.enqueue(ev.pool().clone(p));
   }
   ev.run_all();
   EXPECT_GT(port.stats().drops, 0);
@@ -209,12 +291,17 @@ struct Loop {
   std::unique_ptr<TcpFlow> flow;
 
   explicit Loop(TcpConfig cfg = {}, PortConfig pcfg = port_10g())
-      : fwd(ev, pcfg, [this](Packet p) { flow->on_packet(p); }),
-        rev(ev, pcfg, [this](Packet p) { flow->on_packet(p); }) {
+      : fwd(ev, pcfg, [this](PacketHandle h) { consume(h); }),
+        rev(ev, pcfg, [this](PacketHandle h) { consume(h); }) {
     flow = std::make_unique<TcpFlow>(
-        ev, 0, 0, 1, 0, 1, cfg,
-        [this](Packet&& p) { fwd.enqueue(std::move(p)); },
-        [this](Packet&& p) { rev.enqueue(std::move(p)); });
+        ev, 0, 0, 1, 0, 1, cfg, [this](PacketHandle h) { fwd.enqueue(h); },
+        [this](PacketHandle h) { rev.enqueue(h); });
+  }
+
+  void consume(PacketHandle h) {
+    const Packet p = ev.pool().get(h);  // copy: on_packet allocates the ACK
+    ev.pool().free(h);
+    flow->on_packet(p);
   }
 };
 
@@ -279,10 +366,13 @@ TEST(TcpFlow, RtoFiresWhenAllAcksLost) {
   cfg.min_rto = 10 * kMsec;
   auto pcfg = port_10g();
   int got_data = 0;
-  SwitchPortSim fwd(ev, pcfg, [&](Packet) { ++got_data; });
+  SwitchPortSim fwd(ev, pcfg, [&](PacketHandle h) {
+    ++got_data;
+    ev.pool().free(h);
+  });
   auto flow = std::make_unique<TcpFlow>(
-      ev, 0, 0, 1, 0, 1, cfg, [&](Packet&& p) { fwd.enqueue(std::move(p)); },
-      [](Packet&&) { /* ACK black hole */ });
+      ev, 0, 0, 1, 0, 1, cfg, [&](PacketHandle h) { fwd.enqueue(h); },
+      [&](PacketHandle h) { ev.pool().free(h); /* ACK black hole */ });
   flow->app_write(10000);
   ev.run_until(100 * kMsec);
   EXPECT_GT(flow->rto_events().size(), 1u);  // retried with backoff
@@ -298,15 +388,18 @@ TEST(Fabric, RoutesAcrossRacksAndDropsVoids) {
   topology::Topology topo(tcfg);
   Fabric fabric(ev, topo, PortConfig{});
   std::vector<Packet> received;
-  fabric.set_host_deliver([&](Packet p) { received.push_back(p); });
+  fabric.set_host_deliver([&](PacketHandle h) {
+    received.push_back(ev.pool().get(h));
+    ev.pool().free(h);
+  });
 
   Packet p = data_packet(1);
   p.src_server = 0;
   p.dst_server = 7;  // cross-pod
-  fabric.ingress_from_host(p);
+  fabric.ingress_from_host(ev.pool().clone(p));
   Packet v = p;
   v.is_void = true;
-  fabric.ingress_from_host(v);
+  fabric.ingress_from_host(ev.pool().clone(v));
   ev.run_all();
   ASSERT_EQ(received.size(), 1u);  // the void died at the first hop
   EXPECT_EQ(received[0].dst_server, 7);
@@ -323,7 +416,10 @@ TEST(Host, PacedHostSpacesPacketsOnWire) {
   topology::Topology topo(tcfg);
   Fabric fabric(ev, topo, PortConfig{});
   std::vector<TimeNs> arrivals;
-  fabric.set_host_deliver([&](Packet) { arrivals.push_back(ev.now()); });
+  fabric.set_host_deliver([&](PacketHandle h) {
+    arrivals.push_back(ev.now());
+    ev.pool().free(h);
+  });
 
   Host::Config hcfg;
   hcfg.nic_mode = pacer::NicMode::kPacedVoid;
@@ -338,7 +434,7 @@ TEST(Host, PacedHostSpacesPacketsOnWire) {
     p.dst_vm = 1;
     p.src_server = 0;
     p.dst_server = 1;
-    host.send(p);
+    host.send(ev.pool().clone(p));
   }
   ev.run_all();
   ASSERT_EQ(arrivals.size(), 10u);
@@ -358,14 +454,18 @@ TEST(Host, LoopbackBypassesFabric) {
   tcfg.servers_per_rack = 2;
   topology::Topology topo(tcfg);
   Fabric fabric(ev, topo, PortConfig{});
-  fabric.set_host_deliver([](Packet) { FAIL() << "loopback hit the fabric"; });
+  fabric.set_host_deliver(
+      [](PacketHandle) { FAIL() << "loopback hit the fabric"; });
   Host host(ev, fabric, 0, Host::Config{});
   int local = 0;
-  host.set_local_deliver([&](Packet) { ++local; });
+  host.set_local_deliver([&](PacketHandle h) {
+    ++local;
+    ev.pool().free(h);
+  });
   Packet p = data_packet(1);
   p.src_server = 0;
   p.dst_server = 0;
-  host.send(p);
+  host.send(ev.pool().clone(p));
   ev.run_all();
   EXPECT_EQ(local, 1);
 }

@@ -26,12 +26,17 @@ struct Loop {
   std::unique_ptr<TcpFlow> flow;
 
   explicit Loop(TcpConfig cfg = {}, PortConfig pcfg = port())
-      : fwd(ev, pcfg, [this](Packet p) { flow->on_packet(p); }),
-        rev(ev, port(), [this](Packet p) { flow->on_packet(p); }) {
+      : fwd(ev, pcfg, [this](PacketHandle h) { consume(h); }),
+        rev(ev, port(), [this](PacketHandle h) { consume(h); }) {
     flow = std::make_unique<TcpFlow>(
-        ev, 0, 0, 1, 0, 1, cfg,
-        [this](Packet&& p) { fwd.enqueue(std::move(p)); },
-        [this](Packet&& p) { rev.enqueue(std::move(p)); });
+        ev, 0, 0, 1, 0, 1, cfg, [this](PacketHandle h) { fwd.enqueue(h); },
+        [this](PacketHandle h) { rev.enqueue(h); });
+  }
+
+  void consume(PacketHandle h) {
+    const Packet p = ev.pool().get(h);  // copy: on_packet allocates the ACK
+    ev.pool().free(h);
+    flow->on_packet(p);
   }
 };
 
@@ -123,10 +128,13 @@ TEST(Transport, RtoBacksOffExponentially) {
   TcpConfig cfg;
   cfg.min_rto = 10 * kMsec;
   int delivered = 0;
-  SwitchPortSim fwd(ev, port(), [&](Packet) { ++delivered; });
-  TcpFlow flow(
-      ev, 0, 0, 1, 0, 1, cfg, [&](Packet&& p) { fwd.enqueue(std::move(p)); },
-      [](Packet&&) { /* ACK black hole */ });
+  SwitchPortSim fwd(ev, port(), [&](PacketHandle h) {
+    ++delivered;
+    ev.pool().free(h);
+  });
+  TcpFlow flow(ev, 0, 0, 1, 0, 1, cfg,
+               [&](PacketHandle h) { fwd.enqueue(h); },
+               [&](PacketHandle h) { ev.pool().free(h); /* ACK black hole */ });
   flow.app_write(1000);
   ev.run_until(200 * kMsec);
   const auto& rtos = flow.rto_events();
