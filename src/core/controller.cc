@@ -17,13 +17,121 @@ std::optional<TenantHandle> SiloController::admit(
   auto placed = engine_.place(request);
   if (!placed) return std::nullopt;
   TenantHandle handle{placed->id, placed->vm_to_server};
-  tenants_.emplace(placed->id, TenantState{request, placed->vm_to_server});
+  tenants_.emplace(placed->id,
+                   TenantState{request, placed->vm_to_server, placed->id,
+                               TenantStatus::kGuaranteed});
   return handle;
 }
 
 void SiloController::release(const TenantHandle& handle) {
-  engine_.remove(handle.id);
-  tenants_.erase(handle.id);
+  auto it = tenants_.find(handle.id);
+  if (it == tenants_.end()) return;
+  if (it->second.engine_id >= 0) engine_.remove(it->second.engine_id);
+  tenants_.erase(it);
+}
+
+std::vector<placement::TenantId> SiloController::to_external(
+    const std::vector<placement::TenantId>& engine_ids) const {
+  std::vector<placement::TenantId> out;
+  for (const auto eid : engine_ids) {
+    for (const auto& [id, state] : tenants_) {
+      if (state.engine_id == eid) {
+        out.push_back(id);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<placement::TenantId> SiloController::non_guaranteed_tenants()
+    const {
+  std::vector<placement::TenantId> out;
+  for (const auto& [id, state] : tenants_) {
+    if (state.status != TenantStatus::kGuaranteed) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void SiloController::append_records(
+    placement::TenantId id, const TenantState& state,
+    std::vector<PacerConfigRecord>& out) const {
+  if (state.request.tenant_class == TenantClass::kBestEffort) return;
+  for (int v = 0; v < state.request.num_vms; ++v) {
+    PacerConfigRecord rec;
+    rec.tenant = id;
+    rec.vm_index = v;
+    rec.server = state.vm_to_server[static_cast<std::size_t>(v)];
+    rec.guarantee = state.request.guarantee;
+    for (int p = 0; p < state.request.num_vms; ++p) {
+      if (p == v) continue;
+      rec.peers.emplace_back(p,
+                             state.vm_to_server[static_cast<std::size_t>(p)]);
+    }
+    out.push_back(std::move(rec));
+  }
+}
+
+RecoveryReport SiloController::recover(
+    std::vector<placement::TenantId> affected) {
+  std::sort(affected.begin(), affected.end());
+  RecoveryReport report;
+  report.affected = affected;
+  for (const auto id : affected) {
+    auto& state = tenants_.at(id);
+    if (state.engine_id >= 0) engine_.remove(state.engine_id);
+    // Full re-admission first: exactly the network-calculus checks the
+    // tenant's original admission ran, against the post-failure fabric.
+    if (auto placed = engine_.place(state.request)) {
+      state.engine_id = placed->id;
+      state.vm_to_server = placed->vm_to_server;
+      state.status = TenantStatus::kGuaranteed;
+      report.replaced.push_back(id);
+      append_records(id, state, report.refreshed);
+      continue;
+    }
+    // Guarantees infeasible: run the VMs best-effort (slots only, low
+    // priority, unpaced) so the tenant keeps computing while degraded.
+    TenantRequest degraded = state.request;
+    degraded.tenant_class = TenantClass::kBestEffort;
+    if (auto placed = engine_.place(degraded)) {
+      state.engine_id = placed->id;
+      state.vm_to_server = placed->vm_to_server;
+      state.status = TenantStatus::kDegraded;
+      report.degraded.push_back(id);
+      continue;
+    }
+    state.engine_id = -1;
+    state.vm_to_server.assign(
+        static_cast<std::size_t>(state.request.num_vms), -1);
+    state.status = TenantStatus::kUnplaced;
+    report.unplaced.push_back(id);
+  }
+  return report;
+}
+
+RecoveryReport SiloController::handle_server_failure(int server) {
+  const auto affected = to_external(engine_.tenants_on_server(server));
+  engine_.fail_server(server);
+  return recover(affected);
+}
+
+RecoveryReport SiloController::handle_link_failure(topology::PortId port) {
+  const auto affected = to_external(engine_.tenants_using_port(port));
+  engine_.fail_port(port);
+  return recover(affected);
+}
+
+RecoveryReport SiloController::restore_server(int server) {
+  engine_.restore_server(server);
+  return recover(non_guaranteed_tenants());
+}
+
+RecoveryReport SiloController::restore_link(topology::PortId port) {
+  engine_.restore_port(port);
+  return recover(non_guaranteed_tenants());
 }
 
 std::vector<PacerConfigRecord> SiloController::server_config(
@@ -32,6 +140,8 @@ std::vector<PacerConfigRecord> SiloController::server_config(
   for (const auto& [id, state] : tenants_) {
     if (state.request.tenant_class == TenantClass::kBestEffort)
       continue;  // best-effort VMs run unpaced at low priority (§4.4)
+    if (state.status != TenantStatus::kGuaranteed)
+      continue;  // degraded/unplaced tenants are not paced
     for (int v = 0; v < state.request.num_vms; ++v) {
       if (state.vm_to_server[static_cast<std::size_t>(v)] != server) continue;
       PacerConfigRecord rec;
@@ -60,6 +170,10 @@ DatacenterStats SiloController::stats() const {
   s.total_slots = topo_.total_vm_slots();
   s.free_slots = engine_.free_slots();
   s.admitted_tenants = engine_.admitted_tenants();
+  for (const auto& [id, state] : tenants_) {
+    if (state.status == TenantStatus::kDegraded) ++s.degraded_tenants;
+    if (state.status == TenantStatus::kUnplaced) ++s.unplaced_tenants;
+  }
   for (int p = 0; p < topo_.num_ports(); ++p) {
     const topology::PortId id{p};
     s.max_port_reservation =

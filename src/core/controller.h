@@ -35,15 +35,38 @@ struct TenantHandle {
   std::vector<int> vm_to_server;
 };
 
+/// Per-tenant guarantee status after failures (§4.1 only holds while the
+/// tenant's reservation is in place end to end).
+enum class TenantStatus {
+  kGuaranteed,  ///< placed with full guarantees validated
+  kDegraded,    ///< re-placed best-effort after a failure; no guarantees
+  kUnplaced,    ///< no capacity anywhere; awaiting hardware restore
+};
+
 struct DatacenterStats {
   int total_slots = 0;
   int free_slots = 0;
   int admitted_tenants = 0;
+  /// Tenants running without their guarantees after a failure.
+  int degraded_tenants = 0;
+  /// Tenants with no placement at all (evacuated, nowhere to go).
+  int unplaced_tenants = 0;
   /// Highest fraction of any port's line rate that is reserved.
   double max_port_reservation = 0;
   /// Worst admitted queue bound anywhere, as a fraction of that port's
   /// queue capacity (<= 1 by construction for Silo policy).
   double max_queue_headroom_used = 0;
+};
+
+/// Outcome of one failure/restore event: which tenants were touched and
+/// where they ended up, plus the pacer records to push to hypervisors for
+/// every re-placed guaranteed VM.
+struct RecoveryReport {
+  std::vector<placement::TenantId> affected;  ///< sorted, deterministic
+  std::vector<placement::TenantId> replaced;  ///< full guarantees re-validated
+  std::vector<placement::TenantId> degraded;  ///< best-effort fallback
+  std::vector<placement::TenantId> unplaced;  ///< no slots anywhere
+  std::vector<PacerConfigRecord> refreshed;   ///< configs for replaced VMs
 };
 
 class SiloController {
@@ -65,6 +88,30 @@ class SiloController {
   /// Release a tenant's VMs and reservations.
   void release(const TenantHandle& handle);
 
+  /// A server died: evacuate every tenant with a VM on it and re-place
+  /// each one under the same admission checks it was originally admitted
+  /// with. Tenants that no longer fit with guarantees drop to explicit
+  /// best-effort degraded mode (or unplaced when no slots exist at all).
+  RecoveryReport handle_server_failure(int server);
+
+  /// A fabric link died: re-place every tenant whose traffic crosses it so
+  /// no guaranteed tenant depends on the dead link. Same fallback ladder.
+  RecoveryReport handle_link_failure(topology::PortId port);
+
+  /// Hardware came back: re-validate every degraded/unplaced tenant,
+  /// promoting those whose full guarantees are feasible again.
+  RecoveryReport restore_server(int server);
+  RecoveryReport restore_link(topology::PortId port);
+
+  TenantStatus tenant_status(placement::TenantId id) const {
+    return tenants_.at(id).status;
+  }
+  /// Current placement (may differ from the admit-time handle after
+  /// recovery; -1 entries mean the VM is unplaced).
+  const std::vector<int>& tenant_placement(placement::TenantId id) const {
+    return tenants_.at(id).vm_to_server;
+  }
+
   /// Pacer configuration for every guaranteed VM currently on `server` —
   /// the state pushed to that server's hypervisor driver.
   std::vector<PacerConfigRecord> server_config(int server) const;
@@ -85,7 +132,20 @@ class SiloController {
   struct TenantState {
     TenantRequest request;
     std::vector<int> vm_to_server;
+    /// Current placement-engine id — changes on every re-placement while
+    /// the controller-facing tenant id stays stable; -1 when unplaced.
+    placement::TenantId engine_id = -1;
+    TenantStatus status = TenantStatus::kGuaranteed;
   };
+
+  /// Evacuate + re-place each affected tenant: full guarantees first,
+  /// best-effort degraded second, unplaced as the last resort.
+  RecoveryReport recover(std::vector<placement::TenantId> affected);
+  std::vector<placement::TenantId> to_external(
+      const std::vector<placement::TenantId>& engine_ids) const;
+  std::vector<placement::TenantId> non_guaranteed_tenants() const;
+  void append_records(placement::TenantId id, const TenantState& state,
+                      std::vector<PacerConfigRecord>& out) const;
 
   topology::Topology topo_;
   placement::PlacementEngine engine_;

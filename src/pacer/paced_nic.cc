@@ -28,6 +28,14 @@ TimeNs PacedNic::next_start(TimeNs now) const {
   return std::max(now, queue_.front().release);
 }
 
+std::vector<std::uint64_t> PacedNic::drain() {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(queue_.size());
+  for (const Pending& p : queue_) ids.push_back(p.id);
+  queue_.clear();
+  return ids;
+}
+
 void PacedNic::fill_void(std::vector<WireSlot>& out, TimeNs& cursor,
                          TimeNs target) {
   while (cursor < target) {

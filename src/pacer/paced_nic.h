@@ -60,6 +60,10 @@ class PacedNic {
   /// build_batch call overwrites — consume it before rebuilding.
   const std::vector<WireSlot>& build_batch(TimeNs now);
 
+  /// Fault injection (server crash): empty the queue and hand back the ids
+  /// of the pending packets so the owner can recycle their pool handles.
+  std::vector<std::uint64_t> drain();
+
   const BatchStats& stats() const { return stats_; }
   RateBps line_rate() const { return line_rate_; }
   TimeNs batch_window() const { return batch_window_; }

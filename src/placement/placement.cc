@@ -35,6 +35,91 @@ PlacementEngine::PlacementEngine(const topology::Topology& topo, Policy policy,
                                               topo.config().racks_per_pod);
   free_slots_total_ = topo.total_vm_slots();
   port_load_.resize(topo.num_ports());
+  server_failed_.assign(static_cast<std::size_t>(topo.num_servers()), 0);
+  quarantined_slots_.assign(static_cast<std::size_t>(topo.num_servers()), 0);
+  port_failed_.assign(static_cast<std::size_t>(topo.num_ports()), 0);
+}
+
+void PlacementEngine::fail_server(int server) {
+  if (server_failed_[static_cast<std::size_t>(server)]) return;
+  server_failed_[static_cast<std::size_t>(server)] = 1;
+  const int f = free_slots_[server];
+  quarantined_slots_[static_cast<std::size_t>(server)] = f;
+  free_slots_[server] = 0;
+  free_slots_rack_[topo_.rack_of_server(server)] -= f;
+  free_slots_pod_[topo_.pod_of_server(server)] -= f;
+  free_slots_total_ -= f;
+}
+
+void PlacementEngine::restore_server(int server) {
+  if (!server_failed_[static_cast<std::size_t>(server)]) return;
+  server_failed_[static_cast<std::size_t>(server)] = 0;
+  const int f = quarantined_slots_[static_cast<std::size_t>(server)];
+  quarantined_slots_[static_cast<std::size_t>(server)] = 0;
+  free_slots_[server] += f;
+  free_slots_rack_[topo_.rack_of_server(server)] += f;
+  free_slots_pod_[topo_.pod_of_server(server)] += f;
+  free_slots_total_ += f;
+}
+
+void PlacementEngine::fail_port(topology::PortId p) {
+  port_failed_[static_cast<std::size_t>(p.value)] = 1;
+}
+
+void PlacementEngine::restore_port(topology::PortId p) {
+  port_failed_[static_cast<std::size_t>(p.value)] = 0;
+}
+
+std::vector<TenantId> PlacementEngine::tenants_on_server(int server) const {
+  std::vector<TenantId> out;
+  for (const auto& [id, rec] : tenants_) {
+    for (const auto& [s, count] : rec.slot_usage) {
+      if (s == server) {
+        out.push_back(id);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool PlacementEngine::placement_uses_port(const TenantRecord& rec,
+                                          int port) const {
+  if (rec.slot_usage.size() < 2) return false;  // colocated: never on fabric
+  int first_rack = -1, first_pod = -1;
+  bool multi_rack = false, multi_pod = false;
+  for (const auto& [s, count] : rec.slot_usage) {
+    const int r = topo_.rack_of_server(s);
+    const int p = topo_.pod_of_rack(r);
+    if (first_rack < 0) first_rack = r;
+    if (first_pod < 0) first_pod = p;
+    multi_rack = multi_rack || r != first_rack;
+    multi_pod = multi_pod || p != first_pod;
+  }
+  for (const auto& [s, count] : rec.slot_usage) {
+    if (topo_.server_up(s).value == port || topo_.server_down(s).value == port)
+      return true;
+    const int r = topo_.rack_of_server(s);
+    if (multi_rack &&
+        (topo_.rack_up(r).value == port || topo_.rack_down(r).value == port))
+      return true;
+    const int p = topo_.pod_of_server(s);
+    if (multi_pod &&
+        (topo_.pod_up(p).value == port || topo_.pod_down(p).value == port))
+      return true;
+  }
+  return false;
+}
+
+std::vector<TenantId> PlacementEngine::tenants_using_port(
+    topology::PortId p) const {
+  std::vector<TenantId> out;
+  for (const auto& [id, rec] : tenants_) {
+    if (placement_uses_port(rec, p.value)) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 TimeNs PlacementEngine::scope_path_capacity(Scope scope) const {
@@ -145,6 +230,11 @@ PortContribution PlacementEngine::cut_contribution(const TenantRequest& req,
 }
 
 bool PlacementEngine::port_admits(int port, const PortContribution& c) const {
+  // A dead port cannot honor a reservation; zero-reservation probes
+  // (best-effort tenants) pass so degraded placement stays feasible.
+  if (port_failed_[static_cast<std::size_t>(port)] &&
+      (c.rate_bps > 0 || c.burst_bytes > 0))
+    return false;
   if (policy_ == Policy::kLocality) return true;
   const auto id = topology::PortId{port};
   const auto& p = topo_.port(id);
@@ -161,6 +251,10 @@ bool PlacementEngine::port_admits(int port, const PortContribution& c) const {
 bool PlacementEngine::server_ports_ok(const TenantRequest& req, int server,
                                       int m_here, Scope scope) const {
   if (policy_ == Policy::kLocality) return true;
+  // Best-effort tenants reserve nothing (slots-only admission, matching
+  // tenant_contributions): probing ports with their nominal guarantee
+  // would wrongly block the degraded fallback on failed or loaded ports.
+  if (req.tenant_class == TenantClass::kBestEffort) return true;
   const int n = req.num_vms;
   if (m_here >= n) return true;  // all VMs colocated: no fabric traffic
   const RateBps link = topo_.config().server_link_rate;
@@ -356,6 +450,12 @@ void PlacementEngine::remove(TenantId id) {
   auto it = tenants_.find(id);
   if (it == tenants_.end()) return;
   for (const auto& [server, count] : it->second.slot_usage) {
+    if (server_failed_[static_cast<std::size_t>(server)]) {
+      // Evacuating a dead server: the slots exist but are unusable until
+      // the hardware comes back.
+      quarantined_slots_[static_cast<std::size_t>(server)] += count;
+      continue;
+    }
     free_slots_[server] += count;
     free_slots_rack_[topo_.rack_of_server(server)] += count;
     free_slots_pod_[topo_.pod_of_server(server)] += count;

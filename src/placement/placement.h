@@ -60,6 +60,31 @@ class PlacementEngine {
   /// Releases a tenant's slots and port reservations.
   void remove(TenantId id);
 
+  // --- Fault model -------------------------------------------------------
+  // A failed server's free slots leave the pool, and slots later freed on
+  // it (tenants being evacuated) are quarantined until restore_server — so
+  // re-placement can never land VMs back on dead hardware. A failed port
+  // rejects any placement that would reserve capacity on it; zero-
+  // reservation (best-effort) placements still pass, which is what keeps
+  // degraded-mode fallback feasible while a link is down.
+
+  void fail_server(int server);
+  void restore_server(int server);
+  bool server_failed(int server) const {
+    return server_failed_[static_cast<std::size_t>(server)] != 0;
+  }
+  void fail_port(topology::PortId p);
+  void restore_port(topology::PortId p);
+  bool port_failed(topology::PortId p) const {
+    return port_failed_[static_cast<std::size_t>(p.value)] != 0;
+  }
+
+  /// Admitted tenants with at least one VM on `server`, ascending id.
+  std::vector<TenantId> tenants_on_server(int server) const;
+  /// Admitted tenants whose placement routes traffic through `p`,
+  /// ascending id (derived from the placement's rack/pod spread).
+  std::vector<TenantId> tenants_using_port(topology::PortId p) const;
+
   int free_slots() const { return free_slots_total_; }
   int admitted_tenants() const { return static_cast<int>(tenants_.size()); }
 
@@ -111,6 +136,7 @@ class PlacementEngine {
 
   Scope widest_scope_for_delay(const SiloGuarantee& g) const;
   void commit(TenantRecord&& rec, AdmittedTenant& out);
+  bool placement_uses_port(const TenantRecord& rec, int port) const;
 
   const topology::Topology& topo_;
   Policy policy_;
@@ -121,6 +147,9 @@ class PlacementEngine {
   std::vector<int> free_slots_pod_;
   int free_slots_total_ = 0;
   std::vector<PortLoad> port_load_;
+  std::vector<char> server_failed_;
+  std::vector<int> quarantined_slots_;  ///< freed-on-failed-server slots
+  std::vector<char> port_failed_;
   std::unordered_map<TenantId, TenantRecord> tenants_;
   TenantId next_id_ = 0;
 };

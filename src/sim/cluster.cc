@@ -193,6 +193,7 @@ ClusterSim::FlowRuntime& ClusterSim::flow_for(int tenant, int src_local,
   fr->flow->set_on_delivery([this, flow_id](std::int64_t delivered) {
     on_flow_delivery(flow_id, delivered);
   });
+  fr->flow->set_on_abort([this, flow_id] { on_flow_abort(flow_id); });
   flows_.push_back(std::move(fr));
   flow_tenant_.push_back(tenant);
   rt.pair_to_flow.emplace(key, flow_id);
@@ -214,6 +215,7 @@ void ClusterSim::send_message(int tenant, int src_local, int dst_local,
   auto& fr = flow_for(tenant, src_local, dst_local);
   FlowRuntime::Boundary b;
   b.end_seq = fr.flow->bytes_written() + size;
+  b.size = size;
   b.start = events_.now();
   b.rto_index = fr.flow->rto_events().size();
   b.done = std::move(done);
@@ -223,13 +225,40 @@ void ClusterSim::send_message(int tenant, int src_local, int dst_local,
 
 void ClusterSim::on_flow_delivery(int flow_id, std::int64_t delivered) {
   auto& fr = *flows_[flow_id];
+  auto& rt = tenants_[flow_tenant_[flow_id]];
   while (!fr.boundaries.empty() && fr.boundaries.front().end_seq <= delivered) {
     auto b = std::move(fr.boundaries.front());
     fr.boundaries.pop_front();
+    MessageResult res;
+    res.latency = events_.now() - b.start;
+    res.had_rto = fr.flow->rto_events().size() > b.rto_index;
+    ++rt.counters.completed;
+    // SLO accounting against the §4.1 bound the tenant was admitted with.
+    const SiloGuarantee& g = rt.request.guarantee;
+    if (rt.request.tenant_class != TenantClass::kBestEffort &&
+        g.wants_delay_guarantee() && g.bandwidth > 0 &&
+        res.latency > max_message_latency(g, b.size)) {
+      ++rt.counters.slo_violations;
+    }
+    if (b.done) b.done(res);
+  }
+}
+
+void ClusterSim::on_flow_abort(int flow_id) {
+  // The transport discarded its undelivered tail, so every outstanding
+  // message on the flow is dead — including ones queued behind the stuck
+  // head. Owners see `aborted` and may retry on a fresh epoch.
+  auto& fr = *flows_[flow_id];
+  auto& rt = tenants_[flow_tenant_[flow_id]];
+  while (!fr.boundaries.empty()) {
+    auto b = std::move(fr.boundaries.front());
+    fr.boundaries.pop_front();
+    ++rt.counters.aborted;
     if (b.done) {
       MessageResult res;
       res.latency = events_.now() - b.start;
-      res.had_rto = fr.flow->rto_events().size() > b.rto_index;
+      res.had_rto = true;
+      res.aborted = true;
       b.done(res);
     }
   }
@@ -250,10 +279,41 @@ int ClusterSim::tenant_rto_count(int tenant) const {
   return total;
 }
 
+int ClusterSim::tenant_abort_count(int tenant) const {
+  int total = 0;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (flow_tenant_[i] == tenant) total += flows_[i]->flow->abort_count();
+  }
+  return total;
+}
+
+std::int64_t ClusterSim::total_aborted_messages() const {
+  std::int64_t total = 0;
+  for (const auto& rt : tenants_) total += rt.counters.aborted;
+  return total;
+}
+
+std::int64_t ClusterSim::total_completed_messages() const {
+  std::int64_t total = 0;
+  for (const auto& rt : tenants_) total += rt.counters.completed;
+  return total;
+}
+
+std::int64_t ClusterSim::total_fault_drops() const {
+  std::int64_t total = fabric_->total_fault_drops();
+  for (const auto& h : hosts_) total += h->fault_drops();
+  return total;
+}
+
 void ClusterSim::dispatch(PacketHandle h) {
   // Copy out and recycle the handle first: on_packet allocates the ACK from
   // the same pool, which may grow the arena under a live reference.
   const Packet p = events_.pool().get(h);
+  if (!hosts_[p.dst_server]->up()) {
+    // Delivered to a crashed server: the frame dies at the dead NIC.
+    hosts_[p.dst_server]->drop_faulted(h);
+    return;
+  }
   events_.pool().free(h);
   if (p.flow_id < 0 || p.flow_id >= static_cast<int>(flows_.size())) return;
   if (tap_) tap_(p);

@@ -78,8 +78,20 @@ class ClusterSim {
   struct MessageResult {
     TimeNs latency = 0;
     bool had_rto = false;
+    /// The transport aborted (bounded-retry limit) before the message was
+    /// delivered — counted apart from completions; drivers retry these.
+    bool aborted = false;
   };
   using MsgCallback = std::function<void(const MessageResult&)>;
+
+  /// Per-tenant message accounting, including fault-recovery outcomes.
+  struct TenantCounters {
+    std::int64_t completed = 0;
+    std::int64_t aborted = 0;
+    /// Completed messages whose latency exceeded the §4.1 bound the tenant
+    /// was admitted with (only tracked for delay-guaranteed tenants).
+    std::int64_t slo_violations = 0;
+  };
 
   /// Write a `size`-byte message from one tenant VM to another at the
   /// current simulation time; `done` fires when the last byte is delivered
@@ -92,6 +104,17 @@ class ClusterSim {
                                     int dst_local) const;
   /// RTO count summed over a tenant's flows.
   int tenant_rto_count(int tenant) const;
+  /// Aborted-connection count summed over a tenant's flows.
+  int tenant_abort_count(int tenant) const;
+
+  const TenantCounters& tenant_counters(int tenant) const {
+    return tenants_.at(tenant).counters;
+  }
+  std::int64_t total_aborted_messages() const;
+  std::int64_t total_completed_messages() const;
+  /// Packets killed by injected faults anywhere: dead links, loss windows,
+  /// crashed servers (sums fabric ports and hosts).
+  std::int64_t total_fault_drops() const;
 
   /// Introspection for tests and debugging: the transport object of a
   /// pair's flow, or nullptr if no message was ever sent on the pair.
@@ -113,6 +136,8 @@ class ClusterSim {
   Fabric& fabric() { return *fabric_; }
   const topology::Topology& topo() const { return *topo_; }
   const Host& host(int server) const { return *hosts_[server]; }
+  /// Mutable host access for fault injection (crash / restore).
+  Host& host_mut(int server) { return *hosts_[server]; }
   void run_until(TimeNs t) { events_.run_until(t); }
 
  private:
@@ -120,6 +145,7 @@ class ClusterSim {
     std::unique_ptr<TcpFlow> flow;
     struct Boundary {
       std::int64_t end_seq;
+      Bytes size;
       TimeNs start;
       std::size_t rto_index;  ///< rto_events() size at message start
       MsgCallback done;
@@ -133,6 +159,7 @@ class ClusterSim {
     int vm_base = 0;             ///< first global VM id
     std::unique_ptr<pacer::TenantPacerGroup> pacers;
     std::unordered_map<std::int64_t, int> pair_to_flow;  ///< (src,dst) -> flow id
+    TenantCounters counters;
   };
 
   bool scheme_paced() const {
@@ -158,6 +185,7 @@ class ClusterSim {
   const FlowRuntime* find_flow(int tenant, int src_local, int dst_local) const;
   void dispatch(PacketHandle h);
   void on_flow_delivery(int flow_id, std::int64_t delivered);
+  void on_flow_abort(int flow_id);
   void rebalance_tenant(int tenant);
 
   ClusterConfig cfg_;

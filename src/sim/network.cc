@@ -63,6 +63,12 @@ std::int64_t Fabric::total_ecn_marks() const {
   return total;
 }
 
+std::int64_t Fabric::total_fault_drops() const {
+  std::int64_t total = 0;
+  for (const auto& port : ports_) total += port->stats().fault_drops;
+  return total;
+}
+
 Host::Host(EventQueue& events, Fabric& fabric, int server_id,
            const Config& cfg)
     : events_(events),
@@ -83,7 +89,38 @@ Host::Host(EventQueue& events, Fabric& fabric, int server_id,
       });
 }
 
+void Host::set_up(bool up) {
+  if (up == up_) return;
+  up_ = up;
+  if (up) {
+    loopback_->set_link_up(true);
+    return;
+  }
+  // Crash: everything parked on this server dies. Per-VM pacer queues,
+  // the NIC batch queue (slot ids are pool handles) and the loopback
+  // vswitch all hold live handles that must go back to the pool.
+  for (auto& [vm, v] : tx_) {
+    for (auto& [dst, dq] : v.dests) {
+      for (const PacketHandle h : dq.q) drop_faulted(h);
+      dq.q.clear();
+      dq.bytes = 0;
+    }
+  }
+  for (const std::uint64_t id : nic_.drain())
+    drop_faulted(static_cast<PacketHandle>(id));
+  loopback_->set_link_up(false);
+}
+
+void Host::drop_faulted(PacketHandle h) {
+  ++fault_drops_;
+  events_.pool().free(h);
+}
+
 void Host::send(PacketHandle h) {
+  if (!up_) {
+    drop_faulted(h);
+    return;
+  }
   const Packet& p = events_.pool().get(h);
   if (p.dst_server == server_id_) {
     // VM-to-VM on the same server: the virtual switch forwards internally
@@ -234,6 +271,11 @@ void Host::handle_batch_end() {
 }
 
 void Host::handle_ingress(PacketHandle h) {
+  if (!up_) {
+    // The server died after this frame was scheduled onto the wire.
+    drop_faulted(h);
+    return;
+  }
   fabric_.ingress_from_host(h);
 }
 

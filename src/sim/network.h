@@ -47,6 +47,7 @@ class Fabric {
 
   std::int64_t total_drops() const;
   std::int64_t total_ecn_marks() const;
+  std::int64_t total_fault_drops() const;
 
  private:
   void advance(PacketHandle h);
@@ -82,6 +83,19 @@ class Host {
   Host(EventQueue& events, Fabric& fabric, int server_id, const Config& cfg);
 
   int server_id() const { return server_id_; }
+
+  /// Fault injection: crash / restore this server. Crashing frees every
+  /// packet parked in the pacer queues, the NIC batch queue and the
+  /// loopback vswitch (counted in fault_drops); while down, all packets
+  /// sent by or addressed to this host are dropped.
+  void set_up(bool up);
+  bool up() const { return up_; }
+
+  /// Drop a packet because this host is dead (delivery to a crashed
+  /// server). Takes ownership and frees the handle.
+  void drop_faulted(PacketHandle h);
+
+  std::int64_t fault_drops() const { return fault_drops_; }
 
   /// Register the pacer enforcing a hosted VM's guarantees (Silo/Oktopus
   /// schemes). Unpaced VMs simply have no entry.
@@ -144,6 +158,8 @@ class Host {
   std::unordered_map<int, pacer::VmPacer*> pacers_;
   std::unordered_map<int, VmTx> tx_;
   std::int64_t pacer_drops_ = 0;
+  std::int64_t fault_drops_ = 0;
+  bool up_ = true;
   bool transmitting_ = false;
   bool build_scheduled_ = false;
   TimeNs scheduled_start_ = 0;

@@ -59,7 +59,47 @@ void SwitchPortSim::enqueue_pfabric(PacketHandle h) {
   if (!busy_) start_tx();
 }
 
+void SwitchPortSim::set_link_up(bool up) {
+  if (up == link_up_) return;
+  link_up_ = up;
+  if (!up) {
+    // Queued packets die with the link; the one on the wire (if any) dies
+    // at its tx-done. Freeing here, not at restore, keeps the pool's live
+    // count honest through the whole outage.
+    flush_queues();
+  } else if (!busy_) {
+    start_tx();  // queues are empty after the flush, but stay consistent
+  }
+}
+
+void SwitchPortSim::flush_queues() {
+  PacketPool& pool = events_.pool();
+  for (auto& q : queue_) {
+    for (const PacketHandle h : q) {
+      ++stats_.fault_drops;
+      pool.free(h);
+    }
+    q.clear();
+  }
+  for (const auto& e : pfabric_queue_) {
+    ++stats_.fault_drops;
+    pool.free(e.handle);
+  }
+  pfabric_queue_.clear();
+  queued_bytes_ = 0;
+}
+
 void SwitchPortSim::enqueue(PacketHandle h) {
+  if (!link_up_) {
+    ++stats_.fault_drops;
+    events_.pool().free(h);
+    return;
+  }
+  if (loss_rng_ && loss_rng_->uniform() < loss_rate_) {
+    ++stats_.fault_drops;
+    events_.pool().free(h);
+    return;
+  }
   if (cfg_.pfabric) {
     enqueue_pfabric(h);
     return;
@@ -107,6 +147,13 @@ void SwitchPortSim::start_tx() {
 }
 
 void SwitchPortSim::handle_tx_done(PacketHandle h) {
+  if (!link_up_) {
+    // The link died mid-transmission: the packet never made it across.
+    ++stats_.fault_drops;
+    events_.pool().free(h);
+    start_tx();  // queue was flushed, so this just clears busy_
+    return;
+  }
   ++stats_.tx_packets;
   stats_.tx_bytes += events_.pool().get(h).wire_bytes;
   // Hand to the next hop after propagation; transmission of the next

@@ -13,6 +13,7 @@
 #include "sim/event_queue.h"
 #include "sim/packet.h"
 #include "sim/packet_pool.h"
+#include "util/rng.h"
 #include "util/units.h"
 
 namespace silo::sim {
@@ -35,6 +36,9 @@ struct PortStats {
   std::int64_t tx_bytes = 0;
   std::int64_t drops = 0;
   std::int64_t ecn_marks = 0;
+  /// Packets killed by injected faults (dead link, random loss) — kept
+  /// apart from congestion `drops` so recovery tests can tell them apart.
+  std::int64_t fault_drops = 0;
   Bytes max_queue_bytes = 0;
 };
 
@@ -50,6 +54,19 @@ class SwitchPortSim {
   /// Queue a packet for transmission; drops (and frees) when the buffer is
   /// full. Takes ownership of the handle.
   void enqueue(PacketHandle h);
+
+  /// Fault injection: a downed link flushes (and frees) everything queued,
+  /// kills the packet currently on the wire at tx-done, and drops all new
+  /// arrivals until the link comes back up.
+  void set_link_up(bool up);
+  bool link_up() const { return link_up_; }
+
+  /// Probabilistic per-link packet loss (injected fault, not congestion).
+  /// `rng` must outlive the loss window; rate 0 / nullptr disables.
+  void set_loss(double rate, Rng* rng) {
+    loss_rate_ = rate;
+    loss_rng_ = rate > 0 ? rng : nullptr;
+  }
 
   Bytes queued_bytes() const { return queued_bytes_; }
   const PortStats& stats() const { return stats_; }
@@ -77,6 +94,7 @@ class SwitchPortSim {
   void handle_deliver(PacketHandle h);
   void enqueue_pfabric(PacketHandle h);
   PacketHandle dequeue_next();
+  void flush_queues();
 
   EventQueue& events_;
   PortConfig cfg_;
@@ -86,6 +104,9 @@ class SwitchPortSim {
   std::uint64_t pfabric_arrivals_ = 0;
   Bytes queued_bytes_ = 0;
   bool busy_ = false;
+  bool link_up_ = true;
+  double loss_rate_ = 0;
+  Rng* loss_rng_ = nullptr;
   double phantom_bytes_ = 0;
   TimeNs phantom_updated_ = 0;
   PortStats stats_;

@@ -22,6 +22,9 @@ TcpFlow::TcpFlow(EventQueue& events, int flow_id, int src_vm, int dst_vm,
 }
 
 void TcpFlow::app_write(Bytes n) {
+  // Fresh data on an idle stream starts a new progress epoch, so a long
+  // quiet period can never trip the connection deadline by itself.
+  if (snd_una_ >= stream_end_) last_progress_ = events_.now();
   stream_end_ += n;
   try_send();
 }
@@ -159,6 +162,16 @@ void TcpFlow::on_rto() {
   rto_armed_ = false;
   if (snd_una_ >= stream_end_) return;  // everything got acked meanwhile
   rto_events_.push_back(events_.now());
+  ++consecutive_rtos_;
+  const bool retries_exhausted = cfg_.max_consecutive_rtos > 0 &&
+                                 consecutive_rtos_ >= cfg_.max_consecutive_rtos;
+  const bool deadline_passed =
+      cfg_.conn_deadline > 0 &&
+      events_.now() - last_progress_ >= cfg_.conn_deadline;
+  if (retries_exhausted || deadline_passed) {
+    abort_connection();
+    return;
+  }
   ssthresh_ = std::max((snd_next_ - snd_una_) / 2.0,
                        2.0 * static_cast<double>(cfg_.mss));
   cwnd_ = static_cast<double>(cfg_.mss);
@@ -167,6 +180,28 @@ void TcpFlow::on_rto() {
   dupacks_ = 0;
   rto_ = std::min(rto_ * 2, cfg_.max_rto);  // exponential backoff
   try_send();
+}
+
+void TcpFlow::abort_connection() {
+  // Connection reset: the undelivered tail of the stream is discarded and
+  // both endpoints realign on a fresh epoch at stream_end_. Stale packets
+  // from before the reset are harmless — old data falls at or below the
+  // new rcv_next_ (re-ACKed, not delivered) and old ACKs are below
+  // snd_una_. Congestion state restarts as if the flow were new.
+  abort_events_.push_back(events_.now());
+  snd_una_ = snd_next_ = stream_end_;
+  rcv_next_ = stream_end_;
+  ooo_.clear();
+  cwnd_ = cfg_.init_cwnd_pkts * static_cast<double>(cfg_.mss);
+  ssthresh_ = cfg_.max_cwnd_pkts * static_cast<double>(cfg_.mss);
+  srtt_ = rttvar_ = 0;
+  rto_ = cfg_.min_rto;
+  dupacks_ = 0;
+  in_recovery_ = false;
+  consecutive_rtos_ = 0;
+  last_progress_ = events_.now();
+  cancel_rto();
+  if (on_abort_) on_abort_();
 }
 
 void TcpFlow::dctcp_on_ack(std::int64_t newly_acked, bool marked) {
@@ -208,6 +243,8 @@ void TcpFlow::handle_ack(const Packet& ack) {
     const std::int64_t newly = ack.ack_seq - snd_una_;
     snd_una_ = ack.ack_seq;
     dupacks_ = 0;
+    consecutive_rtos_ = 0;
+    last_progress_ = events_.now();
     if (in_recovery_) {
       if (snd_una_ >= recover_seq_) {
         in_recovery_ = false;

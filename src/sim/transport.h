@@ -27,6 +27,13 @@ struct TcpConfig {
   TimeNs max_rto = 2 * kSec;
   bool dctcp = false;
   double dctcp_g = 1.0 / 16.0;
+  /// Bounded-retry abort: after this many consecutive RTOs with no forward
+  /// progress the connection aborts (undelivered stream discarded, owner
+  /// notified). 0 disables — the seed behavior of retrying forever.
+  int max_consecutive_rtos = 0;
+  /// Abort when no byte has been newly acked for this long while data is
+  /// outstanding (checked at RTO firings). 0 disables.
+  TimeNs conn_deadline = 0;
 };
 
 class TcpFlow {
@@ -39,6 +46,9 @@ class TcpFlow {
   /// Backpressure probe (TSQ-style): may this flow hand another `bytes`
   /// packet to the host right now? Re-polled on every ACK and app write.
   using CanSendFn = std::function<bool(int dst_vm, Bytes bytes)>;
+  /// Fired when the bounded-retry limit aborts the connection; the
+  /// undelivered tail of the stream is discarded before the call.
+  using AbortFn = std::function<void()>;
 
   TcpFlow(EventQueue& events, int flow_id, int src_vm, int dst_vm,
           int src_server, int dst_server, TcpConfig cfg, SendFn send_data,
@@ -54,11 +64,14 @@ class TcpFlow {
   void set_on_delivery(DeliverFn fn) { on_delivery_ = std::move(fn); }
   void set_priority(Priority p) { priority_ = p; }
   void set_can_send(CanSendFn fn) { can_send_ = std::move(fn); }
+  void set_on_abort(AbortFn fn) { on_abort_ = std::move(fn); }
 
   std::int64_t bytes_written() const { return stream_end_; }
   std::int64_t bytes_delivered() const { return rcv_next_; }
   std::int64_t bytes_acked() const { return snd_una_; }
   const std::vector<TimeNs>& rto_events() const { return rto_events_; }
+  const std::vector<TimeNs>& abort_events() const { return abort_events_; }
+  int abort_count() const { return static_cast<int>(abort_events_.size()); }
   int flow_id() const { return flow_id_; }
   int src_vm() const { return src_vm_; }
   int dst_vm() const { return dst_vm_; }
@@ -76,6 +89,7 @@ class TcpFlow {
   void rto_timer_fired();
   void handle_tsq_retry();
   void on_rto();
+  void abort_connection();
   void dctcp_on_ack(std::int64_t newly_acked, bool marked);
   void enter_loss_recovery();
 
@@ -85,6 +99,7 @@ class TcpFlow {
   SendFn send_data_, send_ack_;
   DeliverFn on_delivery_;
   CanSendFn can_send_;
+  AbortFn on_abort_;
   Priority priority_ = Priority::kGuaranteed;
 
   // Sender.
@@ -102,6 +117,9 @@ class TcpFlow {
   bool rto_event_pending_ = false;
   bool tsq_retry_pending_ = false;
   std::vector<TimeNs> rto_events_;
+  std::vector<TimeNs> abort_events_;
+  int consecutive_rtos_ = 0;
+  TimeNs last_progress_ = 0;  ///< last time snd_una_ advanced (or fresh data)
   std::uint64_t next_packet_id_ = 1;
 
   // DCTCP.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -43,7 +44,10 @@ double Stats::stddev() const {
 }
 
 double Stats::percentile(double p) const {
-  if (samples_.empty()) throw std::logic_error("percentile of empty Stats");
+  // NaN, not a throw: report paths routinely query percentiles of stats
+  // that ended up empty (e.g. a faulted run where a driver completed no
+  // messages) and must render "-" rather than crash mid-report.
+  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
   if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile range");
   ensure_sorted();
   const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
@@ -93,6 +97,7 @@ void TextTable::add_row(std::vector<std::string> cells) {
 }
 
 std::string TextTable::fmt(double v, int precision) {
+  if (std::isnan(v)) return "-";  // empty-stats percentiles render as gaps
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os.precision(precision);

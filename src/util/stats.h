@@ -23,6 +23,8 @@ class Stats {
   double stddev() const;
 
   /// p in [0, 100]; linear interpolation between order statistics.
+  /// Returns quiet NaN when no samples were recorded (empty stats are a
+  /// normal outcome of faulted runs, not a programming error).
   double percentile(double p) const;
   double median() const { return percentile(50.0); }
 

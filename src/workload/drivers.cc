@@ -4,6 +4,16 @@
 
 namespace silo::workload {
 
+TimeNs retry_delay(const RetryPolicy& p, int attempt, Rng& rng) {
+  TimeNs backoff = p.base_backoff;
+  for (int i = 1; i < attempt && backoff < p.max_backoff; ++i) backoff *= 2;
+  backoff = std::min(backoff, p.max_backoff);
+  // Full +/- jitter decorrelates retry storms after a shared fault.
+  const double factor = 1.0 + p.jitter * (2.0 * rng.uniform() - 1.0);
+  return std::max<TimeNs>(1, static_cast<TimeNs>(
+                                 static_cast<double>(backoff) * factor));
+}
+
 // ---------------------------------------------------------------- EtcDriver
 
 EtcDriver::EtcDriver(sim::ClusterSim& cluster, int tenant, int server_vm,
@@ -43,51 +53,109 @@ void EtcDriver::on_arrival() {
   const auto client = client_vms_[static_cast<std::size_t>(rng_.uniform_int(
       0, static_cast<std::int64_t>(client_vms_.size()) - 1))];
   const Bytes value = sample_value_size();
-  const TimeNs sent = cluster_.events().now();
   ++issued_;
-  // GET: request to the cache server; on arrival the server replies with
-  // the value; transaction latency is request-send -> response-delivered.
+  send_request(client, value, cluster_.events().now(), 1);
+  schedule_next();
+}
+
+// GET: request to the cache server; on arrival the server replies with
+// the value; transaction latency is request-send -> response-delivered.
+// Either leg may be aborted by the transport under faults; the client
+// retries the whole transaction (request leg) or the server re-sends the
+// response, both after jittered backoff.
+void EtcDriver::send_request(int client, Bytes value, TimeNs sent,
+                             int attempt) {
   cluster_.send_message(
       tenant_, client, server_vm_, cfg_.request_size,
-      [this, client, value, sent](const sim::ClusterSim::MessageResult&) {
+      [this, client, value, sent,
+       attempt](const sim::ClusterSim::MessageResult& r) {
+        if (r.aborted) {
+          ++aborted_;
+          if (!retry_.enabled || attempt >= retry_.max_attempts) {
+            ++abandoned_;
+            return;
+          }
+          ++retried_;
+          cluster_.events().after(
+              retry_delay(retry_, attempt, rng_), [this, client, value, sent,
+                                                   attempt] {
+                send_request(client, value, sent, attempt + 1);
+              });
+          return;
+        }
         const auto think = static_cast<TimeNs>(rng_.exponential(
             static_cast<double>(cfg_.server_processing_mean)));
         cluster_.events().after(think, [this, client, value, sent] {
-          cluster_.send_message(
-              tenant_, server_vm_, client, value,
-              [this, sent](const sim::ClusterSim::MessageResult&) {
-                ++completed_;
-                latencies_us_.add(
-                    static_cast<double>(cluster_.events().now() - sent) /
-                    static_cast<double>(kUsec));
-              });
+          send_response(client, value, sent, 1);
         });
       });
-  schedule_next();
+}
+
+void EtcDriver::send_response(int client, Bytes value, TimeNs sent,
+                              int attempt) {
+  cluster_.send_message(
+      tenant_, server_vm_, client, value,
+      [this, client, value, sent,
+       attempt](const sim::ClusterSim::MessageResult& r) {
+        if (r.aborted) {
+          ++aborted_;
+          if (!retry_.enabled || attempt >= retry_.max_attempts) {
+            ++abandoned_;
+            return;
+          }
+          ++retried_;
+          cluster_.events().after(
+              retry_delay(retry_, attempt, rng_), [this, client, value, sent,
+                                                   attempt] {
+                send_response(client, value, sent, attempt + 1);
+              });
+          return;
+        }
+        ++completed_;
+        latencies_us_.add(static_cast<double>(cluster_.events().now() - sent) /
+                          static_cast<double>(kUsec));
+      });
 }
 
 // --------------------------------------------------------------- BulkDriver
 
 BulkDriver::BulkDriver(sim::ClusterSim& cluster, int tenant,
-                       std::vector<Pair> pairs, Bytes chunk)
+                       std::vector<Pair> pairs, Bytes chunk, std::uint64_t seed)
     : cluster_(cluster), tenant_(tenant), pairs_(std::move(pairs)),
-      chunk_(chunk) {}
+      chunk_(chunk), rng_(seed) {}
 
 void BulkDriver::start(TimeNs until) {
   until_ = until;
   started_ = cluster_.events().now();
-  for (std::size_t i = 0; i < pairs_.size(); ++i) pump(i);
+  for (std::size_t i = 0; i < pairs_.size(); ++i) pump(i, 1);
 }
 
-void BulkDriver::pump(std::size_t pair_idx) {
-  if (cluster_.events().now() >= until_) return;
+void BulkDriver::pump(std::size_t pair_idx, int attempt) {
+  // Fresh chunks stop at the cutoff; a retried chunk (attempt > 1) is
+  // driven to completion regardless, so faulted transfers finish.
+  if (attempt == 1 && cluster_.events().now() >= until_) return;
   const auto [src, dst] = pairs_[pair_idx];
   cluster_.send_message(
       tenant_, src, dst, chunk_,
-      [this, pair_idx](const sim::ClusterSim::MessageResult& r) {
+      [this, pair_idx, attempt](const sim::ClusterSim::MessageResult& r) {
+        if (r.aborted) {
+          ++aborted_;
+          if (!retry_.enabled || attempt >= retry_.max_attempts) {
+            ++abandoned_;
+            pump(pair_idx, 1);  // abandon this chunk, move on
+            return;
+          }
+          ++retried_;
+          cluster_.events().after(retry_delay(retry_, attempt, rng_),
+                                  [this, pair_idx, attempt] {
+                                    pump(pair_idx, attempt + 1);
+                                  });
+          return;
+        }
+        ++completed_;
         chunk_latencies_us_.add(static_cast<double>(r.latency) /
                                 static_cast<double>(kUsec));
-        pump(pair_idx);
+        pump(pair_idx, 1);
       });
 }
 
@@ -127,16 +195,37 @@ void BurstDriver::on_arrival() {
   for (int v = 0; v < n_vms_; ++v) {
     if (v == cfg_.receiver) continue;
     ++issued_;
-    cluster_.send_message(
-        tenant_, v, cfg_.receiver, cfg_.message_size,
-        [this](const sim::ClusterSim::MessageResult& r) {
-          ++completed_;
-          latencies_us_.add(static_cast<double>(r.latency) /
-                            static_cast<double>(kUsec));
-          if (r.had_rto) ++rto_messages_;
-        });
+    send_one(v, cluster_.events().now(), 1);
   }
   schedule_next();
+}
+
+void BurstDriver::send_one(int worker, TimeNs sent, int attempt) {
+  cluster_.send_message(
+      tenant_, worker, cfg_.receiver, cfg_.message_size,
+      [this, worker, sent, attempt](const sim::ClusterSim::MessageResult& r) {
+        if (r.aborted) {
+          ++aborted_;
+          if (!retry_.enabled || attempt >= retry_.max_attempts) {
+            ++abandoned_;
+            return;
+          }
+          ++retried_;
+          cluster_.events().after(
+              retry_delay(retry_, attempt, rng_),
+              [this, worker, sent, attempt] {
+                send_one(worker, sent, attempt + 1);
+              });
+          return;
+        }
+        ++completed_;
+        // Latency from the first issue, so retried messages surface as the
+        // long tail they are rather than resetting the clock.
+        latencies_us_.add(
+            static_cast<double>(cluster_.events().now() - sent) /
+            static_cast<double>(kUsec));
+        if (r.had_rto || attempt > 1) ++rto_messages_;
+      });
 }
 
 // ----------------------------------------------------- PoissonMessageDriver
@@ -168,13 +257,31 @@ void PoissonMessageDriver::schedule_next() {
 
 void PoissonMessageDriver::on_arrival() {
   ++issued_;
-  cluster_.send_message(tenant_, src_, dst_, size_,
-                        [this](const sim::ClusterSim::MessageResult& r) {
-                          ++completed_;
-                          latencies_us_.add(static_cast<double>(r.latency) /
-                                            static_cast<double>(kUsec));
-                        });
+  send_one(cluster_.events().now(), 1);
   schedule_next();
+}
+
+void PoissonMessageDriver::send_one(TimeNs sent, int attempt) {
+  cluster_.send_message(
+      tenant_, src_, dst_, size_,
+      [this, sent, attempt](const sim::ClusterSim::MessageResult& r) {
+        if (r.aborted) {
+          ++aborted_;
+          if (!retry_.enabled || attempt >= retry_.max_attempts) {
+            ++abandoned_;
+            return;
+          }
+          ++retried_;
+          cluster_.events().after(retry_delay(retry_, attempt, rng_),
+                                  [this, sent, attempt] {
+                                    send_one(sent, attempt + 1);
+                                  });
+          return;
+        }
+        ++completed_;
+        latencies_us_.add(static_cast<double>(cluster_.events().now() - sent) /
+                          static_cast<double>(kUsec));
+      });
 }
 
 }  // namespace silo::workload

@@ -16,6 +16,24 @@
 
 namespace silo::workload {
 
+/// Retry policy for messages the transport aborts (bounded-retry
+/// connection reset under faults). Disabled by default — the seed
+/// configuration never aborts. Retries use exponential backoff with
+/// uniform jitter, and deliberately ignore the driver's `until` cutoff:
+/// an accepted request is driven to completion (or abandonment after
+/// max_attempts) even after new load stops, which is what lets fault
+/// tests prove "every message eventually completes".
+struct RetryPolicy {
+  bool enabled = false;
+  int max_attempts = 6;  ///< total attempts per message, incl. the first
+  TimeNs base_backoff = 2 * kMsec;  ///< doubled per failed attempt
+  TimeNs max_backoff = 200 * kMsec;
+  double jitter = 0.5;  ///< +/- fraction of the backoff, uniform
+};
+
+/// Backoff before attempt `attempt + 1` (attempt counts from 1).
+TimeNs retry_delay(const RetryPolicy& p, int attempt, Rng& rng);
+
 /// Facebook ETC-like key-value traffic (Atikoglu et al., SIGMETRICS 2012):
 /// small fixed-size GET requests, generalized-Pareto value sizes. Latency
 /// recorded per transaction: request sent -> response delivered.
@@ -43,13 +61,20 @@ class EtcDriver {
   /// Begin issuing transactions; stops scheduling new ones after `until`.
   void start(TimeNs until);
 
+  void set_retry(const RetryPolicy& p) { retry_ = p; }
+
   const Stats& latencies_us() const { return latencies_us_; }
   std::int64_t completed_ops() const { return completed_; }
   std::int64_t issued_ops() const { return issued_; }
+  std::int64_t aborted_messages() const { return aborted_; }
+  std::int64_t retried_messages() const { return retried_; }
+  std::int64_t abandoned_ops() const { return abandoned_; }
 
  private:
   void schedule_next();
   void on_arrival();
+  void send_request(int client, Bytes value, TimeNs sent, int attempt);
+  void send_response(int client, Bytes value, TimeNs sent, int attempt);
   Bytes sample_value_size();
 
   sim::ClusterSim& cluster_;
@@ -58,10 +83,14 @@ class EtcDriver {
   std::vector<int> client_vms_;
   Config cfg_;
   Rng rng_;
+  RetryPolicy retry_;
   TimeNs until_ = 0;
   Stats latencies_us_;
   std::int64_t completed_ = 0;
   std::int64_t issued_ = 0;
+  std::int64_t aborted_ = 0;
+  std::int64_t retried_ = 0;
+  std::int64_t abandoned_ = 0;
 };
 
 /// Backlogged bulk transfers over a set of VM pairs (netperf / shuffle):
@@ -69,9 +98,11 @@ class EtcDriver {
 class BulkDriver {
  public:
   BulkDriver(sim::ClusterSim& cluster, int tenant, std::vector<Pair> pairs,
-             Bytes chunk = 256 * kKB);
+             Bytes chunk = 256 * kKB, std::uint64_t seed = 1);
 
   void start(TimeNs until);
+
+  void set_retry(const RetryPolicy& p) { retry_ = p; }
 
   /// Aggregate delivered goodput in bits/s over [start, now].
   double goodput_bps() const;
@@ -79,9 +110,13 @@ class BulkDriver {
   /// Completion latency of each chunk-sized message (us).
   const Stats& chunk_latencies_us() const { return chunk_latencies_us_; }
   Bytes chunk_size() const { return chunk_; }
+  std::int64_t completed_chunks() const { return completed_; }
+  std::int64_t aborted_messages() const { return aborted_; }
+  std::int64_t retried_messages() const { return retried_; }
+  std::int64_t abandoned_chunks() const { return abandoned_; }
 
  private:
-  void pump(std::size_t pair_idx);
+  void pump(std::size_t pair_idx, int attempt);
 
   Stats chunk_latencies_us_;
 
@@ -89,8 +124,14 @@ class BulkDriver {
   int tenant_;
   std::vector<Pair> pairs_;
   Bytes chunk_;
+  Rng rng_;
+  RetryPolicy retry_;
   TimeNs until_ = 0;
   TimeNs started_ = 0;
+  std::int64_t completed_ = 0;
+  std::int64_t aborted_ = 0;
+  std::int64_t retried_ = 0;
+  std::int64_t abandoned_ = 0;
 };
 
 /// Class-A OLDI tenant: at Poisson epochs every worker VM simultaneously
@@ -108,25 +149,35 @@ class BurstDriver {
 
   void start(TimeNs until);
 
+  void set_retry(const RetryPolicy& p) { retry_ = p; }
+
   const Stats& latencies_us() const { return latencies_us_; }
   std::int64_t messages_with_rto() const { return rto_messages_; }
   std::int64_t completed_messages() const { return completed_; }
   std::int64_t issued_messages() const { return issued_; }
+  std::int64_t aborted_messages() const { return aborted_; }
+  std::int64_t retried_messages() const { return retried_; }
+  std::int64_t abandoned_messages() const { return abandoned_; }
 
  private:
   void schedule_next();
   void on_arrival();
+  void send_one(int worker, TimeNs sent, int attempt);
 
   sim::ClusterSim& cluster_;
   int tenant_;
   int n_vms_;
   Config cfg_;
   Rng rng_;
+  RetryPolicy retry_;
   TimeNs until_ = 0;
   Stats latencies_us_;
   std::int64_t rto_messages_ = 0;
   std::int64_t completed_ = 0;
   std::int64_t issued_ = 0;
+  std::int64_t aborted_ = 0;
+  std::int64_t retried_ = 0;
+  std::int64_t abandoned_ = 0;
 };
 
 /// Poisson-arrival fixed-size messages on one VM pair (Table 1).
@@ -137,23 +188,33 @@ class PoissonMessageDriver {
 
   void start(TimeNs until);
 
+  void set_retry(const RetryPolicy& p) { retry_ = p; }
+
   const Stats& latencies_us() const { return latencies_us_; }
   std::int64_t completed() const { return completed_; }
   std::int64_t issued() const { return issued_; }
+  std::int64_t aborted_messages() const { return aborted_; }
+  std::int64_t retried_messages() const { return retried_; }
+  std::int64_t abandoned_messages() const { return abandoned_; }
 
  private:
   void schedule_next();
   void on_arrival();
+  void send_one(TimeNs sent, int attempt);
 
   sim::ClusterSim& cluster_;
   int tenant_, src_, dst_;
   double rate_;
   Bytes size_;
   Rng rng_;
+  RetryPolicy retry_;
   TimeNs until_ = 0;
   Stats latencies_us_;
   std::int64_t completed_ = 0;
   std::int64_t issued_ = 0;
+  std::int64_t aborted_ = 0;
+  std::int64_t retried_ = 0;
+  std::int64_t abandoned_ = 0;
 };
 
 }  // namespace silo::workload

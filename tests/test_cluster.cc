@@ -59,6 +59,8 @@ TEST(ClusterSim, MessageDelivery) {
   EXPECT_GT(latency, 0);
   EXPECT_LT(latency, 1 * kMsec);
   EXPECT_EQ(sim.pair_delivered_bytes(*t, 0, 1), 10 * kKB);
+  // Drained run: every pool packet was returned (exactly-one-owner).
+  EXPECT_EQ(sim.events().pool().live(), 0);
 }
 
 // Intra-server traffic rides the vswitch and is deliberately unpaced (the
@@ -100,6 +102,7 @@ TEST(ClusterSim, SiloMessageMeetsGuarantee) {
     // paced at Bmax.
     EXPECT_GT(l, transmission_time(10 * kKB - kMtu, 1 * kGbps));
   }
+  EXPECT_EQ(sim.events().pool().live(), 0);  // all five messages drained
 }
 
 TEST(ClusterSim, PacingThrottlesAboveGuarantee) {

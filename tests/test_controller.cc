@@ -100,5 +100,131 @@ TEST(Controller, LatencyBoundHelperMatchesCore) {
             max_message_latency(g, 10 * kKB));
 }
 
+TEST(Controller, ReadmitAfterReleaseRestoresStats) {
+  // admit -> release -> re-admit must be a no-op on the datacenter model:
+  // releasing B returns the stats to the A-only snapshot, and re-admitting
+  // the identical request reproduces the combined snapshot exactly.
+  SiloController ctl(small_dc());
+  const auto a = ctl.admit(tenant(8));
+  ASSERT_TRUE(a);
+  const auto only_a = ctl.stats();
+
+  const auto b = ctl.admit(tenant(6, 800 * kMbps));
+  ASSERT_TRUE(b);
+  const auto with_b = ctl.stats();
+  ASSERT_NE(with_b.free_slots, only_a.free_slots);
+
+  ctl.release(*b);
+  const auto released = ctl.stats();
+  EXPECT_EQ(released.free_slots, only_a.free_slots);
+  EXPECT_EQ(released.admitted_tenants, only_a.admitted_tenants);
+  EXPECT_NEAR(released.max_port_reservation, only_a.max_port_reservation,
+              1e-12);
+  EXPECT_NEAR(released.max_queue_headroom_used, only_a.max_queue_headroom_used,
+              1e-12);
+
+  const auto b2 = ctl.admit(tenant(6, 800 * kMbps));
+  ASSERT_TRUE(b2);
+  EXPECT_EQ(b2->vm_to_server, b->vm_to_server);  // same greedy decision
+  const auto readmitted = ctl.stats();
+  EXPECT_EQ(readmitted.free_slots, with_b.free_slots);
+  EXPECT_EQ(readmitted.admitted_tenants, with_b.admitted_tenants);
+  EXPECT_DOUBLE_EQ(readmitted.max_port_reservation,
+                   with_b.max_port_reservation);
+  EXPECT_DOUBLE_EQ(readmitted.max_queue_headroom_used,
+                   with_b.max_queue_headroom_used);
+}
+
+TEST(Controller, ServerFailureReplacesWithinGuarantees) {
+  SiloController ctl(small_dc());
+  const auto h = ctl.admit(tenant(6));
+  ASSERT_TRUE(h);
+  const int victim = h->vm_to_server.front();
+
+  const auto report = ctl.handle_server_failure(victim);
+  ASSERT_EQ(report.affected.size(), 1u);
+  EXPECT_EQ(report.affected[0], h->id);
+  ASSERT_EQ(report.replaced.size(), 1u);
+  EXPECT_TRUE(report.degraded.empty());
+  EXPECT_TRUE(report.unplaced.empty());
+  // Re-placement re-ran full admission: fresh pacer configs were emitted,
+  // the tenant keeps its guarantees, and no VM sits on dead hardware.
+  EXPECT_EQ(report.refreshed.size(), 6u);
+  EXPECT_EQ(ctl.tenant_status(h->id), TenantStatus::kGuaranteed);
+  for (int s : ctl.tenant_placement(h->id)) EXPECT_NE(s, victim);
+  const auto stats = ctl.stats();
+  EXPECT_EQ(stats.degraded_tenants, 0);
+  EXPECT_EQ(stats.unplaced_tenants, 0);
+  // The dead server's slots (used and free alike) left the pool.
+  EXPECT_EQ(stats.free_slots, stats.total_slots - 4 - 6);
+}
+
+TEST(Controller, LinkFailureDegradesThenRestorePromotes) {
+  // Two one-slot servers: the tenant must span both, so its traffic
+  // depends on the ToR egress toward server 1. When that link dies the
+  // guarantees are infeasible (any spread placement reserves capacity on
+  // the dead port; colocation has no slots) and the controller must fall
+  // back to explicit best-effort degraded mode, then promote the tenant
+  // back once the link returns.
+  topology::TopologyConfig cfg;
+  cfg.pods = 1;
+  cfg.racks_per_pod = 1;
+  cfg.servers_per_rack = 2;
+  cfg.vm_slots_per_server = 1;
+  SiloController ctl(cfg);
+  const auto h = ctl.admit(tenant(2));
+  ASSERT_TRUE(h);
+
+  const auto dead = ctl.topo().server_down(1);
+  const auto report = ctl.handle_link_failure(dead);
+  ASSERT_EQ(report.affected.size(), 1u);
+  ASSERT_EQ(report.degraded.size(), 1u);
+  EXPECT_TRUE(report.replaced.empty());
+  EXPECT_TRUE(report.unplaced.empty());
+  EXPECT_TRUE(report.refreshed.empty());
+  EXPECT_EQ(ctl.tenant_status(h->id), TenantStatus::kDegraded);
+  EXPECT_EQ(ctl.stats().degraded_tenants, 1);
+  // Degraded VMs still hold slots but run unpaced at low priority.
+  for (int s = 0; s < ctl.topo().num_servers(); ++s)
+    EXPECT_TRUE(ctl.server_config(s).empty());
+
+  const auto back = ctl.restore_link(dead);
+  ASSERT_EQ(back.replaced.size(), 1u);
+  EXPECT_EQ(back.refreshed.size(), 2u);
+  EXPECT_EQ(ctl.tenant_status(h->id), TenantStatus::kGuaranteed);
+  EXPECT_EQ(ctl.stats().degraded_tenants, 0);
+  int paced = 0;
+  for (int s = 0; s < ctl.topo().num_servers(); ++s)
+    paced += static_cast<int>(ctl.server_config(s).size());
+  EXPECT_EQ(paced, 2);
+}
+
+TEST(Controller, ServerFailureUnplacedWhenNoSlotsThenRestored) {
+  topology::TopologyConfig cfg;
+  cfg.pods = 1;
+  cfg.racks_per_pod = 1;
+  cfg.servers_per_rack = 2;
+  cfg.vm_slots_per_server = 1;
+  SiloController ctl(cfg);
+  const auto h = ctl.admit(tenant(2));
+  ASSERT_TRUE(h);
+
+  // One surviving server with one slot cannot hold two VMs even
+  // best-effort: the tenant is evacuated with nowhere to go.
+  const auto report = ctl.handle_server_failure(1);
+  ASSERT_EQ(report.unplaced.size(), 1u);
+  EXPECT_EQ(ctl.tenant_status(h->id), TenantStatus::kUnplaced);
+  EXPECT_EQ(ctl.stats().unplaced_tenants, 1);
+  for (int s : ctl.tenant_placement(h->id)) EXPECT_EQ(s, -1);
+  for (int s = 0; s < ctl.topo().num_servers(); ++s)
+    EXPECT_TRUE(ctl.server_config(s).empty());
+
+  const auto back = ctl.restore_server(1);
+  ASSERT_EQ(back.replaced.size(), 1u);
+  EXPECT_EQ(ctl.tenant_status(h->id), TenantStatus::kGuaranteed);
+  EXPECT_EQ(ctl.stats().unplaced_tenants, 0);
+  EXPECT_EQ(ctl.stats().free_slots, 0);  // both slots in use again
+}
+
 }  // namespace
 }  // namespace silo

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "util/rng.h"
 #include "util/stats.h"
@@ -58,11 +59,19 @@ TEST(Stats, Percentiles) {
   EXPECT_NEAR(s.percentile(99), 99.01, 0.05);
 }
 
-TEST(Stats, PercentileOfEmptyThrows) {
+TEST(Stats, PercentileOfEmptyIsNaN) {
+  // Empty stats are a normal outcome of faulted runs; report paths render
+  // them as "-" instead of crashing.
   Stats s;
-  EXPECT_THROW(s.percentile(50), std::logic_error);
+  EXPECT_TRUE(std::isnan(s.percentile(50)));
+  EXPECT_TRUE(std::isnan(s.median()));
   EXPECT_THROW([] { Stats t; t.add(1); t.percentile(101); }(),
                std::invalid_argument);
+}
+
+TEST(TextTable, FormatsNaNAsDash) {
+  EXPECT_EQ(TextTable::fmt(std::numeric_limits<double>::quiet_NaN()), "-");
+  EXPECT_EQ(TextTable::fmt(1.5), "1.50");
 }
 
 TEST(Stats, FractionAbove) {
