@@ -19,6 +19,7 @@ struct Result {
   double guaranteed_p99_us = 0;
   double besteffort_gbps = 0;
   double guaranteed_gbps = 0;
+  std::vector<obs::MetricSample> metrics;  ///< end-of-run snapshot
 };
 
 Result run(bool with_besteffort, TimeNs duration) {
@@ -79,6 +80,7 @@ Result run(bool with_besteffort, TimeNs duration) {
   res.guaranteed_p99_us = msgs.latencies_us().percentile(99);
   res.guaranteed_gbps = bulk.goodput_bps() / 1e9;
   if (filler) res.besteffort_gbps = filler->goodput_bps() / 1e9;
+  res.metrics = cluster.metrics().snapshot();
   return res;
 }
 
@@ -111,5 +113,24 @@ int main(int argc, char** argv) {
       "essentially unchanged, while the best-effort tenant soaks residual\n"
       "capacity — the utilization recovery §4.4 promises for Silo's\n"
       "non-work-conserving guarantees.\n");
+
+  if (flags.has("json")) {
+    JsonObject out;
+    out.put("bench", std::string("besteffort"))
+        .put("duration_ms", static_cast<std::int64_t>(duration / kMsec))
+        .put("p99_without_us", without.guaranteed_p99_us)
+        .put("p99_with_us", with.guaranteed_p99_us)
+        .put("guaranteed_gbps", with.guaranteed_gbps)
+        .put("besteffort_gbps", with.besteffort_gbps);
+    write_json_file("BENCH_besteffort.json", out);
+  }
+
+  obs::RunManifest m;
+  m.bench = "besteffort";
+  m.seed = 5;
+  m.topology = {{"servers", 5}, {"vm_slots_per_server", 4}};
+  m.params = {{"duration_ms", std::to_string(duration / kMsec)},
+              {"metrics", "with-best-effort run"}};
+  maybe_write_manifest(flags, m, with.metrics);
   return 0;
 }

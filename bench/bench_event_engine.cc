@@ -248,6 +248,7 @@ struct ClusterResult {
   std::uint64_t pool_capacity = 0;
   std::int64_t pool_peak_live = 0;
   std::uint64_t callback_events = 0;
+  std::vector<obs::MetricSample> metrics;  ///< end-of-run snapshot
 };
 
 ClusterResult run_cluster(TimeNs duration) {
@@ -292,6 +293,7 @@ ClusterResult run_cluster(TimeNs duration) {
   r.pool_capacity = cluster.events().pool().capacity();
   r.pool_peak_live = cluster.events().pool().peak_live();
   r.callback_events = cluster.events().callback_events();
+  r.metrics = cluster.metrics().snapshot();
   return r;
 }
 
@@ -369,5 +371,18 @@ int main(int argc, char** argv) {
       .put("speedup", speedup)
       .put("cluster", cluster_json);
   bench::write_json_file("BENCH_event_engine.json", out);
+
+  obs::RunManifest m;
+  m.bench = "event_engine";
+  m.seed = 42;
+  m.topology = {{"pods", 1},
+                {"racks_per_pod", 2},
+                {"servers_per_rack", 8},
+                {"vm_slots_per_server", 4}};
+  m.params = {{"sim_ms", std::to_string(duration / kMsec)},
+              {"ring_ports", std::to_string(rp.ports)},
+              {"ring_packets", std::to_string(rp.packets)},
+              {"metrics", "cluster phase (Silo)"}};
+  bench::maybe_write_manifest(flags, m, cl.metrics);
   return speedup >= 2.0 ? 0 : 1;  // acceptance gate: >=2x over the seed engine
 }

@@ -146,5 +146,15 @@ int main(int argc, char** argv) {
              static_cast<std::int64_t>(burst.min_data_gap));
     bench::write_json_file("BENCH_fig10_pacer.json", out);
   }
+
+  // Standalone PacedNic microbench — no ClusterSim registry, so the
+  // manifest records the run parameters with an empty metrics array.
+  obs::RunManifest m;
+  m.bench = "fig10_pacer";
+  m.seed = 0;
+  m.topology = {{"nics", 1}};
+  m.params = {{"duration_ms", std::to_string(duration / kMsec)},
+              {"line_rate_gbps", "10"}};
+  bench::maybe_write_manifest(flags, m);
   return 0;
 }

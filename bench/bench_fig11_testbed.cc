@@ -105,5 +105,34 @@ int main(int argc, char** argv) {
       "Paper reference: TCP p99 2.3 ms / p99.9 217 ms; Silo stays within\n"
       "the guarantee at p99 (2.01 ms) for all reqs and at p99.9 for req3;\n"
       "netperf retains 92-99%% of its TCP-alone throughput.\n");
+
+  if (flags.has("json")) {
+    JsonObject out;
+    out.put("bench", std::string("fig11_testbed"))
+        .put("duration_ms", static_cast<std::int64_t>(duration / kMsec))
+        .put("ops_per_sec", ops);
+    JsonObject scenarios;
+    for (const auto& row : rows) {
+      JsonObject s;
+      s.put("p50_us", row.res.latency_us.percentile(50))
+          .put("p99_us", row.res.latency_us.percentile(99))
+          .put("p999_us", row.res.latency_us.percentile(99.9))
+          .put("mem_ops_per_sec", row.res.mem_ops_per_sec)
+          .put("netperf_gbps", row.res.bulk_gbps)
+          .put("a_bandwidth_bps", row.a_bw);
+      scenarios.put(row.name, s);
+    }
+    out.put("scenarios", scenarios);
+    write_json_file("BENCH_fig11_testbed.json", out);
+  }
+
+  obs::RunManifest m;
+  m.bench = "fig11_testbed";
+  m.seed = TestbedScenario{}.seed;
+  m.topology = testbed_topology();
+  m.params = {{"duration_ms", std::to_string(duration / kMsec)},
+              {"ops_per_sec", TextTable::fmt(ops, 0)},
+              {"metrics", "Silo req3 run"}};
+  maybe_write_manifest(flags, m, rows.back().res.metrics);
   return 0;
 }

@@ -40,6 +40,7 @@ struct SchemeResult {
   // Engine throughput for --json reporting (BENCH_fig12_14.json).
   std::uint64_t events = 0;
   double wall_s = 0;
+  std::vector<obs::MetricSample> metrics;  ///< end-of-run snapshot
 };
 
 struct ExpConfig {
@@ -149,6 +150,7 @@ SchemeResult run_scheme(sim::Scheme scheme, const ExpConfig& ec) {
   const auto wall1 = std::chrono::steady_clock::now();
   res.events = cluster.events().processed();
   res.wall_s = std::chrono::duration<double>(wall1 - wall0).count();
+  res.metrics = cluster.metrics().snapshot();
 
   for (auto& a : as) {
     res.class_a_latency_us.merge(a.driver->latencies_us());
@@ -298,5 +300,17 @@ int main(int argc, char** argv) {
     out.put("schemes", per_scheme);
     write_json_file("BENCH_fig12_14.json", out);
   }
+
+  obs::RunManifest m;
+  m.bench = "fig12_14";
+  m.seed = ec.seed;
+  m.topology = {{"pods", ec.pods},
+                {"racks_per_pod", ec.racks_per_pod},
+                {"servers_per_rack", ec.servers_per_rack},
+                {"vm_slots_per_server", ec.slots}};
+  m.params = {{"duration_ms", std::to_string(ec.duration / kMsec)},
+              {"load_factor", TextTable::fmt(ec.load_factor, 3)},
+              {"metrics", "Silo run"}};
+  maybe_write_manifest(flags, m, results[0].metrics);
   return 0;
 }

@@ -128,5 +128,19 @@ int main(int argc, char** argv) {
       "tenants hold slots, so it rejects MORE than Silo — and with denser\n"
       "traffic (larger x) the guarantee-based policies close the\n"
       "utilization gap on the work-conserving TCP baseline.\n");
+
+  // Flow-level simulation — no packet registry; manifest records the run
+  // shape with an empty metrics array.
+  const auto cfg = base_config(flags);
+  obs::RunManifest m;
+  m.bench = "fig15_16";
+  m.seed = cfg.seed;
+  m.topology = {{"pods", cfg.topo.pods},
+                {"racks_per_pod", cfg.topo.racks_per_pod},
+                {"servers_per_rack", cfg.topo.servers_per_rack},
+                {"vm_slots_per_server", cfg.topo.vm_slots_per_server}};
+  m.params = {{"mean_vms", TextTable::fmt(cfg.mean_vms, 1)},
+              {"duration_s", TextTable::fmt(cfg.sim_duration_s, 0)}};
+  maybe_write_manifest(flags, m);
   return 0;
 }

@@ -38,5 +38,26 @@ int main(int argc, char** argv) {
   std::printf(
       "Paper reference: p99 270 us alone vs 2.3 ms contended (8.5x); at\n"
       "p99.9 contention causes TCP timeouts and ~217 ms spikes.\n");
+
+  if (flags.has("json")) {
+    JsonObject out;
+    out.put("bench", std::string("fig1_motivation"))
+        .put("duration_ms", static_cast<std::int64_t>(alone.duration / kMsec))
+        .put("ops_per_sec", alone.ops_per_sec)
+        .put("alone_p99_us", r_alone.latency_us.percentile(99))
+        .put("contended_p99_us", r_cont.latency_us.percentile(99))
+        .put("alone_samples", static_cast<std::int64_t>(r_alone.latency_us.count()))
+        .put("contended_samples", static_cast<std::int64_t>(r_cont.latency_us.count()));
+    write_json_file("BENCH_fig1_motivation.json", out);
+  }
+
+  obs::RunManifest m;
+  m.bench = "fig1_motivation";
+  m.seed = alone.seed;
+  m.topology = testbed_topology();
+  m.params = {{"duration_ms", std::to_string(alone.duration / kMsec)},
+              {"ops_per_sec", TextTable::fmt(alone.ops_per_sec, 0)},
+              {"metrics", "contended run (TCP, with netperf)"}};
+  maybe_write_manifest(flags, m, r_cont.metrics);
   return 0;
 }

@@ -5,6 +5,10 @@
 // manager and a software pacer can run.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
 #include "netcalc/curve.h"
 #include "pacer/hose_allocator.h"
 #include "pacer/paced_nic.h"
@@ -126,4 +130,32 @@ BENCHMARK(BM_PlacementAdmit)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace silo
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): peel off the repo-wide
+// --metrics-json flag (google-benchmark rejects unknown flags) and emit
+// the run manifest after the benchmarks finish. Pure CPU microbenches
+// have no simulation registry, so the metrics array is empty.
+int main(int argc, char** argv) {
+  std::vector<char*> bm_args;
+  std::vector<char*> our_args{argv[0]};
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--metrics-json", 0) == 0) {
+      our_args.push_back(argv[i]);
+    } else {
+      bm_args.push_back(argv[i]);
+    }
+  }
+  const silo::bench::Flags flags(static_cast<int>(our_args.size()),
+                                 our_args.data());
+  int bm_argc = static_cast<int>(bm_args.size());
+  benchmark::Initialize(&bm_argc, bm_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bm_argc, bm_args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  silo::obs::RunManifest m;
+  m.bench = "micro_ops";
+  m.seed = 0;
+  m.params = {{"suite", "netcalc/pacer/placement hot-path primitives"}};
+  silo::bench::maybe_write_manifest(flags, m);
+  return 0;
+}

@@ -107,5 +107,33 @@ int main(int argc, char** argv) {
   std::printf("Paper reference: maximum placement time 1.15 s over 100K\n"
               "requests (their prototype); anything in that envelope keeps\n"
               "the placement manager off the tenant-arrival critical path.\n");
+
+  if (flags.has("json")) {
+    bench::JsonObject out;
+    out.put("bench", std::string("placement_micro"))
+        .put("requests", static_cast<std::int64_t>(attempted))
+        .put("admitted", static_cast<std::int64_t>(admitted))
+        .put("mean_us", micros.mean())
+        .put("p99_us", micros.percentile(99))
+        .put("max_us", micros.max());
+    bench::write_json_file("BENCH_placement_micro.json", out);
+  }
+
+  // Placement engine only — no packet simulation, so no metric registry;
+  // the manifest records the run shape with an empty metrics array.
+  obs::RunManifest m;
+  m.bench = "placement_micro";
+  m.seed = 7;
+  m.topology = {{"pods", tcfg.pods},
+                {"racks_per_pod", tcfg.racks_per_pod},
+                {"servers_per_rack", tcfg.servers_per_rack},
+                {"vm_slots_per_server", tcfg.vm_slots_per_server}};
+  m.params = {{"requests", std::to_string(requests)},
+              {"mean_vms", TextTable::fmt(mean_vms, 1)},
+              {"occupancy", TextTable::fmt(occupancy_cap, 2)},
+              {"policy", policy == Policy::kSilo        ? "silo"
+                         : policy == Policy::kOktopus   ? "oktopus"
+                                                        : "locality"}};
+  bench::maybe_write_manifest(flags, m);
   return 0;
 }

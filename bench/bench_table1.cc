@@ -20,7 +20,8 @@ using namespace silo;
 namespace {
 
 double run_cell(double bw_mult, int burst_mult, Bytes msg, double rate,
-                TimeNs duration, std::uint64_t seed) {
+                TimeNs duration, std::uint64_t seed,
+                std::vector<obs::MetricSample>* snap = nullptr) {
   sim::ClusterConfig cfg;
   cfg.topo.pods = 1;
   cfg.topo.racks_per_pod = 1;
@@ -46,6 +47,7 @@ double run_cell(double bw_mult, int burst_mult, Bytes msg, double rate,
   const TimeNs bound = max_message_latency(req.guarantee, msg);
   const double bound_us =
       static_cast<double>(bound) / static_cast<double>(kUsec);
+  if (snap) *snap = cluster.metrics().snapshot();
   return 100.0 * driver.latencies_us().fraction_above(bound_us);
 }
 
@@ -69,10 +71,12 @@ int main(int argc, char** argv) {
 
   TextTable table({"Burst\\Bandwidth", "B", "1.4B", "1.8B", "2.2B", "2.6B",
                    "3B"});
+  std::vector<obs::MetricSample> last_snap;
   for (int bm : burst_mults) {
     std::vector<std::string> row{std::to_string(bm) + "M"};
     for (double wm : bw_mults) {
-      const double late = run_cell(wm, bm, msg, rate, duration, seed);
+      const double late = run_cell(wm, bm, msg, rate, duration, seed,
+                                   &last_snap);
       row.push_back(late < 0 ? "rej" : TextTable::fmt(late, 2));
     }
     table.add_row(std::move(row));
@@ -81,5 +85,15 @@ int main(int argc, char** argv) {
   std::printf("Paper (Table 1) reference shape: row M: 99 77 55 45 38 33;\n"
               "row 9M: 98 0.4 0.01 0 0 0 — lateness collapses once both\n"
               "burst and bandwidth exceed the average demand.\n");
+
+  obs::RunManifest m;
+  m.bench = "table1";
+  m.seed = seed;
+  m.topology = {{"servers", 2}, {"vm_slots_per_server", 1}};
+  m.params = {{"message_bytes", std::to_string(msg)},
+              {"msgs_per_sec", TextTable::fmt(rate, 1)},
+              {"duration_s", std::to_string(duration / kSec)},
+              {"metrics", "bottom-right cell (9M / 3B)"}};
+  bench::maybe_write_manifest(flags, m, last_snap);
   return 0;
 }

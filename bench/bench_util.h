@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/manifest.h"
 #include "util/stats.h"
 
 namespace silo::bench {
@@ -39,6 +40,11 @@ class Flags {
   std::int64_t geti(const std::string& key, std::int64_t fallback) const {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+
+  std::string gets(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
   }
 
   bool has(const std::string& key) const { return values_.count(key) > 0; }
@@ -110,6 +116,27 @@ inline bool write_json_file(const std::string& path, const JsonObject& obj) {
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
   return true;
+}
+
+/// Handle the shared --metrics-json[=<path>] flag: write the versioned run
+/// manifest (obs/manifest.h) with the bench's seed, topology, params and a
+/// metrics snapshot taken while the simulation was alive. A bare
+/// --metrics-json defaults the path to "BENCH_<bench>.manifest.json".
+/// No-op when the flag is absent.
+inline void maybe_write_manifest(
+    const Flags& flags, const obs::RunManifest& m,
+    const std::vector<obs::MetricSample>& metrics = {}) {
+  if (!flags.has("metrics-json")) return;
+  std::string path = flags.gets("metrics-json", "");
+  if (path.empty() || path == "1")
+    path = "BENCH_" + m.bench + ".manifest.json";
+  // stderr: benches may be piping machine-readable output on stdout
+  // (e.g. bench_micro_ops --benchmark_format=json > out.json).
+  if (obs::write_manifest(path, m, metrics)) {
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+  }
 }
 
 }  // namespace silo::bench

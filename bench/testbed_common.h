@@ -5,7 +5,10 @@
 // pinned three-per-tenant-per-server exactly like the testbed.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/cluster.h"
@@ -30,7 +33,14 @@ struct TestbedResult {
   Stats latency_us;        ///< memcached transaction latencies
   double mem_ops_per_sec = 0;
   double bulk_gbps = 0;
+  workload::BreakdownAgg breakdown;          ///< memcached message legs
+  std::vector<obs::MetricSample> metrics;    ///< end-of-run snapshot
 };
+
+/// The fixed testbed shape, for --metrics-json manifests.
+inline std::vector<std::pair<std::string, std::int64_t>> testbed_topology() {
+  return {{"servers", 5}, {"vm_slots_per_server", 6}};
+}
 
 inline TestbedResult run_testbed(const TestbedScenario& sc) {
   sim::ClusterConfig cfg;
@@ -84,6 +94,8 @@ inline TestbedResult run_testbed(const TestbedScenario& sc) {
   res.mem_ops_per_sec = static_cast<double>(etc.completed_ops()) /
                         (static_cast<double>(sc.duration) / kSec);
   if (bulk) res.bulk_gbps = bulk->goodput_bps() / 1e9;
+  res.breakdown = etc.breakdown();
+  res.metrics = cluster.metrics().snapshot();
   return res;
 }
 

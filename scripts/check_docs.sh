@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Docs consistency checks, run by the CI docs job:
+#   1. every relative markdown link points at a file that exists;
+#   2. every metric name listed in docs/OBSERVABILITY.md's catalog is
+#      actually registered somewhere in src/ (by string literal), and
+#      every registered metric appears in the catalog — the table cannot
+#      silently rot in either direction.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# ---- 1. relative markdown links ------------------------------------------
+while IFS=: read -r file link; do
+  # Strip anchors; skip absolute URLs and lambda-capture false positives
+  # from C++ code blocks (they contain spaces or '&').
+  target="${link%%#*}"
+  [ -z "$target" ] && continue
+  case "$target" in
+    http://*|https://*|mailto:*|*' '*|*'&'*) continue ;;
+  esac
+  dir=$(dirname "$file")
+  if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+    echo "BROKEN LINK: $file -> $link"
+    fail=1
+  fi
+done < <(grep -oHE '\]\(([^)]+)\)' ./*.md docs/*.md \
+           | sed -E 's/\]\(([^)]+)\)/\1/')
+
+# ---- 2. metric catalog <-> registration literals -------------------------
+# Catalog rows carry the metric name in backticks in the first column;
+# metric names are always dotted (sim.*, cluster.*, controller.*), which
+# keeps the flight-recorder field table out of this extraction.
+doc_metrics=$(grep -oE '^\| `[a-z_]+(\.[a-z_]+)+` \|' docs/OBSERVABILITY.md \
+                | sed -E 's/^\| `([a-z_.]+)` \|/\1/' | sort -u)
+# Registration calls may wrap the name onto the next line, so extract
+# every dotted string literal instead of anchoring on the call.
+src_metrics=$(grep -rhoE '"[a-z_]+(\.[a-z_]+)+"' src/ \
+                --include='*.cc' --include='*.h' \
+                | tr -d '"' | sort -u)
+
+for m in $doc_metrics; do
+  if ! grep -rq "\"$m\"" src/; then
+    echo "DOCUMENTED BUT NOT REGISTERED: $m"
+    fail=1
+  fi
+done
+for m in $src_metrics; do
+  if ! grep -q "\`$m\`" docs/OBSERVABILITY.md; then
+    echo "REGISTERED BUT NOT DOCUMENTED: $m"
+    fail=1
+  fi
+done
+
+ndoc=$(echo "$doc_metrics" | wc -w)
+nsrc=$(echo "$src_metrics" | wc -w)
+echo "checked markdown links and $ndoc documented / $nsrc registered metrics"
+exit $fail

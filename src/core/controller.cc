@@ -10,12 +10,31 @@ SiloController::SiloController(const topology::TopologyConfig& topo,
                                const Options& options)
     : topo_(topo),
       engine_(topo_, options.policy, options.nic_delay_allowance,
-              options.hose_tightening) {}
+              options.hose_tightening) {
+  m_admissions_ = metrics_.counter("controller.admissions", "tenants",
+                                   "controller");
+  m_rejections_ = metrics_.counter("controller.rejections", "tenants",
+                                   "controller");
+  m_releases_ = metrics_.counter("controller.releases", "tenants",
+                                 "controller");
+  m_replaced_ = metrics_.counter("controller.recovery.replaced", "tenants",
+                                 "controller");
+  m_degraded_ = metrics_.counter("controller.recovery.degraded", "tenants",
+                                 "controller");
+  m_unplaced_ = metrics_.counter("controller.recovery.unplaced", "tenants",
+                                 "controller");
+  m_promotions_ = metrics_.counter("controller.recovery.promotions", "tenants",
+                                   "controller");
+}
 
 std::optional<TenantHandle> SiloController::admit(
     const TenantRequest& request) {
   auto placed = engine_.place(request);
-  if (!placed) return std::nullopt;
+  if (!placed) {
+    m_rejections_.inc();
+    return std::nullopt;
+  }
+  m_admissions_.inc();
   TenantHandle handle{placed->id, placed->vm_to_server};
   tenants_.emplace(placed->id,
                    TenantState{request, placed->vm_to_server, placed->id,
@@ -28,6 +47,7 @@ void SiloController::release(const TenantHandle& handle) {
   if (it == tenants_.end()) return;
   if (it->second.engine_id >= 0) engine_.remove(it->second.engine_id);
   tenants_.erase(it);
+  m_releases_.inc();
 }
 
 std::vector<placement::TenantId> SiloController::to_external(
@@ -85,10 +105,12 @@ RecoveryReport SiloController::recover(
     // Full re-admission first: exactly the network-calculus checks the
     // tenant's original admission ran, against the post-failure fabric.
     if (auto placed = engine_.place(state.request)) {
+      if (state.status != TenantStatus::kGuaranteed) m_promotions_.inc();
       state.engine_id = placed->id;
       state.vm_to_server = placed->vm_to_server;
       state.status = TenantStatus::kGuaranteed;
       report.replaced.push_back(id);
+      m_replaced_.inc();
       append_records(id, state, report.refreshed);
       continue;
     }
@@ -101,6 +123,7 @@ RecoveryReport SiloController::recover(
       state.vm_to_server = placed->vm_to_server;
       state.status = TenantStatus::kDegraded;
       report.degraded.push_back(id);
+      m_degraded_.inc();
       continue;
     }
     state.engine_id = -1;
@@ -108,6 +131,7 @@ RecoveryReport SiloController::recover(
         static_cast<std::size_t>(state.request.num_vms), -1);
     state.status = TenantStatus::kUnplaced;
     report.unplaced.push_back(id);
+    m_unplaced_.inc();
   }
   return report;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/guarantee.h"
+#include "obs/metrics.h"
 #include "placement/placement.h"
 #include "topology/topology.h"
 
@@ -125,6 +126,10 @@ class SiloController {
 
   DatacenterStats stats() const;
 
+  /// Control-plane metric registry: admissions, rejections, and recovery
+  /// ladder transitions, updated via cached handles.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
   const topology::Topology& topo() const { return topo_; }
   const placement::PlacementEngine& placement() const { return engine_; }
 
@@ -150,6 +155,15 @@ class SiloController {
   topology::Topology topo_;
   placement::PlacementEngine engine_;
   std::unordered_map<placement::TenantId, TenantState> tenants_;
+
+  obs::MetricsRegistry metrics_;
+  obs::Counter m_admissions_;
+  obs::Counter m_rejections_;
+  obs::Counter m_releases_;
+  obs::Counter m_replaced_;   ///< recoveries that kept full guarantees
+  obs::Counter m_degraded_;   ///< recoveries falling to best-effort
+  obs::Counter m_unplaced_;   ///< recoveries with no slots anywhere
+  obs::Counter m_promotions_; ///< degraded/unplaced back to guaranteed
 };
 
 }  // namespace silo

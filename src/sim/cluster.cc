@@ -1,5 +1,6 @@
 #include "sim/cluster.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace silo::sim {
@@ -46,6 +47,62 @@ ClusterSim::ClusterSim(const ClusterConfig& cfg) : cfg_(cfg) {
     hosts_.push_back(std::make_unique<Host>(events_, *fabric_, s, host_cfg));
     hosts_.back()->set_local_deliver([this](PacketHandle h) { dispatch(h); });
   }
+
+  // Register the metric catalog (see docs/OBSERVABILITY.md) and hand the
+  // cached cells to every component. The cells are shared cluster-wide:
+  // all ports increment one counter, all hosts another, and so on.
+  PortMetricHooks pm;
+  pm.tx_packets = metrics_.counter("sim.port.tx_packets", "packets", "port");
+  pm.tx_bytes = metrics_.counter("sim.port.tx_bytes", "bytes", "port");
+  pm.drops = metrics_.counter("sim.port.drops", "packets", "port");
+  pm.fault_drops = metrics_.counter("sim.port.fault_drops", "packets", "port");
+  pm.ecn_marks = metrics_.counter("sim.port.ecn_marks", "packets", "port");
+  pm.peak_queue_bytes =
+      metrics_.gauge("sim.port.peak_queue_bytes", "bytes", "port");
+  pm.queue_bytes = metrics_.histogram(
+      "sim.port.queue_bytes", "bytes", "port",
+      {1024, 8192, 32768, 131072, 524288, 2097152});
+  for (int p = 0; p < topo_->num_ports(); ++p)
+    fabric_->port(topology::PortId{p}).set_metrics(pm);
+
+  HostMetricHooks hm;
+  hm.data_packets =
+      metrics_.counter("sim.pacer.data_packets", "packets", "pacer");
+  hm.void_packets =
+      metrics_.counter("sim.pacer.void_packets", "packets", "pacer");
+  hm.batches = metrics_.counter("sim.pacer.batches", "batches", "pacer");
+  hm.throttled = metrics_.counter("sim.pacer.throttled", "packets", "pacer");
+  hm.pacer_drops =
+      metrics_.counter("sim.pacer.queue_drops", "packets", "pacer");
+  hm.fault_drops = metrics_.counter("sim.host.fault_drops", "packets", "host");
+  for (auto& h : hosts_) h->set_metrics(hm, pm);
+
+  flow_metrics_.segments =
+      metrics_.counter("sim.transport.segments", "packets", "transport");
+  flow_metrics_.retransmits =
+      metrics_.counter("sim.transport.retransmits", "packets", "transport");
+  flow_metrics_.acks =
+      metrics_.counter("sim.transport.acks", "packets", "transport");
+  flow_metrics_.rtos =
+      metrics_.counter("sim.transport.rtos", "events", "transport");
+  flow_metrics_.aborts =
+      metrics_.counter("sim.transport.aborts", "events", "transport");
+
+  admissions_ = metrics_.counter("cluster.admissions", "tenants", "cluster");
+  rejections_ = metrics_.counter("cluster.rejections", "tenants", "cluster");
+  msgs_completed_ =
+      metrics_.counter("cluster.messages_completed", "messages", "cluster");
+  msgs_aborted_ =
+      metrics_.counter("cluster.messages_aborted", "messages", "cluster");
+  slo_violations_ =
+      metrics_.counter("cluster.slo_violations", "messages", "cluster");
+}
+
+obs::FlightRecorder& ClusterSim::enable_flight_recorder(std::size_t capacity) {
+  recorder_ = std::make_unique<obs::FlightRecorder>(capacity);
+  recorder_->set_flow_tenants(&flow_tenant_);
+  events_.set_flight_recorder(recorder_.get());
+  return *recorder_;
 }
 
 ClusterSim::~ClusterSim() = default;
@@ -90,7 +147,10 @@ SiloGuarantee ClusterSim::pacing_guarantee(const SiloGuarantee& g) const {
 
 std::optional<int> ClusterSim::add_tenant(const TenantRequest& request) {
   auto admitted = placer_->place(request);
-  if (!admitted) return std::nullopt;
+  if (!admitted) {
+    rejections_.inc();
+    return std::nullopt;
+  }
   return finish_admission(request, std::move(admitted->vm_to_server));
 }
 
@@ -120,6 +180,7 @@ int ClusterSim::finish_admission(const TenantRequest& request,
     }
   }
   tenants_.push_back(std::move(rt));
+  admissions_.inc();
   const int tenant = static_cast<int>(tenants_.size()) - 1;
   if (tenants_[tenant].pacers) {
     // Kick off periodic EyeQ-style destination-rate coordination.
@@ -194,6 +255,8 @@ ClusterSim::FlowRuntime& ClusterSim::flow_for(int tenant, int src_local,
     on_flow_delivery(flow_id, delivered);
   });
   fr->flow->set_on_abort([this, flow_id] { on_flow_abort(flow_id); });
+  fr->flow->set_metrics(flow_metrics_);
+  fr->paced = tenant_paced(rt.request);
   flows_.push_back(std::move(fr));
   flow_tenant_.push_back(tenant);
   rt.pair_to_flow.emplace(key, flow_id);
@@ -213,6 +276,13 @@ void ClusterSim::send_message(int tenant, int src_local, int dst_local,
                               Bytes size, MsgCallback done) {
   if (size <= 0) throw std::invalid_argument("message size must be positive");
   auto& fr = flow_for(tenant, src_local, dst_local);
+  if (fr.boundaries.empty()) {
+    // Idle flow: start a fresh attribution epoch so the quiet period
+    // before this message never counts toward its breakdown.
+    fr.attr_mark = events_.now();
+    fr.msg_free_at = events_.now();
+    fr.accum = MessageBreakdown{};
+  }
   FlowRuntime::Boundary b;
   b.end_seq = fr.flow->bytes_written() + size;
   b.size = size;
@@ -226,19 +296,73 @@ void ClusterSim::send_message(int tenant, int src_local, int dst_local,
 void ClusterSim::on_flow_delivery(int flow_id, std::int64_t delivered) {
   auto& fr = *flows_[flow_id];
   auto& rt = tenants_[flow_tenant_[flow_id]];
+  const TimeNs now = events_.now();
+
+  // Latency-breakdown attribution. Every in-order advance attributes the
+  // flow-progress interval (attr_mark, now] using the arriving packet's
+  // stage timeline (captured in dispatch() before its handle was freed):
+  //   - the gap before the packet was even emitted is a sender-side stall —
+  //     retransmission recovery if a resend/RTO is involved, otherwise
+  //     pacer wait on paced flows / stream queueing on unpaced ones;
+  //   - the packet's own pacing/queueing/serialization segments cover the
+  //     rest, clipped where they overlap time already attributed to earlier
+  //     packets (pipelining). Clipping consumes the earliest stages first.
+  // Gap + clipped stages == now - attr_mark exactly, so the per-message
+  // accumulators always sum to the observed latency.
+  const std::size_t rto_count = fr.flow->rto_events().size();
+  if (now > fr.attr_mark && pending_arrival_ == now &&
+      pending_stages_.tracked) {
+    const obs::PacketStages& st = pending_stages_;
+    const bool retrans = st.retransmit || rto_count > fr.rto_seen;
+    const TimeNs gap = st.emitted - fr.attr_mark;
+    if (gap > 0) {
+      if (retrans)
+        fr.accum.retransmit_ns += gap;
+      else if (fr.paced)
+        fr.accum.pacing_ns += gap;
+      else
+        fr.accum.queueing_ns += gap;
+    }
+    TimeNs clip = fr.attr_mark - st.emitted;
+    TimeNs p = st.pacing_ns, q = st.queue_ns, s = st.serial_ns;
+    if (clip > 0) {
+      TimeNs c = std::min(clip, p);
+      p -= c;
+      clip -= c;
+      c = std::min(clip, q);
+      q -= c;
+      clip -= c;
+      s -= std::min(clip, s);
+    }
+    fr.accum.pacing_ns += p;
+    fr.accum.queueing_ns += q;
+    fr.accum.serialization_ns += s;
+    fr.attr_mark = now;
+  }
+  fr.rto_seen = rto_count;
+
   while (!fr.boundaries.empty() && fr.boundaries.front().end_seq <= delivered) {
     auto b = std::move(fr.boundaries.front());
     fr.boundaries.pop_front();
     MessageResult res;
-    res.latency = events_.now() - b.start;
+    res.latency = now - b.start;
     res.had_rto = fr.flow->rto_events().size() > b.rto_index;
+    res.breakdown = fr.accum;
+    // Wait behind earlier messages on the same flow counts as queueing
+    // (the stream is a queue); attribution restarts for the next message.
+    const TimeNs hol = fr.msg_free_at - b.start;
+    if (hol > 0) res.breakdown.queueing_ns += hol;
+    fr.accum = MessageBreakdown{};
+    fr.msg_free_at = now;
     ++rt.counters.completed;
+    msgs_completed_.inc();
     // SLO accounting against the §4.1 bound the tenant was admitted with.
     const SiloGuarantee& g = rt.request.guarantee;
     if (rt.request.tenant_class != TenantClass::kBestEffort &&
         g.wants_delay_guarantee() && g.bandwidth > 0 &&
         res.latency > max_message_latency(g, b.size)) {
       ++rt.counters.slo_violations;
+      slo_violations_.inc();
     }
     if (b.done) b.done(res);
   }
@@ -254,14 +378,20 @@ void ClusterSim::on_flow_abort(int flow_id) {
     auto b = std::move(fr.boundaries.front());
     fr.boundaries.pop_front();
     ++rt.counters.aborted;
+    msgs_aborted_.inc();
     if (b.done) {
       MessageResult res;
       res.latency = events_.now() - b.start;
       res.had_rto = true;
       res.aborted = true;
+      // The whole wait was loss recovery that never completed.
+      res.breakdown.retransmit_ns = res.latency;
       b.done(res);
     }
   }
+  fr.accum = MessageBreakdown{};
+  fr.attr_mark = events_.now();
+  fr.msg_free_at = events_.now();
 }
 
 std::int64_t ClusterSim::pair_delivered_bytes(int tenant, int src_local,
@@ -314,8 +444,14 @@ void ClusterSim::dispatch(PacketHandle h) {
     hosts_[p.dst_server]->drop_faulted(h);
     return;
   }
+  // Snapshot the stage timeline before the handle is recycled — the
+  // attribution in on_flow_delivery (called under on_packet) needs it.
+  pending_stages_ = events_.timeline().stages(h);
+  pending_arrival_ = events_.now();
   events_.pool().free(h);
   if (p.flow_id < 0 || p.flow_id >= static_cast<int>(flows_.size())) return;
+  record_flight(events_, p, obs::FlightEventType::kDelivered,
+                obs::host_location(p.dst_server));
   if (tap_) tap_(p);
   flows_[p.flow_id]->flow->on_packet(p);
 }

@@ -18,6 +18,9 @@
 #include <vector>
 
 #include "core/guarantee.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/packet_timeline.h"
 #include "placement/placement.h"
 #include "sim/network.h"
 #include "sim/transport.h"
@@ -75,12 +78,29 @@ class ClusterSim {
   int tenant_vm_count(int tenant) const;
   int vm_server(int tenant, int local_vm) const;
 
+  /// Where a delivered message's latency went. Components always sum to
+  /// the observed latency exactly (integer ns): per-packet stage segments
+  /// partition [emit, deliver], and flow-level gaps (sender stalls,
+  /// head-of-line wait behind earlier messages) are attributed by rule —
+  /// to retransmit_ns when a retransmission/RTO is involved, otherwise to
+  /// pacing_ns on paced flows and queueing_ns on unpaced ones.
+  struct MessageBreakdown {
+    TimeNs pacing_ns = 0;         ///< pacer token wait + NIC batch alignment
+    TimeNs queueing_ns = 0;       ///< switch queues + sender-side stream wait
+    TimeNs serialization_ns = 0;  ///< wire transmission + propagation
+    TimeNs retransmit_ns = 0;     ///< loss recovery (RTO backoff, resends)
+    TimeNs sum() const {
+      return pacing_ns + queueing_ns + serialization_ns + retransmit_ns;
+    }
+  };
+
   struct MessageResult {
     TimeNs latency = 0;
     bool had_rto = false;
     /// The transport aborted (bounded-retry limit) before the message was
     /// delivered — counted apart from completions; drivers retry these.
     bool aborted = false;
+    MessageBreakdown breakdown;
   };
   using MsgCallback = std::function<void(const MessageResult&)>;
 
@@ -132,6 +152,18 @@ class ClusterSim {
   using PacketTap = std::function<void(const Packet&)>;
   void set_packet_tap(PacketTap tap) { tap_ = std::move(tap); }
 
+  /// The cluster's metric registry: fabric/host/transport/cluster counters
+  /// are registered in the constructor and updated via cached handles.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Create and attach a flight recorder (bounded ring of `capacity`
+  /// events). Call enable_all()/enable_tenant()/enable_port() on the
+  /// returned recorder to select traffic; nothing records until one filter
+  /// is enabled. Idempotent capacity changes replace the recorder.
+  obs::FlightRecorder& enable_flight_recorder(std::size_t capacity);
+  obs::FlightRecorder* flight_recorder() { return recorder_.get(); }
+
   EventQueue& events() { return events_; }
   Fabric& fabric() { return *fabric_; }
   const topology::Topology& topo() const { return *topo_; }
@@ -151,6 +183,12 @@ class ClusterSim {
       MsgCallback done;
     };
     std::deque<Boundary> boundaries;
+    // Latency-breakdown attribution state (see on_flow_delivery).
+    bool paced = false;       ///< flow belongs to a pacer-enforced tenant
+    TimeNs attr_mark = 0;     ///< end of the last attributed interval
+    TimeNs msg_free_at = 0;   ///< when the flow finished the prior message
+    std::size_t rto_seen = 0; ///< rto_events() size at the last attribution
+    MessageBreakdown accum;   ///< attributed time since the last boundary
   };
 
   struct TenantRuntime {
@@ -189,6 +227,7 @@ class ClusterSim {
   void rebalance_tenant(int tenant);
 
   ClusterConfig cfg_;
+  obs::MetricsRegistry metrics_;
   EventQueue events_;
   std::unique_ptr<topology::Topology> topo_;
   std::unique_ptr<placement::PlacementEngine> placer_;
@@ -199,6 +238,18 @@ class ClusterSim {
   std::vector<int> flow_tenant_;                     ///< flow id -> tenant
   int next_global_vm_ = 0;
   PacketTap tap_;
+
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  TransportMetricHooks flow_metrics_;  ///< shared cells, set on each flow
+  obs::Counter admissions_;
+  obs::Counter rejections_;
+  obs::Counter msgs_completed_;
+  obs::Counter msgs_aborted_;
+  obs::Counter slo_violations_;
+  /// Stage timeline of the packet being dispatched, captured before its
+  /// handle is recycled (on_flow_delivery runs inside the dispatch).
+  obs::PacketStages pending_stages_;
+  TimeNs pending_arrival_ = -1;
 };
 
 }  // namespace silo::sim

@@ -20,6 +20,8 @@
 #include <queue>
 #include <vector>
 
+#include "obs/flight_recorder.h"
+#include "obs/packet_timeline.h"
 #include "sim/packet_pool.h"
 #include "util/units.h"
 
@@ -56,6 +58,17 @@ class EventQueue {
 
   PacketPool& pool() { return pool_; }
   const PacketPool& pool() const { return pool_; }
+
+  /// Per-packet stage accounting (latency-breakdown attribution), keyed by
+  /// pool handle. Lives here so every component holding the event queue can
+  /// reach it without extra plumbing. Always on; pure stores, no branches.
+  obs::PacketTimeline& timeline() { return timeline_; }
+  const obs::PacketTimeline& timeline() const { return timeline_; }
+
+  /// Optional flight recorder; components check for null before recording.
+  /// Owned by the facade (ClusterSim) or the test that enables it.
+  void set_flight_recorder(obs::FlightRecorder* r) { recorder_ = r; }
+  obs::FlightRecorder* flight_recorder() { return recorder_; }
 
   /// Schedule a typed event at absolute time `t` (clamped to >= now).
   void schedule(TimeNs t, EventKind kind, void* target, std::uint32_t arg = 0,
@@ -189,6 +202,8 @@ class EventQueue {
   std::vector<std::uint32_t> cb_free_;
 
   PacketPool pool_;
+  obs::PacketTimeline timeline_;
+  obs::FlightRecorder* recorder_ = nullptr;
   TimeNs now_ = 0;
   std::uint64_t seq_ = 0;
   std::size_t size_ = 0;

@@ -14,6 +14,7 @@ Fabric::Fabric(EventQueue& events, const topology::Topology& topo,
     cfg.buffer = topo.port(topology::PortId{i}).buffer;
     ports_[i] = std::make_unique<SwitchPortSim>(
         events, cfg, [this](PacketHandle h) { advance(h); });
+    ports_[i]->set_location(i);
   }
 }
 
@@ -87,6 +88,7 @@ Host::Host(EventQueue& events, Fabric& fabric, int server_id,
         else
           events_.pool().free(h);
       });
+  loopback_->set_location(obs::host_location(server_id));
 }
 
 void Host::set_up(bool up) {
@@ -113,6 +115,9 @@ void Host::set_up(bool up) {
 
 void Host::drop_faulted(PacketHandle h) {
   ++fault_drops_;
+  metrics_.fault_drops.inc();
+  record_flight(events_, events_.pool().get(h), obs::FlightEventType::kDropped,
+                obs::host_location(server_id_), /*fault=*/true);
   events_.pool().free(h);
 }
 
@@ -133,6 +138,9 @@ void Host::send(PacketHandle h) {
     auto& dq = tx_[vm].dests[p.dst_vm];
     if (dq.bytes + p.wire_bytes > cfg_.pacer_queue_cap) {
       ++pacer_drops_;  // finite driver queue
+      metrics_.pacer_drops.inc();
+      record_flight(events_, p, obs::FlightEventType::kDropped,
+                    obs::host_location(server_id_));
       events_.pool().free(h);
       return;
     }
@@ -145,6 +153,20 @@ void Host::send(PacketHandle h) {
 }
 
 void Host::hand_to_nic(PacketHandle h, TimeNs release) {
+  if (release > events_.now()) metrics_.throttled.inc();
+  if (obs::FlightRecorder* r = events_.flight_recorder()) {
+    const Packet& p = events_.pool().get(h);
+    obs::FlightEvent e;
+    e.at = release;  // when the pacer allows the first bit on the wire
+    e.packet_id = p.id;
+    e.seq = p.seq;
+    e.flow_id = p.flow_id;
+    e.location = obs::host_location(server_id_);
+    e.bytes = static_cast<std::int32_t>(p.wire_bytes);
+    e.type = obs::FlightEventType::kPaced;
+    e.is_ack = p.is_ack;
+    r->record(e);
+  }
   // The NIC slot id *is* the packet handle — no side map needed.
   nic_.enqueue(release, events_.pool().get(h).wire_bytes, h);
   kick();
@@ -256,10 +278,23 @@ void Host::run_batch() {
     return;
   }
   transmitting_ = true;
+  metrics_.batches.inc();
   for (const auto& slot : slots) {
-    if (slot.is_void) continue;  // occupies the wire; ToR will not see it
+    if (slot.is_void) {  // occupies the wire; ToR will not see it
+      metrics_.void_packets.inc();
+      continue;
+    }
+    metrics_.data_packets.inc();
+    const auto h = static_cast<PacketHandle>(slot.id);
+    // Emit -> wire start: pacing delay for paced VMs (token wait + batch
+    // alignment), sender-NIC queueing for unpaced ones. Wire start -> end
+    // is the NIC's serialization time.
+    const bool paced = pacers_.count(events_.pool().get(h).src_vm) > 0;
+    events_.timeline().advance(
+        h, slot.start, paced ? obs::Stage::kPacing : obs::Stage::kQueueing);
+    events_.timeline().advance(h, slot.end, obs::Stage::kSerialization);
     events_.schedule(slot.end + cfg_.tor_link_delay, EventKind::kHostIngress,
-                     this, static_cast<PacketHandle>(slot.id));
+                     this, h);
   }
   const TimeNs batch_end = slots.back().end;
   events_.schedule(batch_end, EventKind::kHostBatchEnd, this);
@@ -271,6 +306,8 @@ void Host::handle_batch_end() {
 }
 
 void Host::handle_ingress(PacketHandle h) {
+  // Server -> ToR propagation is wire time.
+  events_.timeline().advance(h, events_.now(), obs::Stage::kSerialization);
   if (!up_) {
     // The server died after this frame was scheduled onto the wire.
     drop_faulted(h);

@@ -60,6 +60,17 @@ class Fabric {
   DeliverFn host_deliver_;
 };
 
+/// Registry handles a host updates (shared across all hosts of a cluster;
+/// default handles are null sinks — see obs::MetricsRegistry).
+struct HostMetricHooks {
+  obs::Counter data_packets;  ///< data frames the NIC put on the wire
+  obs::Counter void_packets;  ///< pacer filler frames
+  obs::Counter batches;       ///< NIC batches built (DMA interrupts)
+  obs::Counter throttled;     ///< packets held back by pacer tokens
+  obs::Counter pacer_drops;   ///< finite pacer-queue overflow
+  obs::Counter fault_drops;   ///< packets killed by a crashed server
+};
+
 /// One physical server: a NIC (optionally doing Paced IO Batching with
 /// void packets) plus the per-VM pacers of the tenants hosted here.
 class Host {
@@ -116,6 +127,12 @@ class Host {
   const pacer::BatchStats& nic_stats() const { return nic_.stats(); }
   std::int64_t pacer_drops() const { return pacer_drops_; }
 
+  /// Attach registry handles; `loopback` hooks instrument the vswitch port.
+  void set_metrics(const HostMetricHooks& m, const PortMetricHooks& loopback) {
+    metrics_ = m;
+    loopback_->set_metrics(loopback);
+  }
+
   /// Estimated wait a `bytes` packet from `src_vm` to `dst_vm` would see
   /// in the pacer right now (0 for unpaced VMs) — the TSQ-style
   /// backpressure signal transports poll before emitting.
@@ -159,6 +176,7 @@ class Host {
   std::unordered_map<int, VmTx> tx_;
   std::int64_t pacer_drops_ = 0;
   std::int64_t fault_drops_ = 0;
+  HostMetricHooks metrics_;
   bool up_ = true;
   bool transmitting_ = false;
   bool build_scheduled_ = false;

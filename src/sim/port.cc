@@ -17,12 +17,14 @@ void SwitchPortSim::maybe_mark(Packet& p) {
     if (phantom_bytes_ > static_cast<double>(cfg_.phantom_threshold)) {
       p.ecn_marked = true;
       ++stats_.ecn_marks;
+      metrics_.ecn_marks.inc();
     }
     return;
   }
   if (cfg_.ecn_threshold > 0 && queued_bytes_ > cfg_.ecn_threshold) {
     p.ecn_marked = true;
     ++stats_.ecn_marks;
+    metrics_.ecn_marks.inc();
   }
 }
 
@@ -38,6 +40,8 @@ void SwitchPortSim::enqueue_pfabric(PacketHandle h) {
     const std::int64_t worst_remaining = std::prev(pfabric_queue_.end())->remaining;
     if (worst_remaining <= p.remaining) {
       ++stats_.drops;
+      metrics_.drops.inc();
+      record_flight(events_, p, obs::FlightEventType::kDropped, location_);
       pool.free(h);
       return;
     }
@@ -45,16 +49,24 @@ void SwitchPortSim::enqueue_pfabric(PacketHandle h) {
         pfabric_queue_.lower_bound(PfEntry{worst_remaining, 0, kNullPacket});
     queued_bytes_ -= pool.get(worst->handle).wire_bytes;
     ++stats_.drops;
+    metrics_.drops.inc();
+    record_flight(events_, pool.get(worst->handle),
+                  obs::FlightEventType::kDropped, location_);
     pool.free(worst->handle);
     pfabric_queue_.erase(worst);
   }
   if (queued_bytes_ + p.wire_bytes > cfg_.buffer) {
     ++stats_.drops;  // alone it exceeds the buffer
+    metrics_.drops.inc();
+    record_flight(events_, p, obs::FlightEventType::kDropped, location_);
     pool.free(h);
     return;
   }
   queued_bytes_ += p.wire_bytes;
   stats_.max_queue_bytes = std::max(stats_.max_queue_bytes, queued_bytes_);
+  metrics_.peak_queue_bytes.set_max(queued_bytes_);
+  metrics_.queue_bytes.record(static_cast<double>(queued_bytes_));
+  record_flight(events_, p, obs::FlightEventType::kEnqueued, location_);
   pfabric_queue_.insert(PfEntry{p.remaining, pfabric_arrivals_++, h});
   if (!busy_) start_tx();
 }
@@ -77,12 +89,18 @@ void SwitchPortSim::flush_queues() {
   for (auto& q : queue_) {
     for (const PacketHandle h : q) {
       ++stats_.fault_drops;
+      metrics_.fault_drops.inc();
+      record_flight(events_, pool.get(h), obs::FlightEventType::kDropped,
+                    location_, /*fault=*/true);
       pool.free(h);
     }
     q.clear();
   }
   for (const auto& e : pfabric_queue_) {
     ++stats_.fault_drops;
+    metrics_.fault_drops.inc();
+    record_flight(events_, pool.get(e.handle), obs::FlightEventType::kDropped,
+                  location_, /*fault=*/true);
     pool.free(e.handle);
   }
   pfabric_queue_.clear();
@@ -92,11 +110,17 @@ void SwitchPortSim::flush_queues() {
 void SwitchPortSim::enqueue(PacketHandle h) {
   if (!link_up_) {
     ++stats_.fault_drops;
+    metrics_.fault_drops.inc();
+    record_flight(events_, events_.pool().get(h),
+                  obs::FlightEventType::kDropped, location_, /*fault=*/true);
     events_.pool().free(h);
     return;
   }
   if (loss_rng_ && loss_rng_->uniform() < loss_rate_) {
     ++stats_.fault_drops;
+    metrics_.fault_drops.inc();
+    record_flight(events_, events_.pool().get(h),
+                  obs::FlightEventType::kDropped, location_, /*fault=*/true);
     events_.pool().free(h);
     return;
   }
@@ -107,12 +131,17 @@ void SwitchPortSim::enqueue(PacketHandle h) {
   Packet& p = events_.pool().get(h);
   if (queued_bytes_ + p.wire_bytes > cfg_.buffer) {
     ++stats_.drops;
+    metrics_.drops.inc();
+    record_flight(events_, p, obs::FlightEventType::kDropped, location_);
     events_.pool().free(h);
     return;
   }
   maybe_mark(p);
   queued_bytes_ += p.wire_bytes;
   stats_.max_queue_bytes = std::max(stats_.max_queue_bytes, queued_bytes_);
+  metrics_.peak_queue_bytes.set_max(queued_bytes_);
+  metrics_.queue_bytes.record(static_cast<double>(queued_bytes_));
+  record_flight(events_, p, obs::FlightEventType::kEnqueued, location_);
   queue_[static_cast<int>(p.priority)].push_back(h);
   if (!busy_) start_tx();
 }
@@ -142,6 +171,9 @@ void SwitchPortSim::start_tx() {
   busy_ = true;
   const Packet& p = events_.pool().get(h);
   queued_bytes_ -= p.wire_bytes;
+  // Everything since the port accepted the packet was queue wait.
+  events_.timeline().advance(h, events_.now(), obs::Stage::kQueueing);
+  record_flight(events_, p, obs::FlightEventType::kDequeued, location_);
   const TimeNs tx = transmission_time(p.wire_bytes + kEthOverhead, cfg_.rate);
   events_.schedule_after(tx, EventKind::kPortTxDone, this, h);
 }
@@ -150,12 +182,18 @@ void SwitchPortSim::handle_tx_done(PacketHandle h) {
   if (!link_up_) {
     // The link died mid-transmission: the packet never made it across.
     ++stats_.fault_drops;
+    metrics_.fault_drops.inc();
+    record_flight(events_, events_.pool().get(h),
+                  obs::FlightEventType::kDropped, location_, /*fault=*/true);
     events_.pool().free(h);
     start_tx();  // queue was flushed, so this just clears busy_
     return;
   }
   ++stats_.tx_packets;
   stats_.tx_bytes += events_.pool().get(h).wire_bytes;
+  metrics_.tx_packets.inc();
+  metrics_.tx_bytes.inc(events_.pool().get(h).wire_bytes);
+  events_.timeline().advance(h, events_.now(), obs::Stage::kSerialization);
   // Hand to the next hop after propagation; transmission of the next
   // packet overlaps with propagation of this one.
   events_.schedule_after(cfg_.link_delay, EventKind::kPortDeliver, this, h);
@@ -163,6 +201,8 @@ void SwitchPortSim::handle_tx_done(PacketHandle h) {
 }
 
 void SwitchPortSim::handle_deliver(PacketHandle h) {
+  // Charge the propagation delay to serialization (wire time, not queue).
+  events_.timeline().advance(h, events_.now(), obs::Stage::kSerialization);
   deliver_(h);  // ownership moves to the next hop
 }
 

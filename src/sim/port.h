@@ -10,6 +10,8 @@
 #include <functional>
 #include <set>
 
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 #include "sim/packet.h"
 #include "sim/packet_pool.h"
@@ -17,6 +19,27 @@
 #include "util/units.h"
 
 namespace silo::sim {
+
+/// Record a flight-recorder event for `p` at the current time, if a
+/// recorder is attached to the event queue. One pointer load + null check
+/// when recording is off.
+inline void record_flight(EventQueue& events, const Packet& p,
+                          obs::FlightEventType type, std::int32_t location,
+                          bool fault = false) {
+  obs::FlightRecorder* r = events.flight_recorder();
+  if (!r) return;
+  obs::FlightEvent e;
+  e.at = events.now();
+  e.packet_id = p.id;
+  e.seq = p.seq;
+  e.flow_id = p.flow_id;
+  e.location = location;
+  e.bytes = static_cast<std::int32_t>(p.wire_bytes);
+  e.type = type;
+  e.is_ack = p.is_ack;
+  e.fault = fault;
+  r->record(e);
+}
 
 struct PortConfig {
   RateBps rate = 10 * kGbps;
@@ -29,6 +52,20 @@ struct PortConfig {
   /// pFabric: serve the packet with the fewest remaining message bytes
   /// first; when the buffer fills, evict the largest-remaining packet.
   bool pfabric = false;
+};
+
+/// Registry handles a port updates alongside its local PortStats. The
+/// cells are typically shared fabric-wide (every port increments the same
+/// counter); default-constructed handles are null sinks, so an unwired
+/// port pays one add per event and nothing else.
+struct PortMetricHooks {
+  obs::Counter tx_packets;
+  obs::Counter tx_bytes;
+  obs::Counter drops;
+  obs::Counter fault_drops;
+  obs::Counter ecn_marks;
+  obs::Gauge peak_queue_bytes;
+  obs::Histogram queue_bytes;
 };
 
 struct PortStats {
@@ -72,6 +109,13 @@ class SwitchPortSim {
   const PortStats& stats() const { return stats_; }
   const PortConfig& config() const { return cfg_; }
 
+  /// Attach registry handles (cold path; see PortMetricHooks).
+  void set_metrics(const PortMetricHooks& m) { metrics_ = m; }
+  /// Flight-recorder location id: fabric ports use their PortId value,
+  /// host-side ports (loopback vswitch) use obs::host_location(server).
+  void set_location(std::int32_t location) { location_ = location; }
+  std::int32_t location() const { return location_; }
+
  private:
   friend class EventQueue;  ///< typed-event dispatch
 
@@ -110,6 +154,8 @@ class SwitchPortSim {
   double phantom_bytes_ = 0;
   TimeNs phantom_updated_ = 0;
   PortStats stats_;
+  PortMetricHooks metrics_;
+  std::int32_t location_ = 0;
 };
 
 }  // namespace silo::sim

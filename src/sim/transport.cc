@@ -72,7 +72,9 @@ void TcpFlow::emit_segment(std::int64_t seq, Bytes len, bool retransmit) {
   p.enqueue_time = events_.now();
   p.priority = priority_;
   p.remaining = stream_end_ - seq;  // pFabric urgency
-  (void)retransmit;
+  metrics_.segments.inc();
+  if (retransmit) metrics_.retransmits.inc();
+  events_.timeline().on_emit(h, events_.now(), retransmit);
   send_data_(h);
 }
 
@@ -132,6 +134,9 @@ void TcpFlow::handle_data(const Packet& p) {
   ack.ecn_echo = ecn_echo;
   ack.enqueue_time = data_ts;
   ack.priority = priority_;
+  // Reset the recycled handle's stage entry so the ACK never inherits the
+  // previous occupant's timeline (ACK stages are tracked but unused).
+  events_.timeline().on_emit(ah, events_.now(), false);
   send_ack_(ah);
 }
 
@@ -162,6 +167,7 @@ void TcpFlow::on_rto() {
   rto_armed_ = false;
   if (snd_una_ >= stream_end_) return;  // everything got acked meanwhile
   rto_events_.push_back(events_.now());
+  metrics_.rtos.inc();
   ++consecutive_rtos_;
   const bool retries_exhausted = cfg_.max_consecutive_rtos > 0 &&
                                  consecutive_rtos_ >= cfg_.max_consecutive_rtos;
@@ -189,6 +195,7 @@ void TcpFlow::abort_connection() {
   // new rcv_next_ (re-ACKed, not delivered) and old ACKs are below
   // snd_una_. Congestion state restarts as if the flow were new.
   abort_events_.push_back(events_.now());
+  metrics_.aborts.inc();
   snd_una_ = snd_next_ = stream_end_;
   rcv_next_ = stream_end_;
   ooo_.clear();
@@ -239,6 +246,7 @@ void TcpFlow::enter_loss_recovery() {
 }
 
 void TcpFlow::handle_ack(const Packet& ack) {
+  metrics_.acks.inc();
   if (ack.ack_seq > snd_una_) {
     const std::int64_t newly = ack.ack_seq - snd_una_;
     snd_una_ = ack.ack_seq;

@@ -13,6 +13,7 @@
 #include <map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 #include "sim/packet.h"
 #include "sim/packet_pool.h"
@@ -34,6 +35,16 @@ struct TcpConfig {
   /// Abort when no byte has been newly acked for this long while data is
   /// outstanding (checked at RTO firings). 0 disables.
   TimeNs conn_deadline = 0;
+};
+
+/// Registry handles shared by every flow of a cluster (see
+/// obs::MetricsRegistry — default handles are null sinks).
+struct TransportMetricHooks {
+  obs::Counter segments;      ///< data segments emitted (incl. retransmits)
+  obs::Counter retransmits;   ///< fast-retransmit + go-back-N resends
+  obs::Counter acks;          ///< ACK packets processed at the sender
+  obs::Counter rtos;          ///< retransmission timeouts fired
+  obs::Counter aborts;        ///< bounded-retry connection aborts
 };
 
 class TcpFlow {
@@ -65,6 +76,7 @@ class TcpFlow {
   void set_priority(Priority p) { priority_ = p; }
   void set_can_send(CanSendFn fn) { can_send_ = std::move(fn); }
   void set_on_abort(AbortFn fn) { on_abort_ = std::move(fn); }
+  void set_metrics(const TransportMetricHooks& m) { metrics_ = m; }
 
   std::int64_t bytes_written() const { return stream_end_; }
   std::int64_t bytes_delivered() const { return rcv_next_; }
@@ -101,6 +113,7 @@ class TcpFlow {
   CanSendFn can_send_;
   AbortFn on_abort_;
   Priority priority_ = Priority::kGuaranteed;
+  TransportMetricHooks metrics_;
 
   // Sender.
   std::int64_t stream_end_ = 0;  ///< app bytes written so far

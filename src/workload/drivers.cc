@@ -1,8 +1,23 @@
 #include "workload/drivers.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace silo::workload {
+
+void BreakdownAgg::add(const sim::ClusterSim::MessageResult& r) {
+  const auto& b = r.breakdown;
+  const auto us = [](TimeNs ns) {
+    return static_cast<double>(ns) / static_cast<double>(kUsec);
+  };
+  pacing_us.add(us(b.pacing_ns));
+  queueing_us.add(us(b.queueing_ns));
+  serialization_us.add(us(b.serialization_ns));
+  retransmit_us.add(us(b.retransmit_ns));
+  max_sum_error_ns =
+      std::max(max_sum_error_ns, std::abs(b.sum() - r.latency));
+  ++messages;
+}
 
 TimeNs retry_delay(const RetryPolicy& p, int attempt, Rng& rng) {
   TimeNs backoff = p.base_backoff;
@@ -83,6 +98,7 @@ void EtcDriver::send_request(int client, Bytes value, TimeNs sent,
               });
           return;
         }
+        breakdown_.add(r);
         const auto think = static_cast<TimeNs>(rng_.exponential(
             static_cast<double>(cfg_.server_processing_mean)));
         cluster_.events().after(think, [this, client, value, sent] {
@@ -112,6 +128,7 @@ void EtcDriver::send_response(int client, Bytes value, TimeNs sent,
           return;
         }
         ++completed_;
+        breakdown_.add(r);
         latencies_us_.add(static_cast<double>(cluster_.events().now() - sent) /
                           static_cast<double>(kUsec));
       });
@@ -153,6 +170,7 @@ void BulkDriver::pump(std::size_t pair_idx, int attempt) {
           return;
         }
         ++completed_;
+        breakdown_.add(r);
         chunk_latencies_us_.add(static_cast<double>(r.latency) /
                                 static_cast<double>(kUsec));
         pump(pair_idx, 1);
@@ -219,6 +237,7 @@ void BurstDriver::send_one(int worker, TimeNs sent, int attempt) {
           return;
         }
         ++completed_;
+        breakdown_.add(r);
         // Latency from the first issue, so retried messages surface as the
         // long tail they are rather than resetting the clock.
         latencies_us_.add(
@@ -279,6 +298,7 @@ void PoissonMessageDriver::send_one(TimeNs sent, int attempt) {
           return;
         }
         ++completed_;
+        breakdown_.add(r);
         latencies_us_.add(static_cast<double>(cluster_.events().now() - sent) /
                           static_cast<double>(kUsec));
       });

@@ -34,6 +34,22 @@ struct RetryPolicy {
 /// Backoff before attempt `attempt + 1` (attempt counts from 1).
 TimeNs retry_delay(const RetryPolicy& p, int attempt, Rng& rng);
 
+/// Where delivered-message latency went, aggregated over a driver's run:
+/// one Stats series per MessageBreakdown component (us), plus the worst
+/// |sum(components) - latency| seen (ns). The attribution layer guarantees
+/// exact sums, so max_sum_error_ns staying at 0 is the invariant
+/// bench_breakdown and test_obs assert.
+struct BreakdownAgg {
+  Stats pacing_us;
+  Stats queueing_us;
+  Stats serialization_us;
+  Stats retransmit_us;
+  TimeNs max_sum_error_ns = 0;
+  std::int64_t messages = 0;
+
+  void add(const sim::ClusterSim::MessageResult& r);
+};
+
 /// Facebook ETC-like key-value traffic (Atikoglu et al., SIGMETRICS 2012):
 /// small fixed-size GET requests, generalized-Pareto value sizes. Latency
 /// recorded per transaction: request sent -> response delivered.
@@ -64,6 +80,8 @@ class EtcDriver {
   void set_retry(const RetryPolicy& p) { retry_ = p; }
 
   const Stats& latencies_us() const { return latencies_us_; }
+  /// Per-message latency attribution over both transaction legs.
+  const BreakdownAgg& breakdown() const { return breakdown_; }
   std::int64_t completed_ops() const { return completed_; }
   std::int64_t issued_ops() const { return issued_; }
   std::int64_t aborted_messages() const { return aborted_; }
@@ -86,6 +104,7 @@ class EtcDriver {
   RetryPolicy retry_;
   TimeNs until_ = 0;
   Stats latencies_us_;
+  BreakdownAgg breakdown_;
   std::int64_t completed_ = 0;
   std::int64_t issued_ = 0;
   std::int64_t aborted_ = 0;
@@ -109,6 +128,7 @@ class BulkDriver {
 
   /// Completion latency of each chunk-sized message (us).
   const Stats& chunk_latencies_us() const { return chunk_latencies_us_; }
+  const BreakdownAgg& breakdown() const { return breakdown_; }
   Bytes chunk_size() const { return chunk_; }
   std::int64_t completed_chunks() const { return completed_; }
   std::int64_t aborted_messages() const { return aborted_; }
@@ -119,6 +139,7 @@ class BulkDriver {
   void pump(std::size_t pair_idx, int attempt);
 
   Stats chunk_latencies_us_;
+  BreakdownAgg breakdown_;
 
   sim::ClusterSim& cluster_;
   int tenant_;
@@ -152,6 +173,7 @@ class BurstDriver {
   void set_retry(const RetryPolicy& p) { retry_ = p; }
 
   const Stats& latencies_us() const { return latencies_us_; }
+  const BreakdownAgg& breakdown() const { return breakdown_; }
   std::int64_t messages_with_rto() const { return rto_messages_; }
   std::int64_t completed_messages() const { return completed_; }
   std::int64_t issued_messages() const { return issued_; }
@@ -172,6 +194,7 @@ class BurstDriver {
   RetryPolicy retry_;
   TimeNs until_ = 0;
   Stats latencies_us_;
+  BreakdownAgg breakdown_;
   std::int64_t rto_messages_ = 0;
   std::int64_t completed_ = 0;
   std::int64_t issued_ = 0;
@@ -191,6 +214,7 @@ class PoissonMessageDriver {
   void set_retry(const RetryPolicy& p) { retry_ = p; }
 
   const Stats& latencies_us() const { return latencies_us_; }
+  const BreakdownAgg& breakdown() const { return breakdown_; }
   std::int64_t completed() const { return completed_; }
   std::int64_t issued() const { return issued_; }
   std::int64_t aborted_messages() const { return aborted_; }
@@ -210,6 +234,7 @@ class PoissonMessageDriver {
   RetryPolicy retry_;
   TimeNs until_ = 0;
   Stats latencies_us_;
+  BreakdownAgg breakdown_;
   std::int64_t completed_ = 0;
   std::int64_t issued_ = 0;
   std::int64_t aborted_ = 0;

@@ -175,6 +175,53 @@ TEST(PacketPool, SteadyStateIsAllocationFree) {
   EXPECT_LE(pool.live(), static_cast<std::int64_t>(pool.capacity()));
 }
 
+// Same invariant with the observability layer fully enabled: the metrics
+// registry (always wired), the packet-timeline side table, and a flight
+// recorder capturing every event. All of it must ride the warm arena —
+// recording is a POD store into a preallocated ring and the timeline only
+// grows when the pool grows, so steady state stays allocation-free.
+TEST(PacketPool, SteadyStateAllocationFreeWithObservability) {
+  sim::ClusterConfig cfg;
+  cfg.topo.pods = 1;
+  cfg.topo.racks_per_pod = 2;
+  cfg.topo.servers_per_rack = 4;
+  cfg.topo.vm_slots_per_server = 2;
+  cfg.scheme = sim::Scheme::kSilo;
+  cfg.tcp.min_rto = 10 * kMsec;
+  sim::ClusterSim cluster(cfg);
+  auto& rec = cluster.enable_flight_recorder(4096);
+  rec.enable_all();
+
+  TenantRequest b;
+  b.num_vms = 4;
+  b.tenant_class = TenantClass::kBandwidthOnly;
+  b.guarantee = {1e9, Bytes{1500}, 0, 1e9};
+  const auto tb = cluster.add_tenant(b);
+  ASSERT_TRUE(tb.has_value());
+  workload::BulkDriver bulk(cluster, *tb, workload::all_to_all(b.num_vms),
+                            64 * kKB);
+  bulk.start(200 * kMsec);
+
+  cluster.run_until(50 * kMsec);
+  const auto& pool = cluster.events().pool();
+  const std::size_t warm_capacity = pool.capacity();
+  const std::size_t warm_timeline = cluster.events().timeline().capacity();
+  const std::int64_t warm_allocs = pool.total_allocs();
+  const std::uint64_t warm_recorded = rec.total_recorded();
+
+  cluster.run_until(200 * kMsec);
+
+  // Neither the arena nor the attribution side table grew post-warmup.
+  EXPECT_EQ(pool.capacity(), warm_capacity);
+  EXPECT_EQ(cluster.events().timeline().capacity(), warm_timeline);
+  EXPECT_GT(pool.total_allocs(), 2 * warm_allocs);
+  // The recorder kept recording (ring overwrites, never grows).
+  EXPECT_GT(rec.total_recorded(), warm_recorded);
+  EXPECT_EQ(rec.capacity(), 4096u);
+  EXPECT_EQ(rec.size(), 4096u);  // long past wraparound
+  EXPECT_EQ(pool.total_allocs(), pool.total_frees() + pool.live());
+}
+
 TEST(PacketPool, DoubleFreeThrows) {
   sim::PacketPool pool;
   const auto h = pool.alloc();

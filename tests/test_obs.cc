@@ -1,0 +1,334 @@
+// Observability layer: metrics registry semantics, flight-recorder ring
+// behaviour, run-manifest schema (golden file), and the exact-sum
+// latency-attribution invariant on a live cluster.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "sim/cluster.h"
+#include "workload/drivers.h"
+
+namespace silo {
+namespace {
+
+using obs::FlightEvent;
+using obs::FlightEventType;
+using obs::FlightRecorder;
+using obs::MetricSample;
+using obs::MetricsRegistry;
+using obs::MetricType;
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  MetricsRegistry reg;
+  auto c = reg.counter("test.count", "packets", "test");
+  auto g = reg.gauge("test.depth", "bytes", "test");
+  auto h = reg.histogram("test.lat", "us", "test", {1.0, 10.0});
+
+  c.inc();
+  c.inc(4);
+  g.set(7);
+  g.set_max(3);   // lower: no effect
+  g.set_max(11);  // higher: wins
+  h.record(0.5);
+  h.record(5.0);
+  h.record(100.0);
+
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_TRUE(reg.has("test.count"));
+  EXPECT_FALSE(reg.has("test.missing"));
+  EXPECT_EQ(reg.value("test.count"), 5);
+  EXPECT_EQ(reg.value("test.depth"), 11);
+
+  const auto& hs = h.state();
+  ASSERT_EQ(hs.counts.size(), 3u);  // two bounds + overflow
+  EXPECT_EQ(hs.counts[0], 1);
+  EXPECT_EQ(hs.counts[1], 1);
+  EXPECT_EQ(hs.counts[2], 1);
+  EXPECT_EQ(hs.count, 3);
+  EXPECT_DOUBLE_EQ(hs.sum, 105.5);
+}
+
+TEST(Metrics, DefaultHandlesAreSinks) {
+  // Components update metrics unconditionally; unwired handles must
+  // absorb the updates without crashing or touching any registry.
+  obs::Counter c;
+  obs::Gauge g;
+  obs::Histogram h;
+  for (int i = 0; i < 100; ++i) {
+    c.inc();
+    g.set_max(i);
+    h.record(static_cast<double>(i));
+  }
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(Metrics, DuplicateNameThrows) {
+  MetricsRegistry reg;
+  (void)reg.counter("dup", "packets", "test");
+  EXPECT_THROW((void)reg.counter("dup", "packets", "test"),
+               std::invalid_argument);
+  EXPECT_THROW((void)reg.gauge("dup", "bytes", "test"), std::invalid_argument);
+  EXPECT_THROW((void)reg.histogram("dup", "us", "test", {1.0}),
+               std::invalid_argument);
+}
+
+TEST(Metrics, ValueThrowsOnUnknownNameAndHistogram) {
+  MetricsRegistry reg;
+  (void)reg.histogram("hist", "us", "test", {1.0});
+  EXPECT_THROW((void)reg.value("nope"), std::invalid_argument);
+  EXPECT_THROW((void)reg.value("hist"), std::invalid_argument);
+}
+
+TEST(Metrics, SnapshotOutlivesRegistry) {
+  std::vector<MetricSample> snap;
+  {
+    MetricsRegistry reg;
+    auto c = reg.counter("c", "packets", "test");
+    auto h = reg.histogram("h", "us", "test", {2.0});
+    c.inc(42);
+    h.record(1.0);
+    h.record(9.0);
+    snap = reg.snapshot();
+  }  // registry destroyed — the snapshot must own everything it reports
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "c");
+  EXPECT_EQ(snap[0].type, MetricType::kCounter);
+  EXPECT_EQ(snap[0].value, 42);
+  EXPECT_EQ(snap[1].type, MetricType::kHistogram);
+  ASSERT_TRUE(snap[1].hist.has_value());
+  EXPECT_EQ(snap[1].hist->count, 2);
+  ASSERT_EQ(snap[1].hist->counts.size(), 2u);
+  EXPECT_EQ(snap[1].hist->counts[0], 1);
+  EXPECT_EQ(snap[1].hist->counts[1], 1);
+  EXPECT_DOUBLE_EQ(snap[1].hist->sum, 10.0);
+}
+
+// --------------------------------------------------------- flight recorder
+
+FlightEvent make_event(TimeNs at, std::int32_t flow, std::int32_t location) {
+  FlightEvent ev;
+  ev.at = at;
+  ev.packet_id = static_cast<std::uint64_t>(at);
+  ev.flow_id = flow;
+  ev.location = location;
+  ev.bytes = 1500;
+  ev.type = FlightEventType::kEnqueued;
+  return ev;
+}
+
+TEST(FlightRecorder, CapacityZeroThrows) {
+  EXPECT_THROW(FlightRecorder r(0), std::invalid_argument);
+}
+
+TEST(FlightRecorder, RingWrapsAndKeepsNewestWindow) {
+  FlightRecorder rec(4);
+  rec.enable_all();
+  for (int i = 0; i < 10; ++i) rec.record(make_event(i, 0, 0));
+
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.total_recorded(), 10u);
+  EXPECT_EQ(rec.overwritten(), 6u);
+
+  const auto events = rec.in_order();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(events[static_cast<std::size_t>(i)].at, 6 + i);
+}
+
+TEST(FlightRecorder, BeforeWrapSizeTracksRecorded) {
+  FlightRecorder rec(8);
+  rec.enable_all();
+  for (int i = 0; i < 3; ++i) rec.record(make_event(i, 0, 0));
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.overwritten(), 0u);
+  const auto events = rec.in_order();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events.front().at, 0);
+  EXPECT_EQ(events.back().at, 2);
+}
+
+TEST(FlightRecorder, TenantFilterResolvesViaFlowTable) {
+  FlightRecorder rec(16);
+  const std::vector<int> flow_tenant{7, 8, 7};  // flow -> tenant
+  rec.set_flow_tenants(&flow_tenant);
+  rec.enable_tenant(7);
+
+  rec.record(make_event(1, 0, 0));  // tenant 7: kept
+  rec.record(make_event(2, 1, 0));  // tenant 8: filtered
+  rec.record(make_event(3, 2, 0));  // tenant 7: kept
+  rec.record(make_event(4, -1, 0)); // unresolvable: filtered
+
+  const auto events = rec.in_order();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].tenant, 7);
+  EXPECT_EQ(events[1].tenant, 7);
+  EXPECT_EQ(events[1].at, 3);
+}
+
+TEST(FlightRecorder, LocationFilterMatchesHostEncoding) {
+  FlightRecorder rec(16);
+  rec.enable_port(obs::host_location(2));  // server 2's NIC -> -3
+
+  rec.record(make_event(1, -1, obs::host_location(2)));  // kept
+  rec.record(make_event(2, -1, obs::host_location(0)));  // filtered
+  rec.record(make_event(3, -1, 5));                      // fabric: filtered
+
+  const auto events = rec.in_order();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].location, -3);
+}
+
+TEST(FlightRecorder, DumpsAreWellFormed) {
+  FlightRecorder rec(4);
+  rec.enable_all();
+  for (int i = 0; i < 6; ++i) rec.record(make_event(i, 0, i % 2));
+
+  std::ostringstream jsonl;
+  rec.dump_jsonl(jsonl);
+  int lines = 0;
+  std::istringstream in(jsonl.str());
+  for (std::string line; std::getline(in, line); ++lines) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"type\":\"enqueued\""), std::string::npos);
+  }
+  EXPECT_EQ(lines, 4);  // ring holds the newest window only
+
+  std::ostringstream trace;
+  rec.dump_chrome_trace(trace);
+  const std::string t = trace.str();
+  EXPECT_EQ(t.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(t.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(t.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------- manifest
+
+TEST(Manifest, GoldenSchemaV1) {
+  obs::RunManifest m;
+  m.bench = "golden";
+  m.seed = 7;
+  m.git = "TEST";  // override the baked-in git describe for determinism
+  m.topology = {{"servers", 2}, {"vm_slots_per_server", 1}};
+  m.params = {{"note", "fixed"}};
+
+  std::vector<MetricSample> metrics(3);
+  metrics[0].name = "a.count";
+  metrics[0].type = MetricType::kCounter;
+  metrics[0].unit = "packets";
+  metrics[0].owner = "test";
+  metrics[0].value = 3;
+  metrics[1].name = "b.depth";
+  metrics[1].type = MetricType::kGauge;
+  metrics[1].unit = "bytes";
+  metrics[1].owner = "test";
+  metrics[1].value = 9;
+  metrics[2].name = "c.lat";
+  metrics[2].type = MetricType::kHistogram;
+  metrics[2].unit = "us";
+  metrics[2].owner = "test";
+  metrics[2].hist = obs::HistogramState{{1.0, 10.0}, {1, 0, 2}, 3, 25.5};
+
+  std::ifstream golden(std::string(SILO_TESTS_DIR) +
+                       "/golden/manifest_v1.json");
+  ASSERT_TRUE(golden.is_open()) << "golden file missing";
+  std::ostringstream want;
+  want << golden.rdbuf();
+  EXPECT_EQ(obs::manifest_json(m, metrics), want.str());
+}
+
+TEST(Manifest, EscapesStringsAndHandlesEmptyMetrics) {
+  obs::RunManifest m;
+  m.bench = "quote\"and\\slash";
+  m.git = "TEST";
+  const auto json = obs::manifest_json(m, std::vector<MetricSample>{});
+  EXPECT_NE(json.find("quote\\\"and\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\": []"), std::string::npos);
+}
+
+// ------------------------------------------------ attribution on a cluster
+
+// The attribution contract: for every delivered message the breakdown
+// components partition the observed latency exactly (integer ns). Run a
+// real cluster per scheme and assert the driver-observed worst error.
+TEST(Breakdown, ComponentsSumExactlyToLatency) {
+  for (const auto scheme : {sim::Scheme::kSilo, sim::Scheme::kTcp}) {
+    sim::ClusterConfig cfg;
+    cfg.topo.pods = 1;
+    cfg.topo.racks_per_pod = 1;
+    cfg.topo.servers_per_rack = 4;
+    cfg.topo.vm_slots_per_server = 2;
+    cfg.scheme = scheme;
+    sim::ClusterSim cluster(cfg);
+
+    TenantRequest req;
+    req.num_vms = 4;
+    req.tenant_class = TenantClass::kDelaySensitive;
+    req.guarantee = {300 * kMbps, 15 * kKB, 1 * kMsec, 1 * kGbps};
+    const auto tenant = cluster.add_tenant(req);
+    ASSERT_TRUE(tenant.has_value());
+
+    workload::PoissonMessageDriver drv(cluster, *tenant, 0, 3, 2000.0,
+                                       15 * kKB, 11);
+    drv.start(50 * kMsec);
+    cluster.run_until(80 * kMsec);
+
+    const auto& agg = drv.breakdown();
+    EXPECT_GT(agg.messages, 0) << sim::scheme_name(scheme);
+    EXPECT_LE(agg.max_sum_error_ns, 1) << sim::scheme_name(scheme);
+    // Every component series sees one sample per delivered message.
+    EXPECT_EQ(static_cast<std::int64_t>(agg.queueing_us.count()),
+              agg.messages);
+    // Serialization is never zero for a 15 KB message on finite links.
+    EXPECT_GT(agg.serialization_us.mean(), 0.0);
+  }
+}
+
+TEST(Breakdown, ClusterRecorderCapturesDeliveries) {
+  sim::ClusterConfig cfg;
+  cfg.topo.pods = 1;
+  cfg.topo.racks_per_pod = 1;
+  cfg.topo.servers_per_rack = 4;
+  cfg.topo.vm_slots_per_server = 2;
+  sim::ClusterSim cluster(cfg);
+  auto& rec = cluster.enable_flight_recorder(512);
+
+  TenantRequest req;
+  req.num_vms = 2;
+  req.tenant_class = TenantClass::kDelaySensitive;
+  req.guarantee = {300 * kMbps, 15 * kKB, 1 * kMsec, 1 * kGbps};
+  const auto tenant = cluster.add_tenant(req);
+  ASSERT_TRUE(tenant.has_value());
+  rec.enable_tenant(*tenant);
+
+  bool delivered = false;
+  cluster.send_message(*tenant, 0, 1, 15 * kKB,
+                       [&](const sim::ClusterSim::MessageResult& r) {
+                         delivered = !r.aborted;
+                       });
+  cluster.run_until(20 * kMsec);
+  ASSERT_TRUE(delivered);
+
+  EXPECT_GT(rec.total_recorded(), 0u);
+  bool saw_delivered = false;
+  for (const auto& ev : rec.in_order()) {
+    EXPECT_EQ(ev.tenant, *tenant);  // tenant filter resolved every event
+    if (ev.type == FlightEventType::kDelivered && !ev.is_ack)
+      saw_delivered = true;
+  }
+  EXPECT_TRUE(saw_delivered);
+}
+
+}  // namespace
+}  // namespace silo

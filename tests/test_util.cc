@@ -115,6 +115,45 @@ TEST(Stats, CdfMonotone) {
   }
 }
 
+TEST(Stats, EmptySeriesEdgeCases) {
+  Stats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(std::isnan(s.percentile(50)));
+  EXPECT_DOUBLE_EQ(s.fraction_above(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_TRUE(s.cdf(10).empty());
+}
+
+TEST(Stats, SingleSampleEdgeCases) {
+  Stats s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  // fraction_above is strictly-greater.
+  EXPECT_DOUBLE_EQ(s.fraction_above(4.9), 1.0);
+  EXPECT_DOUBLE_EQ(s.fraction_above(5.0), 0.0);
+  // A single-sample CDF is flat: every point reports the sample.
+  const auto cdf = s.cdf(4);
+  ASSERT_EQ(cdf.size(), 4u);
+  for (const auto& [frac, value] : cdf) {
+    EXPECT_GT(frac, 0.0);
+    EXPECT_LE(frac, 1.0);
+    EXPECT_DOUBLE_EQ(value, 5.0);
+  }
+}
+
+TEST(Stats, CdfZeroPointsIsEmpty) {
+  Stats s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_TRUE(s.cdf(0).empty());
+}
+
 TEST(Rng, Deterministic) {
   Rng a(42), b(42);
   for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
