@@ -44,7 +44,7 @@ Result run(bool with_besteffort, TimeNs duration) {
   TenantRequest b;
   b.num_vms = 6;
   b.tenant_class = TenantClass::kBandwidthOnly;
-  b.guarantee = {1 * kGbps, Bytes{1500}, 0, 1 * kGbps};
+  b.guarantee = {1 * kGbps, Bytes{1500}, TimeNs{0}, 1 * kGbps};
   const auto tb = cluster.add_tenant(b);
 
   Result res;
@@ -55,7 +55,7 @@ Result run(bool with_besteffort, TimeNs duration) {
     TenantRequest e;
     e.num_vms = 4;
     e.tenant_class = TenantClass::kBestEffort;
-    e.guarantee = {1 * kGbps, Bytes{1500}, 0, 1 * kGbps};  // ignored
+    e.guarantee = {1 * kGbps, Bytes{1500}, TimeNs{0}, 1 * kGbps};  // ignored
     te = cluster.add_tenant(e);
   }
 
@@ -88,8 +88,8 @@ Result run(bool with_besteffort, TimeNs duration) {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const auto duration =
-      static_cast<TimeNs>(flags.get("duration-ms", 300.0) * kMsec);
+  const auto duration = TimeNs{static_cast<std::int64_t>(
+      flags.get("duration-ms", 300.0) * static_cast<double>(kMsec))};
 
   print_header("Best-effort tenants (§4.4): isolation + work conservation",
                "Silo guarantees active; a best-effort tenant rides 802.1q\n"

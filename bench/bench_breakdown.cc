@@ -66,13 +66,13 @@ SchemeResult run_scheme(sim::Scheme scheme, const ExpConfig& ec,
   TenantRequest a;
   a.num_vms = ec.a_vms;
   a.tenant_class = TenantClass::kDelaySensitive;
-  a.guarantee = {0.3e9, ec.a_message, ec.delay_budget, 1 * kGbps};
+  a.guarantee = {RateBps{0.3e9}, ec.a_message, ec.delay_budget, 1 * kGbps};
   const auto ta = cluster.add_tenant(a);
 
   TenantRequest b;
   b.num_vms = ec.b_vms;
   b.tenant_class = TenantClass::kBandwidthOnly;
-  b.guarantee = {1e9, Bytes{1500}, 0, 0};
+  b.guarantee = {RateBps{1e9}, Bytes{1500}, TimeNs{0}, RateBps{0}};
   b.guarantee.burst_rate = b.guarantee.bandwidth;
   std::vector<int> tbs;
   for (int i = 0; i < 2; ++i) {
@@ -93,7 +93,7 @@ SchemeResult run_scheme(sim::Scheme scheme, const ExpConfig& ec,
   workload::BurstDriver::Config bc;
   bc.receiver = ec.a_vms - 1;
   bc.message_size = ec.a_message;
-  bc.epochs_per_sec = ec.load_factor * a.guarantee.bandwidth /
+  bc.epochs_per_sec = ec.load_factor * a.guarantee.bandwidth.bps() /
                       (8.0 * static_cast<double>(ec.a_vms - 1) *
                        static_cast<double>(ec.a_message));
   workload::BurstDriver bursts(cluster, *ta, ec.a_vms, bc, ec.seed * 31);
@@ -146,7 +146,8 @@ double share_pct(const Stats& component, const workload::BreakdownAgg& b) {
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   ExpConfig ec;
-  ec.duration = static_cast<TimeNs>(flags.get("duration-ms", 300.0) * kMsec);
+  ec.duration = TimeNs{static_cast<std::int64_t>(
+      flags.get("duration-ms", 300.0) * static_cast<double>(kMsec))};
   ec.load_factor = flags.get("load-factor", 0.3);
   ec.seed = static_cast<std::uint64_t>(flags.geti("seed", 33));
 
@@ -185,14 +186,14 @@ int main(int argc, char** argv) {
 
   // ---- invariants -----------------------------------------------------
   bool ok = true;
-  TimeNs worst_err = 0;
+  TimeNs worst_err {};
   std::int64_t messages = 0;
   for (const auto& r : results) {
     worst_err = std::max({worst_err, r.class_a.max_sum_error_ns,
                           r.class_b.max_sum_error_ns});
     messages += r.class_a.messages + r.class_b.messages;
   }
-  const bool sum_ok = worst_err <= 1 && messages > 0;
+  const bool sum_ok = worst_err <= TimeNs{1} && messages > 0;
   std::printf("[%s] exact-sum: max |sum(components) - latency| = %lld ns "
               "over %lld messages (must be <= 1)\n",
               sum_ok ? "PASS" : "FAIL", static_cast<long long>(worst_err),

@@ -70,7 +70,7 @@ class LegacyEngine {
 
  private:
   std::priority_queue<Ev, std::vector<Ev>, Later> pq_;
-  TimeNs now_ = 0;
+  TimeNs now_ {};
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
 };
@@ -120,7 +120,7 @@ class LegacyPort {
   sim::PortConfig cfg_;
   DeliverFn deliver_;
   std::deque<sim::Packet> queue_[2];
-  Bytes queued_bytes_ = 0;
+  Bytes queued_bytes_ {};
   bool busy_ = false;
   std::int64_t tx_packets_ = 0;
   std::int64_t drops_ = 0;
@@ -137,15 +137,15 @@ sim::PortConfig ring_port_config() {
   sim::PortConfig cfg;
   cfg.rate = 10 * kGbps;
   cfg.buffer = 64 * kMB;  // sized so the ring never drops
-  cfg.link_delay = 500;
+  cfg.link_delay = TimeNs{500};
   return cfg;
 }
 
 sim::Packet ring_packet(int j, int hops) {
   sim::Packet p;
   p.id = static_cast<std::uint64_t>(j);
-  p.payload = 1460;
-  p.wire_bytes = 1500;
+  p.payload = Bytes{1460};
+  p.wire_bytes = Bytes{1500};
   // The 8-bit `hop` field wraps at 256, so the ring counts hops down in
   // `remaining` (int64, unused by non-pFabric ports).
   p.remaining = hops;
@@ -174,7 +174,7 @@ EngineResult run_legacy(const RingParams& rp) {
         });
   }
   for (int j = 0; j < rp.packets; ++j) {
-    ev.at(j * 737, [&, j] {
+    ev.at(TimeNs{j * 737}, [&, j] {
       ports[j % rp.ports]->enqueue(ring_packet(j, rp.hops));
     });
   }
@@ -214,7 +214,7 @@ EngineResult run_wheel(const RingParams& rp) {
   for (int j = 0; j < rp.packets; ++j) {
     // Injection itself stays a cold-path callback (as drivers do); the per
     // hop traffic below is all typed events.
-    ev.at(j * 737, [&, j] {
+    ev.at(TimeNs{j * 737}, [&, j] {
       ports[j % rp.ports]->enqueue(ev.pool().clone(ring_packet(j, rp.hops)));
     });
   }
@@ -263,12 +263,12 @@ ClusterResult run_cluster(TimeNs duration) {
   TenantRequest a;
   a.num_vms = 18;
   a.tenant_class = TenantClass::kDelaySensitive;
-  a.guarantee = {0.3e9, 15 * kKB, 1 * kMsec, 1 * kGbps};
+  a.guarantee = {RateBps{0.3e9}, 15 * kKB, 1 * kMsec, 1 * kGbps};
   const auto ta = cluster.add_tenant(a);
   TenantRequest b;
   b.num_vms = 8;
   b.tenant_class = TenantClass::kBandwidthOnly;
-  b.guarantee = {1e9, Bytes{1500}, 0, 1e9};
+  b.guarantee = {RateBps{1e9}, Bytes{1500}, TimeNs{0}, RateBps{1e9}};
   const auto tb = cluster.add_tenant(b);
   if (!ta || !tb) return {};
 
@@ -306,8 +306,7 @@ int main(int argc, char** argv) {
   rp.packets = static_cast<int>(flags.geti("packets", rp.packets));
   rp.hops = static_cast<int>(flags.geti("hops", rp.hops));
   rp.timer_ticks = static_cast<int>(flags.geti("timer-ticks", rp.timer_ticks));
-  const TimeNs duration =
-      static_cast<TimeNs>(flags.geti("duration-ms", 100)) * kMsec;
+  const TimeNs duration = flags.geti("duration-ms", 100) * kMsec;
 
   bench::print_header(
       "Event-engine microbenchmark",

@@ -29,15 +29,15 @@ struct RunResult {
   double void_gbps = 0;
   double mpps = 0;
   double cores = 0;
-  TimeNs min_data_gap = 0;  ///< smallest start-to-start gap on the wire
+  TimeNs min_data_gap {};  ///< smallest start-to-start gap on the wire
 };
 
 RunResult run_pacer(RateBps rate_limit, RateBps line_rate, NicMode mode,
                     TimeNs duration) {
   PacedNic nic(line_rate, mode);
   TokenBucket bucket(rate_limit, kMtu);
-  TimeNs now = 0;
-  TimeNs next_stamp = 0;
+  TimeNs now {};
+  TimeNs next_stamp {};
   std::uint64_t id = 1;
   RunResult res;
   std::vector<TimeNs> stamps, wire_times;
@@ -84,8 +84,8 @@ RunResult run_pacer(RateBps rate_limit, RateBps line_rate, NicMode mode,
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
-  const auto duration =
-      static_cast<TimeNs>(flags.get("duration-ms", 50.0) * kMsec);
+  const auto duration = TimeNs{static_cast<std::int64_t>(
+      flags.get("duration-ms", 50.0) * static_cast<double>(kMsec))};
   const RateBps line = 10 * kGbps;
 
   bench::print_header(
@@ -99,7 +99,7 @@ int main(int argc, char** argv) {
     const auto r = run_pacer(g * kGbps, line, NicMode::kPacedVoid, duration);
     // At line rate the wire framing caps the achievable payload goodput.
     const double ideal =
-        std::min<double>(g, 10.0 * 1500 / (1500.0 + kEthOverhead));
+        std::min<double>(g, 10.0 * 1500 / (1500.0 + static_cast<double>(kEthOverhead)));
     table.add_row({std::to_string(g) + " Gbps", TextTable::fmt(r.cores, 2),
                    TextTable::fmt(r.mpps, 2), TextTable::fmt(r.data_gbps, 2),
                    TextTable::fmt(r.void_gbps, 2),

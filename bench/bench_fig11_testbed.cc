@@ -14,8 +14,8 @@ using namespace silo::bench;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const auto duration =
-      static_cast<TimeNs>(flags.get("duration-s", 0.6) * kSec);
+  const auto duration = TimeNs{static_cast<std::int64_t>(
+      flags.get("duration-s", 0.6) * static_cast<double>(kSec))};
   const double ops = flags.get("ops-per-sec", 40000.0);
 
   print_header(
@@ -60,16 +60,16 @@ int main(int argc, char** argv) {
   // Guarantees must leave headroom for Ethernet framing (38 B preamble /
   // FCS / IFG per MTU frame), or the stamped load exceeds the wire and
   // NIC lag grows without bound: usable goodput is 10G * 1500/1538.
-  const double usable = 10 * kGbps * 1500.0 / 1538.0;
+  const double usable = (10 * kGbps).bps() * 1500.0 / 1538.0;
   int req_idx = 1;
   for (double mult : {1.0, 1.5, 2.0}) {
     TestbedScenario silo = tcp;
     silo.scheme = sim::Scheme::kSilo;
-    silo.a_bandwidth = avg_bw * mult;
-    silo.b_bandwidth = usable / 3.0 - silo.a_bandwidth;
+    silo.a_bandwidth = RateBps{avg_bw * mult};
+    silo.b_bandwidth = RateBps{usable / 3.0} - silo.a_bandwidth;
     static std::string names[3] = {"Silo req1", "Silo req2", "Silo req3"};
     rows.push_back({names[req_idx - 1].c_str(), run_testbed(silo),
-                    silo.a_bandwidth});
+                    silo.a_bandwidth.bps()});
     ++req_idx;
   }
 

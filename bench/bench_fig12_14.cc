@@ -99,12 +99,12 @@ SchemeResult run_scheme(sim::Scheme scheme, const ExpConfig& ec) {
     req.num_vms = next_is_a ? ec.a_vms : ec.b_vms;
     if (next_is_a) {
       req.tenant_class = TenantClass::kDelaySensitive;
-      req.guarantee = {std::clamp(rng.exponential(0.25e9), 0.1e9, 0.5e9),
+      req.guarantee = {RateBps{std::clamp(rng.exponential(0.25e9), 0.1e9, 0.5e9)},
                        ec.a_message, 1 * kMsec, 1 * kGbps};
     } else {
       req.tenant_class = TenantClass::kBandwidthOnly;
-      req.guarantee = {std::clamp(rng.exponential(2e9), 0.5e9, 4e9),
-                       Bytes{1500}, 0, 0};
+      req.guarantee = {RateBps{std::clamp(rng.exponential(2e9), 0.5e9, 4e9)},
+                       Bytes{1500}, TimeNs{0}, RateBps{0}};
       req.guarantee.burst_rate = req.guarantee.bandwidth;
     }
     const auto t = cluster.add_tenant(req);
@@ -133,7 +133,7 @@ SchemeResult run_scheme(sim::Scheme scheme, const ExpConfig& ec) {
     bc.receiver = ec.a_vms - 1;
     bc.message_size = ec.a_message;
     bc.epochs_per_sec =
-        ec.load_factor * a.g.bandwidth /
+        ec.load_factor * a.g.bandwidth.bps() /
         (8.0 * static_cast<double>(ec.a_vms - 1) *
          static_cast<double>(ec.a_message));
     a.driver = std::make_unique<workload::BurstDriver>(cluster, a.id,
@@ -170,7 +170,7 @@ SchemeResult run_scheme(sim::Scheme scheme, const ExpConfig& ec) {
     // Per-pair achieved rate vs the hose-fair estimate B/(n-1), counting
     // only fabric-crossing pairs (intra-server pairs ride the vswitch and
     // are not network-bound under any scheme).
-    const double est_rate = b.g.bandwidth / (ec.b_vms - 1);
+    const double est_rate = b.g.bandwidth.bps() / (ec.b_vms - 1);
     Stats ratios;
     for (int s = 0; s < ec.b_vms; ++s) {
       for (int d = 0; d < ec.b_vms; ++d) {
@@ -199,7 +199,8 @@ double frac_above(const std::vector<double>& v, double threshold) {
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   ExpConfig ec;
-  ec.duration = static_cast<TimeNs>(flags.get("duration-ms", 600.0) * kMsec);
+  ec.duration = TimeNs{static_cast<std::int64_t>(
+      flags.get("duration-ms", 600.0) * static_cast<double>(kMsec))};
   ec.load_factor = flags.get("load-factor", 0.12);
   ec.seed = static_cast<std::uint64_t>(flags.geti("seed", 21));
 

@@ -13,7 +13,8 @@ int main(int argc, char** argv) {
   TestbedScenario alone;
   alone.scheme = sim::Scheme::kTcp;
   alone.with_bulk = false;
-  alone.duration = static_cast<TimeNs>(flags.get("duration-s", 0.6) * kSec);
+  alone.duration = TimeNs{static_cast<std::int64_t>(
+      flags.get("duration-s", 0.6) * static_cast<double>(kSec))};
   alone.ops_per_sec = flags.get("ops-per-sec", 40000.0);
 
   TestbedScenario contended = alone;

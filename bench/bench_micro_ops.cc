@@ -40,7 +40,7 @@ BENCHMARK(BM_CurvePlus);
 
 void BM_CurveMin(benchmark::State& state) {
   const auto a = netcalc::Curve::token_bucket(1 * kGbps, 100 * kKB);
-  const auto b = netcalc::Curve::token_bucket(10 * kGbps, 1500);
+  const auto b = netcalc::Curve::token_bucket(10 * kGbps, Bytes{1500});
   for (auto _ : state) benchmark::DoNotOptimize(a.min_with(b));
 }
 BENCHMARK(BM_CurveMin);
@@ -56,10 +56,10 @@ BENCHMARK(BM_AnalyzeQueue);
 
 void BM_TokenBucketStamp(benchmark::State& state) {
   pacer::TokenBucket bucket(1 * kGbps, 15 * kKB);
-  TimeNs now = 0;
+  TimeNs now {};
   for (auto _ : state) {
-    now = bucket.earliest_conformance(now, 1500);
-    bucket.consume(now, 1500);
+    now = bucket.earliest_conformance(now, Bytes{1500});
+    bucket.consume(now, Bytes{1500});
     benchmark::DoNotOptimize(now);
   }
 }
@@ -67,10 +67,10 @@ BENCHMARK(BM_TokenBucketStamp);
 
 void BM_VmPacerStamp(benchmark::State& state) {
   pacer::VmPacer pacer({1 * kGbps, 15 * kKB, kMsec, 10 * kGbps});
-  TimeNs now = 0;
+  TimeNs now {};
   int dst = 0;
   for (auto _ : state) {
-    now = pacer.stamp(now, dst, 1500);
+    now = pacer.stamp(now, dst, Bytes{1500});
     dst = (dst + 1) % 16;
     benchmark::DoNotOptimize(now);
   }
@@ -82,9 +82,10 @@ void BM_PacedNicBatch(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     pacer::PacedNic nic(10 * kGbps, pacer::NicMode::kPacedVoid);
-    for (int i = 0; i < 8; ++i) nic.enqueue(i * 6000, 1462, i + 1);
+    for (int i = 0; i < 8; ++i)
+      nic.enqueue(TimeNs{i * 6000}, Bytes{1462}, i + 1);
     state.ResumeTiming();
-    benchmark::DoNotOptimize(nic.build_batch(0));
+    benchmark::DoNotOptimize(nic.build_batch(TimeNs{0}));
   }
 }
 BENCHMARK(BM_PacedNicBatch);
@@ -95,8 +96,8 @@ void BM_HoseAllocate(benchmark::State& state) {
   std::vector<pacer::HoseDemand> demands;
   for (int i = 0; i < n; ++i)
     demands.push_back({static_cast<int>(rng.uniform_int(0, 15)),
-                       static_cast<int>(rng.uniform_int(0, 15)), 1e9});
-  const std::vector<RateBps> caps(16, 1e9);
+                       static_cast<int>(rng.uniform_int(0, 15)), RateBps{1e9}});
+  const std::vector<RateBps> caps(16, RateBps{1e9});
   for (auto _ : state)
     benchmark::DoNotOptimize(pacer::hose_allocate(demands, caps, caps));
 }

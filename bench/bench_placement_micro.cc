@@ -28,12 +28,12 @@ TenantRequest sample_request(Rng& rng, double mean_vms) {
   const bool class_a = rng.uniform() < 0.5;
   if (class_a) {
     req.tenant_class = TenantClass::kDelaySensitive;
-    req.guarantee = {std::clamp(rng.exponential(0.25e9), 0.05e9, 1e9),
+    req.guarantee = {RateBps{std::clamp(rng.exponential(0.25e9), 0.05e9, 1e9)},
                      15 * kKB, 1300 * kUsec, 1 * kGbps};
   } else {
     req.tenant_class = TenantClass::kBandwidthOnly;
-    req.guarantee = {std::clamp(rng.exponential(2e9), 0.1e9, 5e9),
-                     Bytes{1500}, 0, 0};
+    req.guarantee = {RateBps{std::clamp(rng.exponential(2e9), 0.1e9, 5e9)},
+                     Bytes{1500}, TimeNs{0}, RateBps{0}};
   }
   return req;
 }

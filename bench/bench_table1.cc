@@ -34,7 +34,8 @@ double run_cell(double bw_mult, int burst_mult, Bytes msg, double rate,
   const double avg_bw = rate * static_cast<double>(msg) * 8.0;
   TenantRequest req;
   req.num_vms = 2;
-  req.guarantee = {avg_bw * bw_mult, burst_mult * msg, 1 * kMsec, 1 * kGbps};
+  req.guarantee = {RateBps{avg_bw * bw_mult}, burst_mult * msg,
+                   1 * kMsec, 1 * kGbps};
   req.tenant_class = TenantClass::kDelaySensitive;
   const auto tenant = cluster.add_tenant(req);
   if (!tenant) return -1.0;
@@ -55,10 +56,10 @@ double run_cell(double bw_mult, int burst_mult, Bytes msg, double rate,
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
-  const Bytes msg = flags.geti("message-bytes", 10 * kKB);
+  const Bytes msg{flags.geti("message-bytes", (10 * kKB).count())};
   const double rate = flags.get("msgs-per-sec", 200.0);
-  const auto duration =
-      static_cast<TimeNs>(flags.get("duration-s", 30.0) * kSec);
+  const auto duration = TimeNs{static_cast<std::int64_t>(
+      flags.get("duration-s", 30.0) * static_cast<double>(kSec))};
   const auto seed = static_cast<std::uint64_t>(flags.geti("seed", 1));
 
   bench::print_header(
@@ -90,7 +91,7 @@ int main(int argc, char** argv) {
   m.bench = "table1";
   m.seed = seed;
   m.topology = {{"servers", 2}, {"vm_slots_per_server", 1}};
-  m.params = {{"message_bytes", std::to_string(msg)},
+  m.params = {{"message_bytes", std::to_string(msg.count())},
               {"msgs_per_sec", TextTable::fmt(rate, 1)},
               {"duration_s", std::to_string(duration / kSec)},
               {"metrics", "bottom-right cell (9M / 3B)"}};

@@ -22,8 +22,8 @@ struct TestbedScenario {
   sim::Scheme scheme = sim::Scheme::kTcp;
   bool with_bulk = true;           ///< tenant B present?
   bool memcached_active = true;    ///< tenant A driving requests?
-  RateBps a_bandwidth = 0;         ///< tenant A guarantee (paced schemes)
-  RateBps b_bandwidth = 0;         ///< tenant B guarantee (paced schemes)
+  RateBps a_bandwidth {};         ///< tenant A guarantee (paced schemes)
+  RateBps b_bandwidth {};         ///< tenant B guarantee (paced schemes)
   double ops_per_sec = 40000;
   TimeNs duration = 600 * kMsec;
   std::uint64_t seed = 11;
@@ -61,7 +61,7 @@ inline TestbedResult run_testbed(const TestbedScenario& sc) {
   TenantRequest a;
   a.num_vms = 15;
   a.tenant_class = TenantClass::kDelaySensitive;
-  a.guarantee = {sc.a_bandwidth > 0 ? sc.a_bandwidth : 210 * kMbps,
+  a.guarantee = {sc.a_bandwidth > RateBps{0} ? sc.a_bandwidth : 210 * kMbps,
                  Bytes{1500}, 1 * kMsec, 1 * kGbps};
   const int ta = cluster.add_tenant_pinned(a, layout);
 
@@ -70,8 +70,9 @@ inline TestbedResult run_testbed(const TestbedScenario& sc) {
     TenantRequest b;
     b.num_vms = 15;
     b.tenant_class = TenantClass::kBandwidthOnly;
-    b.guarantee = {sc.b_bandwidth > 0 ? sc.b_bandwidth : 3 * kGbps,
-                   Bytes{1500}, 0, sc.b_bandwidth > 0 ? sc.b_bandwidth : 0};
+    b.guarantee = {sc.b_bandwidth > RateBps{0} ? sc.b_bandwidth : 3 * kGbps,
+                   Bytes{1500}, TimeNs{0},
+                   sc.b_bandwidth > RateBps{0} ? sc.b_bandwidth : RateBps{0}};
     tb = cluster.add_tenant_pinned(b, layout);
   }
 
@@ -92,7 +93,7 @@ inline TestbedResult run_testbed(const TestbedScenario& sc) {
   TestbedResult res;
   res.latency_us = etc.latencies_us();
   res.mem_ops_per_sec = static_cast<double>(etc.completed_ops()) /
-                        (static_cast<double>(sc.duration) / kSec);
+                        (static_cast<double>(sc.duration) / static_cast<double>(kSec));
   if (bulk) res.bulk_gbps = bulk->goodput_bps() / 1e9;
   res.breakdown = etc.breakdown();
   res.metrics = cluster.metrics().snapshot();

@@ -33,7 +33,7 @@ void run(Scheme scheme) {
   TenantRequest b;
   b.num_vms = 6;
   b.tenant_class = TenantClass::kBandwidthOnly;
-  b.guarantee = {1 * kGbps, Bytes{1500}, 0, 1 * kGbps};
+  b.guarantee = {1 * kGbps, Bytes{1500}, TimeNs{0}, 1 * kGbps};
   const auto tb = sim.add_tenant(b);
   if (!ta || !tb) {
     std::printf("%-7s: admission failed\n", scheme_name(scheme));

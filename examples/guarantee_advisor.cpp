@@ -43,7 +43,7 @@ int main() {
 
   // For contrast: what Table 1's top-left corner would give this tenant.
   SiloGuarantee naive;
-  naive.bandwidth = rec.average_bandwidth;
+  naive.bandwidth = RateBps{rec.average_bandwidth};
   naive.burst = 40 * kKB;
   naive.delay = profile.packet_delay;
   naive.burst_rate = 1 * kGbps;

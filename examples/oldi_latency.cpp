@@ -37,7 +37,7 @@ Stats run(sim::Scheme scheme) {
   TenantRequest bulk;
   bulk.num_vms = 8;
   bulk.tenant_class = TenantClass::kBandwidthOnly;
-  bulk.guarantee = {1500 * kMbps, Bytes{1500}, 0, 1500 * kMbps};
+  bulk.guarantee = {1500 * kMbps, Bytes{1500}, TimeNs{0}, 1500 * kMbps};
   const auto noisy = cluster.add_tenant(bulk);
 
   if (!svc || !noisy) {

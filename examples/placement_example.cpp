@@ -20,7 +20,7 @@ void show_port_analysis(const char* label, int senders, Bytes burst,
                         RateBps ingress, RateBps line, Bytes buffer) {
   // One-shot burst arithmetic, as in the paper's example.
   const auto arrival = Curve::rate_limited_burst(
-      0, senders * burst, ingress);
+      RateBps{0}, senders * burst, ingress);
   const auto q = analyze_queue(arrival, Curve::constant_rate(line));
   // One MTU of slack: the curve's instantaneous jump is packet-granular.
   const bool fits = q.backlog_bound.value_or(1e18) <=
@@ -76,10 +76,10 @@ int main() {
   for (int p = 0; p < topo.num_ports(); ++p) {
     const topology::PortId id{p};
     const TimeNs bound = engine.port_queue_bound(id);
-    if (bound > 0)
+    if (bound > TimeNs{0})
       std::printf("  port %2d: queue bound %6.1f us (capacity %.1f us)\n", p,
-                  static_cast<double>(bound) / kUsec,
-                  static_cast<double>(topo.port(id).queue_capacity) / kUsec);
+                  static_cast<double>(bound) / static_cast<double>(kUsec),
+                  static_cast<double>(topo.port(id).queue_capacity) / static_cast<double>(kUsec));
   }
   std::printf(
       "\nEvery admitted port keeps its worst-case queue within capacity, so\n"

@@ -27,7 +27,7 @@ int main() {
   for (Bytes m : {Bytes{1500}, Bytes{10 * kKB}, Bytes{100 * kKB}}) {
     std::printf("message %6ld B -> guaranteed latency %8.1f us\n",
                 static_cast<long>(m),
-                static_cast<double>(max_message_latency(g, m)) / kUsec);
+                static_cast<double>(max_message_latency(g, m)) / static_cast<double>(kUsec));
   }
 
   // 3. Admission control + placement on a small 10 GbE cluster.
@@ -65,8 +65,8 @@ int main() {
                            [&](const sim::ClusterSim::MessageResult& r) {
                              std::printf(
                                  "10 KB message: %7.1f us (bound %.1f us) %s\n",
-                                 static_cast<double>(r.latency) / kUsec,
-                                 static_cast<double>(bound) / kUsec,
+                                 static_cast<double>(r.latency) / static_cast<double>(kUsec),
+                                 static_cast<double>(bound) / static_cast<double>(kUsec),
                                  r.latency <= bound ? "OK" : "VIOLATED");
                            });
     });

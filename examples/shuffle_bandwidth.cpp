@@ -22,7 +22,7 @@ int main() {
   TenantRequest req;
   req.num_vms = 8;
   req.tenant_class = TenantClass::kBandwidthOnly;
-  req.guarantee = {2 * kGbps, Bytes{1500}, 0, 2 * kGbps};
+  req.guarantee = {2 * kGbps, Bytes{1500}, TimeNs{0}, 2 * kGbps};
   const auto tenant = cluster.add_tenant(req);
   if (!tenant) {
     std::printf("admission failed\n");
@@ -33,7 +33,7 @@ int main() {
   const Bytes per_flow = 4 * kMB;
   const auto pairs = workload::all_to_all(8);
   int remaining = static_cast<int>(pairs.size());
-  TimeNs shuffle_done = 0;
+  TimeNs shuffle_done {};
   for (const auto& [src, dst] : pairs) {
     cluster.send_message(*tenant, src, dst, per_flow,
                          [&](const sim::ClusterSim::MessageResult&) {
@@ -46,15 +46,15 @@ int main() {
   // Hose-model estimate: each VM sends to 7 peers from a 2 Gbps hose ->
   // ~286 Mbps per flow -> 4 MB in ~112 ms (plus a little framing).
   SiloGuarantee per_flow_g = req.guarantee;
-  per_flow_g.bandwidth /= 7;
+  per_flow_g.bandwidth = per_flow_g.bandwidth / 7;
   per_flow_g.burst_rate = per_flow_g.bandwidth;
   const TimeNs estimate = max_message_latency(per_flow_g, per_flow);
 
   std::printf("8-VM shuffle, 4 MB per flow, 2 Gbps hose guarantee\n");
   std::printf("completed: %s\n", remaining == 0 ? "yes" : "NO");
   std::printf("shuffle completion: %.1f ms (hose estimate %.1f ms)\n",
-              static_cast<double>(shuffle_done) / kMsec,
-              static_cast<double>(estimate) / kMsec);
+              static_cast<double>(shuffle_done) / static_cast<double>(kMsec),
+              static_cast<double>(estimate) / static_cast<double>(kMsec));
 
   std::printf("\nper-pair goodput (cross-server pairs, Mbps):\n");
   for (int s = 0; s < 8; ++s) {
@@ -64,7 +64,7 @@ int main() {
         continue;
       const double mbps =
           static_cast<double>(cluster.pair_delivered_bytes(*tenant, s, d)) *
-          8.0 / (static_cast<double>(shuffle_done) / kSec) / 1e6 /
+          8.0 / (static_cast<double>(shuffle_done) / static_cast<double>(kSec)) / 1e6 /
           1.0;
       if (s < 2 && d < 4)  // print a readable subset
         std::printf("  vm%d -> vm%d : %6.0f\n", s, d, mbps);

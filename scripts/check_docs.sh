@@ -54,5 +54,30 @@ done
 
 ndoc=$(echo "$doc_metrics" | wc -w)
 nsrc=$(echo "$src_metrics" | wc -w)
-echo "checked markdown links and $ndoc documented / $nsrc registered metrics"
+
+# ---- 3. silo-lint rule catalog <-> DESIGN.md -----------------------------
+# DESIGN.md's "silo-lint rule catalog" table carries each rule name in
+# backticks in its first column; silo_lint.py --list-rules prints
+# "name: description" per rule. Both directions must agree, so neither
+# the docs nor the linter can grow or drop a rule silently.
+lint_rules=$(python3 scripts/silo_lint.py --list-rules \
+               | sed -E 's/^([a-z-]+):.*/\1/' | sort -u)
+doc_rules=$(grep -oE '^\| `[a-z-]+` \|' DESIGN.md \
+              | sed -E 's/^\| `([a-z-]+)` \|/\1/' | sort -u)
+for r in $lint_rules; do
+  if ! echo "$doc_rules" | grep -qx "$r"; then
+    echo "LINT RULE NOT IN DESIGN.md CATALOG: $r"
+    fail=1
+  fi
+done
+for r in $doc_rules; do
+  if ! echo "$lint_rules" | grep -qx "$r"; then
+    echo "DOCUMENTED RULE UNKNOWN TO silo_lint.py: $r"
+    fail=1
+  fi
+done
+nrules=$(echo "$lint_rules" | wc -w)
+
+echo "checked markdown links, $ndoc documented / $nsrc registered metrics," \
+     "and $nrules silo-lint rules against the DESIGN.md catalog"
 exit $fail

@@ -30,13 +30,15 @@ double evaluate_late_fraction(const WorkloadProfile& profile,
   pacer::TokenBucket bucket(candidate.bandwidth,
                             std::max<Bytes>(candidate.burst, kMtu));
   const RateBps bmax =
-      candidate.burst_rate > 0 ? candidate.burst_rate : candidate.bandwidth;
-  TimeNs now = 0;
-  TimeNs busy_until = 0;  // the Bmax serializer
+      candidate.burst_rate > RateBps{0} ? candidate.burst_rate
+                                        : candidate.bandwidth;
+  TimeNs now {};
+  TimeNs busy_until {};  // the Bmax serializer
   int late = 0;
   for (int i = 0; i < messages; ++i) {
-    now += static_cast<TimeNs>(
-        rng.exponential(1.0 / profile.messages_per_sec) * kSec);
+    now += TimeNs{static_cast<std::int64_t>(
+        rng.exponential(1.0 / profile.messages_per_sec) *
+        static_cast<double>(kSec))};
     const Bytes size = profile.message_sizes[static_cast<std::size_t>(
         rng.uniform_int(0,
                         static_cast<std::int64_t>(profile.message_sizes.size()) -
@@ -45,7 +47,7 @@ double evaluate_late_fraction(const WorkloadProfile& profile,
     // at Bmax behind previously released bytes.
     TimeNs done = now;
     Bytes left = size;
-    while (left > 0) {
+    while (left > Bytes{0}) {
       const Bytes chunk = std::min<Bytes>(left, kMtu);
       TimeNs t = bucket.earliest_conformance(done, chunk);
       bucket.consume(t, chunk);
@@ -74,7 +76,7 @@ GuaranteeRecommendation recommend_guarantee(const WorkloadProfile& profile,
   for (double bw_mult : options.bandwidth_multiples) {
     for (double burst_mult : options.burst_multiples) {
       SiloGuarantee cand;
-      cand.bandwidth = best.average_bandwidth * bw_mult;
+      cand.bandwidth = RateBps{best.average_bandwidth * bw_mult};
       cand.burst = static_cast<Bytes>(burst_mult * static_cast<double>(max_msg));
       cand.delay = profile.packet_delay;
       cand.burst_rate = std::max(profile.burst_rate, cand.bandwidth);
@@ -84,8 +86,8 @@ GuaranteeRecommendation recommend_guarantee(const WorkloadProfile& profile,
         // Cheapest wins: bandwidth dominates cost, then burst.
         const bool cheaper =
             !best.feasible ||
-            cand.bandwidth < best.guarantee.bandwidth - 1.0 ||
-            (cand.bandwidth <= best.guarantee.bandwidth + 1.0 &&
+            cand.bandwidth < best.guarantee.bandwidth - RateBps{1.0} ||
+            (cand.bandwidth <= best.guarantee.bandwidth + RateBps{1.0} &&
              cand.burst < best.guarantee.burst);
         if (cheaper) {
           best.guarantee = cand;

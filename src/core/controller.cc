@@ -203,7 +203,7 @@ DatacenterStats SiloController::stats() const {
     s.max_port_reservation =
         std::max(s.max_port_reservation, engine_.port_reservation(id));
     const TimeNs bound = engine_.port_queue_bound(id);
-    if (bound >= 0 && topo_.port(id).queue_capacity > 0) {
+    if (bound >= TimeNs{0} && topo_.port(id).queue_capacity > TimeNs{0}) {
       s.max_queue_headroom_used =
           std::max(s.max_queue_headroom_used,
                    static_cast<double>(bound) /

@@ -9,7 +9,7 @@
 #pragma once
 
 #include <optional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "core/guarantee.h"
@@ -154,7 +154,7 @@ class SiloController {
 
   topology::Topology topo_;
   placement::PlacementEngine engine_;
-  std::unordered_map<placement::TenantId, TenantState> tenants_;
+  std::map<placement::TenantId, TenantState> tenants_;
 
   obs::MetricsRegistry metrics_;
   obs::Counter m_admissions_;

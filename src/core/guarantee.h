@@ -15,12 +15,12 @@
 namespace silo {
 
 struct SiloGuarantee {
-  RateBps bandwidth = 0;        ///< B, bits/s
-  Bytes burst = 0;              ///< S, bytes
-  TimeNs delay = 0;             ///< d, ns (0 = no delay guarantee requested)
-  RateBps burst_rate = 0;       ///< Bmax, bits/s (>= bandwidth)
+  RateBps bandwidth {};        ///< B, bits/s
+  Bytes burst {};              ///< S, bytes
+  TimeNs delay {};             ///< d, ns (0 = no delay guarantee requested)
+  RateBps burst_rate {};       ///< Bmax, bits/s (>= bandwidth)
 
-  bool wants_delay_guarantee() const { return delay > 0; }
+  bool wants_delay_guarantee() const { return delay > TimeNs{0}; }
 };
 
 /// Tenant service classes used throughout the paper's evaluation.
@@ -45,11 +45,11 @@ struct TenantRequest {
 ///   M <= S : M/Bmax + d
 ///   M >  S : S/Bmax + (M-S)/B + d
 inline TimeNs max_message_latency(const SiloGuarantee& g, Bytes message) {
-  if (message < 0) throw std::invalid_argument("negative message size");
-  const RateBps bmax = g.burst_rate > 0 ? g.burst_rate : g.bandwidth;
-  if (bmax <= 0) throw std::invalid_argument("guarantee has no bandwidth");
+  if (message < Bytes{0}) throw std::invalid_argument("negative message size");
+  const RateBps bmax = g.burst_rate > RateBps{0} ? g.burst_rate : g.bandwidth;
+  if (bmax <= RateBps{0}) throw std::invalid_argument("guarantee has no bandwidth");
   if (message <= g.burst) return transmission_time(message, bmax) + g.delay;
-  if (g.bandwidth <= 0) throw std::invalid_argument("burst exceeded, B = 0");
+  if (g.bandwidth <= RateBps{0}) throw std::invalid_argument("burst exceeded, B = 0");
   return transmission_time(g.burst, bmax) +
          transmission_time(message - g.burst, g.bandwidth) + g.delay;
 }

@@ -43,12 +43,13 @@ void maxmin_rates(std::vector<Flow>& flows, const std::vector<int>& active,
   const int n_ports = topo.num_ports();
   std::vector<double> cap(n_ports);
   std::vector<int> count(n_ports, 0);
-  for (int p = 0; p < n_ports; ++p) cap[p] = topo.port(topology::PortId{p}).rate;
+  for (int p = 0; p < n_ports; ++p)
+    cap[p] = topo.port(topology::PortId{p}).rate.bps();
 
   std::vector<int> unfrozen;
   for (int f : active) {
     if (flows[f].ports.empty()) {
-      flows[f].rate = topo.config().server_link_rate;
+      flows[f].rate = topo.config().server_link_rate.bps();
       continue;
     }
     unfrozen.push_back(f);
@@ -104,7 +105,8 @@ void reserved_rates(std::vector<Flow>& flows, Job& job) {
   const std::vector<RateBps> caps(static_cast<std::size_t>(job.n_vms),
                                   job.guarantee.bandwidth);
   const auto rates = pacer::hose_allocate(demands, caps, caps);
-  for (std::size_t i = 0; i < ids.size(); ++i) flows[ids[i]].rate = rates[i];
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    flows[ids[i]].rate = rates[i].bps();
 }
 
 }  // namespace
@@ -145,9 +147,10 @@ FlowSimResult run_flow_sim(const FlowSimConfig& cfg) {
     while (rng.uniform() > p && n < 8 * cfg.mean_vms) ++n;
     return n;
   };
-  auto sample_bw = [&](double mean) {
-    return std::clamp(rng.exponential(mean), cfg.topo.server_link_rate / 100.0,
-                      cfg.topo.server_link_rate / 2.0);
+  auto sample_bw = [&](RateBps mean) {
+    return RateBps{std::clamp(rng.exponential(mean.bps()),
+                              cfg.topo.server_link_rate.bps() / 100.0,
+                              cfg.topo.server_link_rate.bps() / 2.0)};
   };
 
   double util_acc = 0;      // bit-seconds carried by the fabric
@@ -177,8 +180,8 @@ FlowSimResult run_flow_sim(const FlowSimConfig& cfg) {
         req.guarantee.burst_rate =
             std::max(req.guarantee.burst_rate, req.guarantee.bandwidth);
       } else {
-        req.guarantee = {sample_bw(cfg.b_bandwidth_mean), cfg.b_burst, 0,
-                         0};
+        req.guarantee = {sample_bw(cfg.b_bandwidth_mean), cfg.b_burst,
+                         TimeNs{0}, RateBps{0}};
       }
       if (measuring) {
         ++result.arrivals;
@@ -216,8 +219,8 @@ FlowSimResult run_flow_sim(const FlowSimConfig& cfg) {
       const double duration_s = rng.exponential(
           class_a ? cfg.a_transfer_time_mean_s : cfg.b_transfer_time_mean_s);
       const double per_flow_rate =
-          class_a ? req.guarantee.bandwidth / (req.num_vms - 1)
-                  : req.guarantee.bandwidth;
+          class_a ? req.guarantee.bandwidth.bps() / (req.num_vms - 1)
+                  : req.guarantee.bandwidth.bps();
       const double flow_bytes =
           std::max(1.0, per_flow_rate / 8.0 * duration_s);
       const int job_id = static_cast<int>(jobs.size());
@@ -286,7 +289,7 @@ FlowSimResult run_flow_sim(const FlowSimConfig& cfg) {
   }
 
   const double fabric_capacity =
-      static_cast<double>(topo.num_servers()) * cfg.topo.server_link_rate;
+      static_cast<double>(topo.num_servers()) * cfg.topo.server_link_rate.bps();
   if (measured_s > 0) {
     result.network_utilization = util_acc / (fabric_capacity * measured_s);
     result.avg_occupancy = occupancy_acc / (total_slots * measured_s);

@@ -35,7 +35,7 @@ struct FlowSimConfig {
 
   // Class-B (bandwidth-only) guarantee means — Table 3.
   RateBps b_bandwidth_mean = 2 * kGbps;
-  Bytes b_burst = 1500;
+  Bytes b_burst {1500};
 
   /// Flow volumes are sized as (reserved per-flow rate) x (job transfer
   /// duration), so a job's network time is the sampled duration no matter

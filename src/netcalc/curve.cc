@@ -16,7 +16,7 @@ constexpr double kSlopeTol = 1e-12;  // bytes/ns
 // non-negativity checks allow that much slack.
 constexpr double kValueTol = 16.0;  // bytes
 
-double bps_to_bytes_per_ns(RateBps bps) { return bps / 8e9; }
+double bps_to_bytes_per_ns(RateBps bps) { return bps.bps() / 8e9; }
 
 }  // namespace
 
@@ -26,7 +26,7 @@ Curve::Curve(std::vector<Segment> segments) : segments_(std::move(segments)) {
 
 void Curve::validate() const {
   if (segments_.empty()) return;
-  if (segments_.front().start != 0)
+  if (segments_.front().start != TimeNs{0})
     throw std::invalid_argument("curve must start at t=0");
   for (std::size_t i = 0; i < segments_.size(); ++i) {
     const auto& s = segments_[i];
@@ -50,7 +50,7 @@ void Curve::validate() const {
 }
 
 Curve Curve::token_bucket(RateBps bandwidth, Bytes burst) {
-  return Curve({{0, static_cast<double>(burst),
+  return Curve({{TimeNs{0}, static_cast<double>(burst),
                  bps_to_bytes_per_ns(bandwidth)}});
 }
 
@@ -63,23 +63,24 @@ Curve Curve::rate_limited_burst(RateBps bandwidth, Bytes burst,
   const double s = static_cast<double>(burst);
   const double m = static_cast<double>(mtu);
   // min(m + bmax*t, s + b*t)
-  if (s <= m || burst_rate == bandwidth) return Curve({{0, std::min(s, m), b}});
+  if (s <= m || burst_rate == bandwidth)
+    return Curve({{TimeNs{0}, std::min(s, m), b}});
   const double cross = (s - m) / (bmax - b);
   const auto t = static_cast<TimeNs>(std::llround(cross));
-  if (t <= 0) return Curve({{0, s, b}});
+  if (t <= TimeNs{0}) return Curve({{TimeNs{0}, s, b}});
   // Anchor the post-crossover piece on the min of both lines so the curve
   // never exceeds the token bucket despite integer-time rounding.
   const double at_cross = std::min(m + bmax * static_cast<double>(t),
                                    s + b * static_cast<double>(t));
-  return Curve({{0, m, bmax}, {t, at_cross, b}});
+  return Curve({{TimeNs{0}, m, bmax}, {t, at_cross, b}});
 }
 
 Curve Curve::constant_rate(RateBps rate) {
-  return Curve({{0, 0.0, bps_to_bytes_per_ns(rate)}});
+  return Curve({{TimeNs{0}, 0.0, bps_to_bytes_per_ns(rate)}});
 }
 
 double Curve::value(TimeNs t) const {
-  if (t < 0 || segments_.empty()) return 0.0;
+  if (t < TimeNs{0} || segments_.empty()) return 0.0;
   // Last segment whose start <= t.
   auto it = std::upper_bound(
       segments_.begin(), segments_.end(), t,
@@ -89,7 +90,7 @@ double Curve::value(TimeNs t) const {
 }
 
 std::optional<TimeNs> Curve::time_to_reach(double bytes) const {
-  if (bytes <= 0.0) return 0;
+  if (bytes <= 0.0) return TimeNs{0};
   for (std::size_t i = 0; i < segments_.size(); ++i) {
     const auto& s = segments_[i];
     const bool last = (i + 1 == segments_.size());
@@ -120,14 +121,14 @@ double Curve::sustained_intercept() const {
 }
 
 Curve Curve::shifted_left(TimeNs delta) const {
-  if (delta <= 0 || is_zero()) return *this;
+  if (delta <= TimeNs{0} || is_zero()) return *this;
   std::vector<Segment> out;
   out.reserve(segments_.size());
   for (const auto& s : segments_) {
     if (s.start <= delta) {
       // Segment covering the new origin (keep overwriting until past it).
       out.clear();
-      out.push_back({0, value(delta), s.slope});
+      out.push_back({TimeNs{0}, value(delta), s.slope});
     } else {
       out.push_back({s.start - delta, s.value, s.slope});
     }
@@ -166,7 +167,7 @@ Curve Curve::min_with(const Curve& other) const {
   // Pairwise segment intersections.
   auto seg_end = [](const std::vector<Segment>& segs, std::size_t i) {
     return i + 1 < segs.size() ? segs[i + 1].start
-                               : std::numeric_limits<TimeNs>::max() / 4;
+                               : TimeNs::max() / 4;
   };
   for (std::size_t i = 0; i < segments_.size(); ++i) {
     for (std::size_t j = 0; j < other.segments_.size(); ++j) {
@@ -239,9 +240,9 @@ std::string Curve::to_string() const {
 QueueAnalysis analyze_queue(const Curve& arrival, const Curve& service) {
   QueueAnalysis res;
   if (arrival.is_zero()) {
-    res.queue_bound = 0;
+    res.queue_bound = TimeNs{0};
     res.backlog_bound = 0.0;
-    res.busy_period = 0;
+    res.busy_period = TimeNs{0};
     return res;
   }
   if (service.is_zero()) return res;  // nothing is served: unbounded
@@ -256,7 +257,7 @@ QueueAnalysis analyze_queue(const Curve& arrival, const Curve& service) {
   for (const auto& s : arrival.segments()) candidates.insert(s.start);
   for (const auto& s : service.segments())
     if (auto t = arrival.time_to_reach(s.value)) candidates.insert(*t);
-  TimeNs worst_delay = 0;
+  TimeNs worst_delay{};
   double worst_backlog = 0.0;
   bool delay_bounded = true;
   for (TimeNs t : candidates) {
@@ -283,7 +284,7 @@ QueueAnalysis analyze_queue(const Curve& arrival, const Curve& service) {
     const auto& a = segs[i];
     const TimeNs end = i + 1 < segs.size()
                            ? segs[i + 1].start
-                           : std::numeric_limits<TimeNs>::max() / 4;
+                           : TimeNs::max() / 4;
     // Service is constant-rate in practice; handle general piecewise by
     // sampling its breakpoints within [a.start, end) plus the analytic
     // crossing against each service segment.
@@ -308,10 +309,10 @@ Curve tenant_cut_curve(int n_vms, int m_side, RateBps bandwidth, Bytes burst,
                        RateBps burst_rate, RateBps line_rate_cap, Bytes mtu) {
   if (n_vms < 2 || m_side < 1 || m_side >= n_vms)
     throw std::invalid_argument("tenant_cut_curve: need 1 <= m < n, n >= 2");
-  const double sustained_raw =
+  const RateBps sustained_raw =
       static_cast<double>(std::min(m_side, n_vms - m_side)) * bandwidth;
   const RateBps sustained = std::min(sustained_raw, line_rate_cap);
-  const Bytes total_burst = static_cast<Bytes>(m_side) * burst;
+  const Bytes total_burst = burst * m_side;
   const RateBps brate = std::max(
       sustained,
       std::min(static_cast<double>(m_side) * burst_rate, line_rate_cap));
@@ -331,9 +332,9 @@ Curve propagate_through_port(const Curve& ingress, TimeNs queue_capacity,
 
 RateLatency concatenate(const std::vector<RateLatency>& path) {
   if (path.empty()) throw std::invalid_argument("empty service path");
-  RateLatency out{path.front().rate, 0};
+  RateLatency out{path.front().rate, TimeNs{0}};
   for (const auto& hop : path) {
-    if (hop.rate <= 0) throw std::invalid_argument("non-positive hop rate");
+    if (hop.rate <= RateBps{0}) throw std::invalid_argument("non-positive hop rate");
     out.rate = std::min(out.rate, hop.rate);
     out.latency += hop.latency;
   }

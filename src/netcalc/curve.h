@@ -126,8 +126,8 @@ Curve propagate_through_port(const Curve& ingress, TimeNs queue_capacity,
 /// standard abstraction of a switch port that serves a flow at rate R
 /// after at most T of scheduling delay (Le Boudec & Thiran §1.3).
 struct RateLatency {
-  RateBps rate = 0;
-  TimeNs latency = 0;
+  RateBps rate{};
+  TimeNs latency{};
 };
 
 /// Min-plus concatenation of a path of rate-latency servers:

@@ -92,8 +92,8 @@ void FlightRecorder::dump_chrome_trace(std::ostream& os) const {
   for (const FlightEvent& e : in_order()) {
     if (!first) os << ',';
     first = false;
-    const TimeNs us = e.at / 1000;
-    const TimeNs frac = e.at % 1000;
+    const std::int64_t us = e.at.count() / 1000;
+    const std::int64_t frac = e.at.count() % 1000;
     os << "{\"name\":\"" << flight_event_name(e.type)
        << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << e.location
        << ",\"ts\":" << us << '.';

@@ -37,7 +37,7 @@ const char* flight_event_name(FlightEventType t);
 inline std::int32_t host_location(int server) { return -1 - server; }
 
 struct FlightEvent {
-  TimeNs at = 0;
+  TimeNs at{};
   std::uint64_t packet_id = 0;
   std::int64_t seq = 0;
   std::int32_t flow_id = -1;

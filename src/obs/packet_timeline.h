@@ -2,8 +2,9 @@
 // attribution, keyed by PacketHandle.
 //
 // The simulator's Packet POD is deliberately small and pooled (PR 1), so
-// attribution state lives in this side table indexed by the pool handle
-// instead of growing the POD. The table only grows when the pool arena
+// attribution state lives in this side table indexed by the pool *slot*
+// (PacketPool::slot_of(handle) — never the raw generation-tagged handle,
+// whose high bits would blow the table up) instead of growing the POD. The table only grows when the pool arena
 // grows, so it inherits the pool's steady-state zero-allocation property.
 //
 // A packet's life is modeled as contiguous stage segments that partition
@@ -29,21 +30,23 @@ namespace silo::obs {
 enum class Stage : std::uint8_t { kPacing, kQueueing, kSerialization };
 
 struct PacketStages {
-  TimeNs emitted = 0;  ///< transport handed the packet to the host
-  TimeNs mark = 0;     ///< end of the last charged segment
-  TimeNs pacing_ns = 0;
-  TimeNs queue_ns = 0;
-  TimeNs serial_ns = 0;
+  TimeNs emitted {};  ///< transport handed the packet to the host
+  TimeNs mark {};     ///< end of the last charged segment
+  TimeNs pacing_ns {};
+  TimeNs queue_ns {};
+  TimeNs serial_ns {};
   bool retransmit = false;
   bool tracked = false;
 };
 
 class PacketTimeline {
  public:
-  /// Start tracking a (re)used handle at emit time `now`.
+  /// Start tracking a (re)used arena slot at emit time `now`.
   void on_emit(std::uint32_t h, TimeNs now, bool retransmit) {
     if (h >= stages_.size()) stages_.resize(h + 1);
-    stages_[h] = PacketStages{now, now, 0, 0, 0, retransmit, true};
+    stages_[h] =
+        PacketStages{now, now, TimeNs{0}, TimeNs{0}, TimeNs{0}, retransmit,
+                     true};
   }
 
   /// Charge `now - mark` to `stage` and advance the mark. Handles the
@@ -53,7 +56,7 @@ class PacketTimeline {
     if (h >= stages_.size() || !stages_[h].tracked) return;
     PacketStages& st = stages_[h];
     const TimeNs dt = now - st.mark;
-    if (dt <= 0) return;
+    if (dt <= TimeNs{0}) return;
     switch (stage) {
       case Stage::kPacing:
         st.pacing_ns += dt;
@@ -81,7 +84,7 @@ class PacketTimeline {
   std::size_t capacity() const { return stages_.size(); }
 
  private:
-  std::vector<PacketStages> stages_;  ///< indexed by PacketHandle
+  std::vector<PacketStages> stages_;  ///< indexed by arena slot
 };
 
 }  // namespace silo::obs

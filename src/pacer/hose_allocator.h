@@ -19,7 +19,7 @@ struct HoseDemand {
   int dst = 0;
   /// Demand ceiling in bits/s; use an effectively-infinite value for
   /// backlogged flows.
-  RateBps demand = 0;
+  RateBps demand {};
 };
 
 /// Max-min fair rates for `demands` subject to per-endpoint caps:

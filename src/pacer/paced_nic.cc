@@ -7,13 +7,13 @@ namespace silo::pacer {
 
 PacedNic::PacedNic(RateBps line_rate, NicMode mode, TimeNs batch_window)
     : line_rate_(line_rate), mode_(mode), batch_window_(batch_window) {
-  if (line_rate <= 0) throw std::invalid_argument("line rate must be positive");
-  if (batch_window <= 0) throw std::invalid_argument("batch window must be positive");
+  if (line_rate <= RateBps{0}) throw std::invalid_argument("line rate must be positive");
+  if (batch_window <= TimeNs{0}) throw std::invalid_argument("batch window must be positive");
 }
 
 void PacedNic::enqueue(TimeNs release_time, Bytes payload_bytes,
                        std::uint64_t id) {
-  if (payload_bytes <= 0 || payload_bytes > kMtu)
+  if (payload_bytes <= Bytes{0} || payload_bytes > kMtu)
     throw std::invalid_argument("NIC takes wire packets of <= one MTU");
   Pending p{release_time, payload_bytes, id};
   // Packets from one VM arrive stamped in order; with multiple VMs the
@@ -24,7 +24,7 @@ void PacedNic::enqueue(TimeNs release_time, Bytes payload_bytes,
 }
 
 TimeNs PacedNic::next_start(TimeNs now) const {
-  if (queue_.empty()) return -1;
+  if (queue_.empty()) return TimeNs{-1};
   return std::max(now, queue_.front().release);
 }
 
@@ -46,7 +46,7 @@ void PacedNic::fill_void(std::vector<WireSlot>& out, TimeNs& cursor,
     Bytes frame = std::clamp<Bytes>(gap_bytes, kMinWireFrame,
                                     kMtu + kEthOverhead);
     // Avoid leaving an un-fillable residual gap smaller than a minimum frame.
-    if (gap_bytes - frame > 0 && gap_bytes - frame < kMinWireFrame)
+    if (gap_bytes - frame > Bytes{0} && gap_bytes - frame < kMinWireFrame)
       frame = gap_bytes - kMinWireFrame;
     const TimeNs dur = transmission_time(frame, line_rate_);
     out.push_back({cursor, cursor + dur, frame, true, 0});

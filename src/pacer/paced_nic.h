@@ -24,9 +24,9 @@ enum class NicMode {
 };
 
 struct WireSlot {
-  TimeNs start = 0;       ///< first bit on the wire
-  TimeNs end = 0;         ///< last bit (incl. framing + IFG) off the NIC
-  Bytes wire_bytes = 0;   ///< occupancy incl. Ethernet framing
+  TimeNs start {};       ///< first bit on the wire
+  TimeNs end {};         ///< last bit (incl. framing + IFG) off the NIC
+  Bytes wire_bytes {};   ///< occupancy incl. Ethernet framing
   bool is_void = false;
   std::uint64_t id = 0;   ///< caller-assigned id for data packets
 };
@@ -34,8 +34,8 @@ struct WireSlot {
 struct BatchStats {
   std::int64_t data_packets = 0;
   std::int64_t void_packets = 0;
-  std::int64_t data_wire_bytes = 0;
-  std::int64_t void_wire_bytes = 0;
+  Bytes data_wire_bytes {};
+  Bytes void_wire_bytes {};
   std::int64_t batches = 0;  ///< DMA interrupts taken (CPU-cost proxy)
 };
 

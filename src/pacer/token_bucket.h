@@ -17,7 +17,7 @@ class TokenBucket {
   /// The bucket starts full: a fresh VM may immediately spend its burst.
   TokenBucket(RateBps rate, Bytes capacity)
       : rate_(rate), capacity_(capacity), tokens_(static_cast<double>(capacity)) {
-    if (rate <= 0 || capacity <= 0)
+    if (rate <= RateBps{0} || capacity <= Bytes{0})
       throw std::invalid_argument("token bucket needs positive rate/capacity");
   }
 
@@ -28,7 +28,7 @@ class TokenBucket {
   /// per-destination rates at runtime). Tokens accrued so far are kept.
   void set_rate(TimeNs now, RateBps rate) {
     refill(now);
-    if (rate <= 0) throw std::invalid_argument("rate must be positive");
+    if (rate <= RateBps{0}) throw std::invalid_argument("rate must be positive");
     rate_ = rate;
   }
 
@@ -37,7 +37,7 @@ class TokenBucket {
   double tokens(TimeNs now) const {
     if (now <= last_) return tokens_;
     return std::min(static_cast<double>(capacity_),
-                    tokens_ + rate_ / 8e9 * static_cast<double>(now - last_));
+                    tokens_ + rate_.bps() / 8e9 * static_cast<double>(now - last_));
   }
 
   /// Earliest time >= now at which `bytes` tokens will be available.
@@ -50,8 +50,8 @@ class TokenBucket {
     const double avail = tokens(base);
     if (avail >= static_cast<double>(bytes)) return base;
     const double deficit = static_cast<double>(bytes) - avail;
-    const double wait_ns = deficit * 8e9 / rate_;
-    return base + static_cast<TimeNs>(wait_ns) + 1;
+    const double wait_ns = deficit * 8e9 / rate_.bps();
+    return base + static_cast<TimeNs>(wait_ns) + TimeNs{1};
   }
 
   /// Spend tokens at time `when` (a conformance time; `when >= last_`).
@@ -64,14 +64,14 @@ class TokenBucket {
   void refill(TimeNs now) {
     if (now <= last_) return;
     tokens_ = std::min(static_cast<double>(capacity_),
-                       tokens_ + rate_ / 8e9 * static_cast<double>(now - last_));
+                       tokens_ + rate_.bps() / 8e9 * static_cast<double>(now - last_));
     last_ = now;
   }
 
   RateBps rate_;
   Bytes capacity_;
   double tokens_;
-  TimeNs last_ = 0;
+  TimeNs last_ {};
 };
 
 }  // namespace silo::pacer

@@ -6,7 +6,7 @@ namespace silo::pacer {
 namespace {
 
 RateBps effective_burst_rate(const SiloGuarantee& g) {
-  return g.burst_rate > 0 ? g.burst_rate : g.bandwidth;
+  return g.burst_rate > RateBps{0} ? g.burst_rate : g.bandwidth;
 }
 
 }  // namespace
@@ -16,7 +16,7 @@ VmPacer::VmPacer(const SiloGuarantee& guarantee, Bytes mtu)
       mtu_(mtu),
       bottom_(effective_burst_rate(guarantee), mtu),
       middle_(guarantee.bandwidth, std::max(guarantee.burst, mtu)) {
-  if (guarantee.bandwidth <= 0)
+  if (guarantee.bandwidth <= RateBps{0})
     throw std::invalid_argument("pacer needs a positive bandwidth guarantee");
   if (effective_burst_rate(guarantee) < guarantee.bandwidth)
     throw std::invalid_argument("Bmax must be >= B");
@@ -45,7 +45,7 @@ void VmPacer::set_destination_rate(TimeNs now, int dst, RateBps rate) {
 }
 
 TimeNs VmPacer::peek(TimeNs now, int dst, Bytes bytes) {
-  if (bytes <= 0 || bytes > mtu_)
+  if (bytes <= Bytes{0} || bytes > mtu_)
     throw std::invalid_argument("pacer stamps wire packets of <= one MTU");
   auto& top = dest_bucket(dst);
   TimeNs t = now;
@@ -56,7 +56,7 @@ TimeNs VmPacer::peek(TimeNs now, int dst, Bytes bytes) {
 }
 
 TimeNs VmPacer::stamp(TimeNs now, int dst, Bytes bytes) {
-  if (bytes <= 0 || bytes > mtu_)
+  if (bytes <= Bytes{0} || bytes > mtu_)
     throw std::invalid_argument("pacer stamps wire packets of <= one MTU");
   auto& top = dest_bucket(dst);
   TimeNs t = now;

@@ -13,7 +13,7 @@
 
 #include <algorithm>
 #include <memory>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "core/guarantee.h"
@@ -54,7 +54,7 @@ class VmPacer {
   Bytes mtu_;
   TokenBucket bottom_;  // Bmax
   TokenBucket middle_;  // B, S
-  std::unordered_map<int, TokenBucket> per_dest_;
+  std::map<int, TokenBucket> per_dest_;
 };
 
 /// Owns the pacers of one tenant's VMs and periodically recomputes the

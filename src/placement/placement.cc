@@ -126,13 +126,13 @@ TimeNs PlacementEngine::scope_path_capacity(Scope scope) const {
   const TimeNs qs = topo_.port(topo_.server_up(0)).queue_capacity;
   const TimeNs qr = topo_.num_racks() > 0
                         ? topo_.port(topo_.rack_up(0)).queue_capacity
-                        : 0;
+                        : TimeNs{0};
   const TimeNs qp = topo_.port(topo_.pod_up(0)).queue_capacity;
   // Only switch queues count: the source NIC is a pacing conformance
   // point (void packets keep the wire curve-compliant).
   switch (scope) {
     case Scope::kServer:
-      return 0;
+      return TimeNs{0};
     case Scope::kRack:  // ToR egress toward the destination server
       return nic_delay_allowance_ + qs;
     case Scope::kPod:
@@ -140,7 +140,7 @@ TimeNs PlacementEngine::scope_path_capacity(Scope scope) const {
     case Scope::kDatacenter:
       return nic_delay_allowance_ + qs + 2 * qr + 2 * qp;
   }
-  return 0;
+  return TimeNs{0};
 }
 
 Scope PlacementEngine::widest_scope_for_delay(const SiloGuarantee& g) const {
@@ -162,7 +162,7 @@ TimeNs PlacementEngine::upstream_capacity(int kind_int, Scope scope) const {
   switch (kind) {
     case PortKind::kServerUp:
     case PortKind::kRackUp:
-      return 0;
+      return TimeNs{0};
     case PortKind::kPodUp:
       return qr;  // crossed the ToR uplink queue
     case PortKind::kPodDown:
@@ -172,14 +172,14 @@ TimeNs PlacementEngine::upstream_capacity(int kind_int, Scope scope) const {
     case PortKind::kServerDown:
       switch (scope) {
         case Scope::kRack:
-          return 0;  // straight from conformant source NICs
+          return TimeNs{0};  // straight from conformant source NICs
         case Scope::kPod:
           return 2 * qr;
         default:
           return 2 * qr + 2 * qp;
       }
   }
-  return 0;
+  return TimeNs{0};
 }
 
 PortContribution PlacementEngine::cut_contribution(const TenantRequest& req,
@@ -193,7 +193,7 @@ PortContribution PlacementEngine::cut_contribution(const TenantRequest& req,
   const double hose_rate =
       static_cast<double>(hose_tightening_ ? std::min(m_side, n - m_side)
                                            : m_side) *
-      g.bandwidth;
+      g.bandwidth.bps();
 
   if (policy_ == Policy::kOktopus) {
     c.rate_bps = std::min(hose_rate, static_cast<double>(line_cap));
@@ -201,7 +201,7 @@ PortContribution PlacementEngine::cut_contribution(const TenantRequest& req,
     return c;
   }
 
-  const RateBps bmax = g.burst_rate > 0 ? g.burst_rate : g.bandwidth;
+  const RateBps bmax = g.burst_rate > RateBps{0} ? g.burst_rate : g.bandwidth;
   // The m source VMs occupy at least ceil(m / slots-per-server) servers,
   // so their combined wire rate cannot exceed that many access links.
   const int min_servers =
@@ -214,17 +214,19 @@ PortContribution PlacementEngine::cut_contribution(const TenantRequest& req,
   // (this runs in the inner loop of admission control, so no Curve
   // allocations): the cut curve is min(mtu + brate*t, m*S + hose*t);
   // shifting it left by `upstream` (Kurose) inflates both intercepts.
-  const double sustained = std::min(hose_rate, source_cap);
+  const double sustained = std::min(hose_rate, source_cap.bps());
   const double brate = std::max(
-      sustained, std::min(static_cast<double>(m_side) * bmax, source_cap));
+      sustained,
+      std::min(static_cast<double>(m_side) * bmax.bps(), source_cap.bps()));
   const double up_ns = static_cast<double>(upstream);
-  const double burst0 = static_cast<double>(m_side) * g.burst;
+  const double burst0 =
+      static_cast<double>(m_side) * static_cast<double>(g.burst);
   c.rate_bps = sustained;
   c.burst_bytes = burst0 + sustained / 8e9 * up_ns;
   c.jump_bytes =
       std::min(static_cast<double>(kMtu) + brate / 8e9 * up_ns, c.burst_bytes);
   c.jump_bytes = std::max(c.jump_bytes, static_cast<double>(kMtu));
-  c.burst_rate_bps = upstream == 0 ? brate : source_cap;
+  c.burst_rate_bps = upstream == TimeNs{0} ? brate : source_cap.bps();
   (void)line_cap;
   return c;
 }
@@ -239,13 +241,14 @@ bool PlacementEngine::port_admits(int port, const PortContribution& c) const {
   const auto id = topology::PortId{port};
   const auto& p = topo_.port(id);
   const auto& load = port_load_[port];
-  if (load.rate_bps() + c.rate_bps > p.rate * (1.0 + kRateEps)) return false;
+  if (load.rate_bps() + c.rate_bps > p.rate.bps() * (1.0 + kRateEps))
+    return false;
   // Bandwidth reservation is the whole story for Oktopus, and for the NIC
   // egress (the pacer absorbs bursts before the wire, so feasibility there
   // is purely about sustained rate).
   if (policy_ == Policy::kOktopus || topo_.is_nic_port(id)) return true;
   const TimeNs bound = load.queue_bound(p.rate, &c);
-  return bound >= 0 && bound <= p.queue_capacity;
+  return bound >= TimeNs{0} && bound <= p.queue_capacity;
 }
 
 bool PlacementEngine::server_ports_ok(const TenantRequest& req, int server,
@@ -311,7 +314,7 @@ PlacementEngine::tenant_contributions(const TenantRequest& req,
       out.emplace_back(id.value, c);
   };
 
-  std::unordered_map<int, int> per_rack, per_pod;
+  std::map<int, int> per_rack, per_pod;
   for (const auto& [server, m] : counts) {
     push(topo_.server_up(server), m, PortKind::kServerUp);
     push(topo_.server_down(server), n - m, PortKind::kServerDown);
@@ -386,7 +389,7 @@ std::optional<AdmittedTenant> PlacementEngine::place(
   if (request.num_vms > free_slots_total_) return std::nullopt;
   if (policy_ == Policy::kSilo &&
       request.tenant_class != TenantClass::kBestEffort &&
-      request.guarantee.burst_rate > 0 &&
+      request.guarantee.burst_rate > RateBps{0} &&
       request.guarantee.burst_rate < request.guarantee.bandwidth)
     return std::nullopt;  // malformed guarantee
 
@@ -467,15 +470,15 @@ void PlacementEngine::remove(TenantId id) {
 }
 
 double PlacementEngine::port_reservation(topology::PortId p) const {
-  return port_load_[p.value].rate_bps() / topo_.port(p).rate;
+  return port_load_[p.value].rate_bps() / topo_.port(p).rate.bps();
 }
 
 TimeNs PlacementEngine::port_queue_bound(topology::PortId p) const {
   const auto& load = port_load_[p.value];
-  if (load.empty()) return 0;
+  if (load.empty()) return TimeNs{0};
   const auto analysis = netcalc::analyze_queue(
       load.arrival_curve(), netcalc::Curve::constant_rate(topo_.port(p).rate));
-  return analysis.queue_bound.value_or(-1);
+  return analysis.queue_bound.value_or(TimeNs{-1});
 }
 
 }  // namespace silo::placement

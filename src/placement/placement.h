@@ -15,7 +15,7 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "core/guarantee.h"
@@ -150,7 +150,7 @@ class PlacementEngine {
   std::vector<char> server_failed_;
   std::vector<int> quarantined_slots_;  ///< freed-on-failed-server slots
   std::vector<char> port_failed_;
-  std::unordered_map<TenantId, TenantRecord> tenants_;
+  std::map<TenantId, TenantRecord> tenants_;
   TenantId next_id_ = 0;
 };
 

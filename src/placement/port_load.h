@@ -63,20 +63,20 @@ class PortLoad {
       br += extra->burst_rate_bps;
       j += extra->jump_bytes;
     }
-    const double c = service_rate / 8e9;  // bytes per ns
+    const double c = service_rate.bps() / 8e9;  // bytes per ns
     const double rb = r / 8e9, brb = std::max(br, r) / 8e9;
-    if (c <= 0 || rb > c * (1.0 + 1e-9)) return -1;
+    if (c <= 0 || rb > c * (1.0 + 1e-9)) return TimeNs{-1};
     if (s <= j || brb <= rb + 1e-15) {
       // Effectively a single token bucket with burst min(s, j)... the
       // tighter intercept bounds the deviation.
-      return static_cast<TimeNs>(std::min(s, j) / c) + 1;
+      return static_cast<TimeNs>(std::min(s, j) / c) + TimeNs{1};
     }
     // Delay grows while the burst-rate piece exceeds the service rate and
     // peaks at the knee t* = (s - j) / (brb - rb).
-    if (brb <= c) return static_cast<TimeNs>(j / c) + 1;
+    if (brb <= c) return static_cast<TimeNs>(j / c) + TimeNs{1};
     const double knee = (s - j) / (brb - rb);
     const double at_knee = j + brb * knee;
-    return static_cast<TimeNs>(at_knee / c - knee) + 1;
+    return static_cast<TimeNs>(at_knee / c - knee) + TimeNs{1};
   }
 
   /// Aggregate arrival curve of everything admitted through the port,
@@ -92,7 +92,7 @@ class PortLoad {
     }
     if (r <= 0 && s <= 0) return netcalc::Curve{};
     return netcalc::Curve::rate_limited_burst(
-        r, static_cast<Bytes>(s + 0.5), std::max(br, r),
+        RateBps{r}, static_cast<Bytes>(s + 0.5), RateBps{std::max(br, r)},
         static_cast<Bytes>(j + 0.5));
   }
 

@@ -137,8 +137,8 @@ SiloGuarantee ClusterSim::pacing_guarantee(const SiloGuarantee& g) const {
   } else if (cfg_.scheme == Scheme::kQjump) {
     // One full packet per network epoch, regardless of the requested
     // guarantee: QJUMP's guaranteed-latency level is deliberately slow.
-    out.bandwidth = static_cast<double>(kMtu) * 8e9 /
-                    static_cast<double>(qjump_epoch());
+    out.bandwidth = RateBps{static_cast<double>(kMtu) * 8e9 /
+                            static_cast<double>(qjump_epoch())};
     out.burst = kMtu;
     out.burst_rate = out.bandwidth;
   }
@@ -274,7 +274,8 @@ const ClusterSim::FlowRuntime* ClusterSim::find_flow(int tenant, int src_local,
 
 void ClusterSim::send_message(int tenant, int src_local, int dst_local,
                               Bytes size, MsgCallback done) {
-  if (size <= 0) throw std::invalid_argument("message size must be positive");
+  if (size <= Bytes{0})
+    throw std::invalid_argument("message size must be positive");
   auto& fr = flow_for(tenant, src_local, dst_local);
   if (fr.boundaries.empty()) {
     // Idle flow: start a fresh attribution epoch so the quiet period
@@ -284,7 +285,7 @@ void ClusterSim::send_message(int tenant, int src_local, int dst_local,
     fr.accum = MessageBreakdown{};
   }
   FlowRuntime::Boundary b;
-  b.end_seq = fr.flow->bytes_written() + size;
+  b.end_seq = fr.flow->bytes_written() + size.count();
   b.size = size;
   b.start = events_.now();
   b.rto_index = fr.flow->rto_events().size();
@@ -315,7 +316,7 @@ void ClusterSim::on_flow_delivery(int flow_id, std::int64_t delivered) {
     const obs::PacketStages& st = pending_stages_;
     const bool retrans = st.retransmit || rto_count > fr.rto_seen;
     const TimeNs gap = st.emitted - fr.attr_mark;
-    if (gap > 0) {
+    if (gap > TimeNs{0}) {
       if (retrans)
         fr.accum.retransmit_ns += gap;
       else if (fr.paced)
@@ -325,7 +326,7 @@ void ClusterSim::on_flow_delivery(int flow_id, std::int64_t delivered) {
     }
     TimeNs clip = fr.attr_mark - st.emitted;
     TimeNs p = st.pacing_ns, q = st.queue_ns, s = st.serial_ns;
-    if (clip > 0) {
+    if (clip > TimeNs{0}) {
       TimeNs c = std::min(clip, p);
       p -= c;
       clip -= c;
@@ -351,7 +352,7 @@ void ClusterSim::on_flow_delivery(int flow_id, std::int64_t delivered) {
     // Wait behind earlier messages on the same flow counts as queueing
     // (the stream is a queue); attribution restarts for the next message.
     const TimeNs hol = fr.msg_free_at - b.start;
-    if (hol > 0) res.breakdown.queueing_ns += hol;
+    if (hol > TimeNs{0}) res.breakdown.queueing_ns += hol;
     fr.accum = MessageBreakdown{};
     fr.msg_free_at = now;
     ++rt.counters.completed;
@@ -359,7 +360,7 @@ void ClusterSim::on_flow_delivery(int flow_id, std::int64_t delivered) {
     // SLO accounting against the §4.1 bound the tenant was admitted with.
     const SiloGuarantee& g = rt.request.guarantee;
     if (rt.request.tenant_class != TenantClass::kBestEffort &&
-        g.wants_delay_guarantee() && g.bandwidth > 0 &&
+        g.wants_delay_guarantee() && g.bandwidth > RateBps{0} &&
         res.latency > max_message_latency(g, b.size)) {
       ++rt.counters.slo_violations;
       slo_violations_.inc();
@@ -446,7 +447,7 @@ void ClusterSim::dispatch(PacketHandle h) {
   }
   // Snapshot the stage timeline before the handle is recycled — the
   // attribution in on_flow_delivery (called under on_packet) needs it.
-  pending_stages_ = events_.timeline().stages(h);
+  pending_stages_ = events_.timeline().stages(PacketPool::slot_of(h));
   pending_arrival_ = events_.now();
   events_.pool().free(h);
   if (p.flow_id < 0 || p.flow_id >= static_cast<int>(flows_.size())) return;

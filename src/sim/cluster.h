@@ -12,9 +12,9 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/guarantee.h"
@@ -51,7 +51,7 @@ struct ClusterConfig {
   Bytes ecn_threshold = 97 * kKB;      ///< DCTCP K (~65 MTU packets at 10G)
   Bytes phantom_threshold = 3 * kKB;   ///< HULL virtual-queue mark point
   double phantom_drain = 0.95;
-  TimeNs link_delay = 500;
+  TimeNs link_delay {500};
   TimeNs batch_window = 50 * kUsec;
   TimeNs loopback_delay = 5 * kUsec;
   TimeNs rebalance_period = 1 * kMsec; ///< hose-rate coordination interval
@@ -85,17 +85,17 @@ class ClusterSim {
   /// to retransmit_ns when a retransmission/RTO is involved, otherwise to
   /// pacing_ns on paced flows and queueing_ns on unpaced ones.
   struct MessageBreakdown {
-    TimeNs pacing_ns = 0;         ///< pacer token wait + NIC batch alignment
-    TimeNs queueing_ns = 0;       ///< switch queues + sender-side stream wait
-    TimeNs serialization_ns = 0;  ///< wire transmission + propagation
-    TimeNs retransmit_ns = 0;     ///< loss recovery (RTO backoff, resends)
+    TimeNs pacing_ns {};         ///< pacer token wait + NIC batch alignment
+    TimeNs queueing_ns {};       ///< switch queues + sender-side stream wait
+    TimeNs serialization_ns {};  ///< wire transmission + propagation
+    TimeNs retransmit_ns {};     ///< loss recovery (RTO backoff, resends)
     TimeNs sum() const {
       return pacing_ns + queueing_ns + serialization_ns + retransmit_ns;
     }
   };
 
   struct MessageResult {
-    TimeNs latency = 0;
+    TimeNs latency {};
     bool had_rto = false;
     /// The transport aborted (bounded-retry limit) before the message was
     /// delivered — counted apart from completions; drivers retry these.
@@ -185,8 +185,8 @@ class ClusterSim {
     std::deque<Boundary> boundaries;
     // Latency-breakdown attribution state (see on_flow_delivery).
     bool paced = false;       ///< flow belongs to a pacer-enforced tenant
-    TimeNs attr_mark = 0;     ///< end of the last attributed interval
-    TimeNs msg_free_at = 0;   ///< when the flow finished the prior message
+    TimeNs attr_mark {};     ///< end of the last attributed interval
+    TimeNs msg_free_at {};   ///< when the flow finished the prior message
     std::size_t rto_seen = 0; ///< rto_events() size at the last attribution
     MessageBreakdown accum;   ///< attributed time since the last boundary
   };
@@ -196,7 +196,7 @@ class ClusterSim {
     std::vector<int> vm_server;  ///< local VM -> server
     int vm_base = 0;             ///< first global VM id
     std::unique_ptr<pacer::TenantPacerGroup> pacers;
-    std::unordered_map<std::int64_t, int> pair_to_flow;  ///< (src,dst) -> flow id
+    std::map<std::int64_t, int> pair_to_flow;  ///< (src,dst) -> flow id
     TenantCounters counters;
   };
 
@@ -249,7 +249,7 @@ class ClusterSim {
   /// Stage timeline of the packet being dispatched, captured before its
   /// handle is recycled (on_flow_delivery runs inside the dispatch).
   obs::PacketStages pending_stages_;
-  TimeNs pending_arrival_ = -1;
+  TimeNs pending_arrival_ {-1};
 };
 
 }  // namespace silo::sim

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <stdexcept>
 #include <vector>
 
 #include "obs/flight_recorder.h"
@@ -120,6 +121,7 @@ class EventQueue {
   bool step() {
     if (!prepare_next()) return false;
     const Event ev = due_[due_head_++];  // copy: dispatch may grow due_
+    audit_monotonic(ev.time);
     now_ = ev.time;
     ++processed_;
     --size_;
@@ -131,6 +133,7 @@ class EventQueue {
   void run_until(TimeNs deadline) {
     while (prepare_next() && due_[due_head_].time <= deadline) {
       const Event ev = due_[due_head_++];
+      audit_monotonic(ev.time);
       now_ = ev.time;
       ++processed_;
       --size_;
@@ -176,6 +179,18 @@ class EventQueue {
     return Event{t < now_ ? now_ : t, seq_++, target, aux, arg, kind};
   }
 
+  /// SILO_AUDIT: the dispatch clock must never run backwards. A violation
+  /// means wheel cascading or the due-run merge mis-ordered an event — the
+  /// exact class of bug that silently corrupts every downstream trace.
+  void audit_monotonic(TimeNs t) const {
+#ifdef SILO_AUDIT
+    if (t < now_)
+      throw std::logic_error("EventQueue: event time ran backwards");
+#else
+    (void)t;
+#endif
+  }
+
   void push(const Event& ev);
   bool prepare_next();  ///< ensures due_ holds the global minimum
   void dispatch(const Event& ev);
@@ -204,7 +219,7 @@ class EventQueue {
   PacketPool pool_;
   obs::PacketTimeline timeline_;
   obs::FlightRecorder* recorder_ = nullptr;
-  TimeNs now_ = 0;
+  TimeNs now_ {};
   std::uint64_t seq_ = 0;
   std::size_t size_ = 0;
   std::uint64_t processed_ = 0;

@@ -75,9 +75,11 @@ FaultPlan FaultPlan::random(const topology::Topology& topo, std::uint64_t seed,
   const TimeNs start_max = horizon * 6 / 10;
   const TimeNs repair_by = horizon * 8 / 10;
   for (int i = 0; i < events; ++i) {
-    const TimeNs at = rng.uniform_int(0, start_max);
-    const TimeNs outage = std::min<TimeNs>(
-        rng.uniform_int(horizon / 50, horizon / 5), repair_by - at);
+    const TimeNs at{rng.uniform_int(0, start_max.count())};
+    const TimeNs outage =
+        std::min(TimeNs{rng.uniform_int((horizon / 50).count(),
+                                        (horizon / 5).count())},
+                 repair_by - at);
     switch (rng.uniform_int(0, 2)) {
       case 0:
         plan.link_flap(at, random_switch_port(topo, rng), outage);

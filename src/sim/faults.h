@@ -26,7 +26,7 @@ struct FaultAction {
     kServerUp,    ///< restore a crashed host
   };
   Kind kind;
-  TimeNs at = 0;
+  TimeNs at {};
   int port = -1;         ///< topology PortId value for link actions
   int server = -1;       ///< server index for server actions
   double loss_rate = 0;  ///< kLossStart only

@@ -105,7 +105,7 @@ void Host::set_up(bool up) {
     for (auto& [dst, dq] : v.dests) {
       for (const PacketHandle h : dq.q) drop_faulted(h);
       dq.q.clear();
-      dq.bytes = 0;
+      dq.bytes = Bytes{0};
     }
   }
   for (const std::uint64_t id : nic_.drain())
@@ -176,14 +176,14 @@ void Host::schedule_release(int vm) {
   auto& v = tx_[vm];
   auto* pacer = pacers_.at(vm);
   // Earliest conformance over the head packets of all destination queues.
-  TimeNs best = -1;
+  TimeNs best {-1};
   for (auto& [dst, dq] : v.dests) {
     if (dq.q.empty()) continue;
     const TimeNs t = pacer->peek(events_.now(), dst,
                                  events_.pool().get(dq.q.front()).wire_bytes);
-    if (best < 0 || t < best) best = t;
+    if (best < TimeNs{0} || t < best) best = t;
   }
-  if (best < 0) return;  // all queues empty
+  if (best < TimeNs{0}) return;  // all queues empty
   // Eligible one batch window early (NIC lookahead for void filling).
   const TimeNs when =
       std::max(events_.now(), best - nic_.batch_window());
@@ -204,14 +204,14 @@ void Host::handle_release(int vm, std::uint64_t generation) {
   // Backlogged destinations tie on the shared-bucket conformance time, so
   // ties rotate round-robin after the last served destination — a strict
   // "<" would let the lowest id starve every other queue.
-  TimeNs best = -1;
+  TimeNs best {-1};
   int best_dst = -1;
   for (auto& [dst, dq] : v.dests) {
     if (dq.q.empty()) continue;
     const TimeNs t = pacer->peek(events_.now(), dst,
                                  events_.pool().get(dq.q.front()).wire_bytes);
     const bool wins =
-        best < 0 || t < best ||
+        best < TimeNs{0} || t < best ||
         (t == best && best_dst <= v.last_served && dst > v.last_served);
     if (wins) {
       best = t;
@@ -240,7 +240,7 @@ void Host::handle_release(int vm, std::uint64_t generation) {
 
 TimeNs Host::pacer_delay(TimeNs now, int src_vm, int dst_vm, Bytes bytes) {
   auto it = pacers_.find(src_vm);
-  if (it == pacers_.end()) return 0;
+  if (it == pacers_.end()) return TimeNs{0};
   const TimeNs head_wait = it->second->peek(now, dst_vm, bytes) - now;
   auto vt = tx_.find(src_vm);
   if (vt == tx_.end()) return head_wait;
@@ -249,14 +249,14 @@ TimeNs Host::pacer_delay(TimeNs now, int src_vm, int dst_vm, Bytes bytes) {
   // Queued bytes drain at (at least) the VM's hose rate.
   const double drain =
       static_cast<double>(dt->second.bytes + bytes) * 8e9 /
-      it->second->guarantee().bandwidth;
+      it->second->guarantee().bandwidth.bps();
   return head_wait + static_cast<TimeNs>(drain);
 }
 
 void Host::kick() {
   if (transmitting_) return;  // DMA completion will re-kick
   const TimeNs start = nic_.next_start(events_.now());
-  if (start < 0) return;  // queue empty
+  if (start < TimeNs{0}) return;  // queue empty
   if (build_scheduled_ && scheduled_start_ <= start) return;
   build_scheduled_ = true;
   scheduled_start_ = start;
@@ -291,8 +291,10 @@ void Host::run_batch() {
     // is the NIC's serialization time.
     const bool paced = pacers_.count(events_.pool().get(h).src_vm) > 0;
     events_.timeline().advance(
-        h, slot.start, paced ? obs::Stage::kPacing : obs::Stage::kQueueing);
-    events_.timeline().advance(h, slot.end, obs::Stage::kSerialization);
+        PacketPool::slot_of(h), slot.start,
+        paced ? obs::Stage::kPacing : obs::Stage::kQueueing);
+    events_.timeline().advance(PacketPool::slot_of(h), slot.end,
+                               obs::Stage::kSerialization);
     events_.schedule(slot.end + cfg_.tor_link_delay, EventKind::kHostIngress,
                      this, h);
   }
@@ -307,7 +309,8 @@ void Host::handle_batch_end() {
 
 void Host::handle_ingress(PacketHandle h) {
   // Server -> ToR propagation is wire time.
-  events_.timeline().advance(h, events_.now(), obs::Stage::kSerialization);
+  events_.timeline().advance(PacketPool::slot_of(h), events_.now(),
+                             obs::Stage::kSerialization);
   if (!up_) {
     // The server died after this frame was scheduled onto the wire.
     drop_faulted(h);

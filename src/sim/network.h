@@ -10,7 +10,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "pacer/paced_nic.h"
@@ -56,7 +55,7 @@ class Fabric {
   EventQueue& events_;
   const topology::Topology& topo_;
   std::vector<std::unique_ptr<SwitchPortSim>> ports_;
-  std::unordered_map<std::int64_t, std::vector<topology::PortId>> path_cache_;
+  std::map<std::int64_t, std::vector<topology::PortId>> path_cache_;
   DeliverFn host_deliver_;
 };
 
@@ -79,7 +78,7 @@ class Host {
     RateBps link_rate = 10 * kGbps;
     pacer::NicMode nic_mode = pacer::NicMode::kBatched;
     TimeNs batch_window = 50 * kUsec;
-    TimeNs tor_link_delay = 500;    ///< NIC -> ToR propagation
+    TimeNs tor_link_delay {500};    ///< NIC -> ToR propagation
     TimeNs loopback_delay = 5 * kUsec;  ///< intra-server VM-to-VM delay
     /// Virtual-switch forwarding capacity for colocated VM pairs — memory
     /// bandwidth, not the wire, but decidedly finite.
@@ -147,12 +146,12 @@ class Host {
   // across destinations (per-flow future stamping would serialize them).
   struct DestQueue {
     std::deque<PacketHandle> q;
-    Bytes bytes = 0;
+    Bytes bytes {};
   };
   struct VmTx {
     std::map<int, DestQueue> dests;
     bool release_scheduled = false;
-    TimeNs scheduled_at = 0;
+    TimeNs scheduled_at {};
     std::uint64_t generation = 0;
     int last_served = -1;  ///< round-robin position for conformance ties
   };
@@ -172,15 +171,15 @@ class Host {
   Config cfg_;
   pacer::PacedNic nic_;
   std::unique_ptr<SwitchPortSim> loopback_;
-  std::unordered_map<int, pacer::VmPacer*> pacers_;
-  std::unordered_map<int, VmTx> tx_;
+  std::map<int, pacer::VmPacer*> pacers_;
+  std::map<int, VmTx> tx_;
   std::int64_t pacer_drops_ = 0;
   std::int64_t fault_drops_ = 0;
   HostMetricHooks metrics_;
   bool up_ = true;
   bool transmitting_ = false;
   bool build_scheduled_ = false;
-  TimeNs scheduled_start_ = 0;
+  TimeNs scheduled_start_ {};
   std::uint64_t build_generation_ = 0;
   Fabric::DeliverFn local_deliver_;
 };

@@ -7,8 +7,8 @@
 
 namespace silo::sim {
 
-inline constexpr Bytes kMss = 1460;        ///< TCP payload per full segment
-inline constexpr Bytes kHeaderBytes = 40;  ///< TCP/IP headers
+inline constexpr Bytes kMss {1460};        ///< TCP payload per full segment
+inline constexpr Bytes kHeaderBytes {40};  ///< TCP/IP headers
 
 /// 802.1q priority classes (§4.4): guaranteed tenants ride high priority,
 /// best-effort tenants low priority.
@@ -22,8 +22,8 @@ struct Packet {
   int src_server = -1;
   int dst_server = -1;
 
-  Bytes payload = 0;     ///< TCP payload bytes carried
-  Bytes wire_bytes = 0;  ///< payload + headers (Ethernet framing added by NIC)
+  Bytes payload {};     ///< TCP payload bytes carried
+  Bytes wire_bytes {};  ///< payload + headers (Ethernet framing added by NIC)
 
   std::int64_t seq = 0;      ///< first payload byte's sequence number
   std::int64_t ack_seq = 0;  ///< cumulative ACK (valid when is_ack)
@@ -33,7 +33,7 @@ struct Packet {
   bool is_void = false;     ///< pacer filler; first-hop switch discards
   Priority priority = Priority::kGuaranteed;
 
-  TimeNs enqueue_time = 0;  ///< when the transport emitted it
+  TimeNs enqueue_time {};  ///< when the transport emitted it
   std::uint8_t hop = 0;     ///< next index into the precomputed path
   /// Bytes left in the message when this packet was emitted — pFabric's
   /// priority (smaller = more urgent). Maintained for every scheme;

@@ -9,7 +9,7 @@ void SwitchPortSim::maybe_mark(Packet& p) {
     // HULL: a virtual queue drains at a fraction of line rate; marking off
     // it keeps the *real* queue near-empty at the cost of bandwidth headroom.
     const TimeNs now = events_.now();
-    const double drained = cfg_.rate * cfg_.phantom_drain / 8e9 *
+    const double drained = cfg_.rate.bps() * cfg_.phantom_drain / 8e9 *
                            static_cast<double>(now - phantom_updated_);
     phantom_bytes_ = std::max(0.0, phantom_bytes_ - drained);
     phantom_updated_ = now;
@@ -21,7 +21,7 @@ void SwitchPortSim::maybe_mark(Packet& p) {
     }
     return;
   }
-  if (cfg_.ecn_threshold > 0 && queued_bytes_ > cfg_.ecn_threshold) {
+  if (cfg_.ecn_threshold > Bytes{0} && queued_bytes_ > cfg_.ecn_threshold) {
     p.ecn_marked = true;
     ++stats_.ecn_marks;
     metrics_.ecn_marks.inc();
@@ -48,6 +48,7 @@ void SwitchPortSim::enqueue_pfabric(PacketHandle h) {
     const auto worst =
         pfabric_queue_.lower_bound(PfEntry{worst_remaining, 0, kNullPacket});
     queued_bytes_ -= pool.get(worst->handle).wire_bytes;
+    audit_leave(pool.get(worst->handle).wire_bytes);
     ++stats_.drops;
     metrics_.drops.inc();
     record_flight(events_, pool.get(worst->handle),
@@ -63,8 +64,9 @@ void SwitchPortSim::enqueue_pfabric(PacketHandle h) {
     return;
   }
   queued_bytes_ += p.wire_bytes;
+  audit_accept(p.wire_bytes);
   stats_.max_queue_bytes = std::max(stats_.max_queue_bytes, queued_bytes_);
-  metrics_.peak_queue_bytes.set_max(queued_bytes_);
+  metrics_.peak_queue_bytes.set_max(queued_bytes_.count());
   metrics_.queue_bytes.record(static_cast<double>(queued_bytes_));
   record_flight(events_, p, obs::FlightEventType::kEnqueued, location_);
   pfabric_queue_.insert(PfEntry{p.remaining, pfabric_arrivals_++, h});
@@ -90,6 +92,7 @@ void SwitchPortSim::flush_queues() {
     for (const PacketHandle h : q) {
       ++stats_.fault_drops;
       metrics_.fault_drops.inc();
+      audit_leave(pool.get(h).wire_bytes);
       record_flight(events_, pool.get(h), obs::FlightEventType::kDropped,
                     location_, /*fault=*/true);
       pool.free(h);
@@ -99,12 +102,13 @@ void SwitchPortSim::flush_queues() {
   for (const auto& e : pfabric_queue_) {
     ++stats_.fault_drops;
     metrics_.fault_drops.inc();
+    audit_leave(pool.get(e.handle).wire_bytes);
     record_flight(events_, pool.get(e.handle), obs::FlightEventType::kDropped,
                   location_, /*fault=*/true);
     pool.free(e.handle);
   }
   pfabric_queue_.clear();
-  queued_bytes_ = 0;
+  queued_bytes_ = Bytes{0};
 }
 
 void SwitchPortSim::enqueue(PacketHandle h) {
@@ -138,8 +142,9 @@ void SwitchPortSim::enqueue(PacketHandle h) {
   }
   maybe_mark(p);
   queued_bytes_ += p.wire_bytes;
+  audit_accept(p.wire_bytes);
   stats_.max_queue_bytes = std::max(stats_.max_queue_bytes, queued_bytes_);
-  metrics_.peak_queue_bytes.set_max(queued_bytes_);
+  metrics_.peak_queue_bytes.set_max(queued_bytes_.count());
   metrics_.queue_bytes.record(static_cast<double>(queued_bytes_));
   record_flight(events_, p, obs::FlightEventType::kEnqueued, location_);
   queue_[static_cast<int>(p.priority)].push_back(h);
@@ -171,8 +176,11 @@ void SwitchPortSim::start_tx() {
   busy_ = true;
   const Packet& p = events_.pool().get(h);
   queued_bytes_ -= p.wire_bytes;
+  audit_leave(p.wire_bytes);
+  audit_conserved();
   // Everything since the port accepted the packet was queue wait.
-  events_.timeline().advance(h, events_.now(), obs::Stage::kQueueing);
+  events_.timeline().advance(PacketPool::slot_of(h), events_.now(),
+                             obs::Stage::kQueueing);
   record_flight(events_, p, obs::FlightEventType::kDequeued, location_);
   const TimeNs tx = transmission_time(p.wire_bytes + kEthOverhead, cfg_.rate);
   events_.schedule_after(tx, EventKind::kPortTxDone, this, h);
@@ -190,10 +198,11 @@ void SwitchPortSim::handle_tx_done(PacketHandle h) {
     return;
   }
   ++stats_.tx_packets;
-  stats_.tx_bytes += events_.pool().get(h).wire_bytes;
+  stats_.tx_bytes += events_.pool().get(h).wire_bytes.count();
   metrics_.tx_packets.inc();
-  metrics_.tx_bytes.inc(events_.pool().get(h).wire_bytes);
-  events_.timeline().advance(h, events_.now(), obs::Stage::kSerialization);
+  metrics_.tx_bytes.inc(events_.pool().get(h).wire_bytes.count());
+  events_.timeline().advance(PacketPool::slot_of(h), events_.now(),
+                             obs::Stage::kSerialization);
   // Hand to the next hop after propagation; transmission of the next
   // packet overlaps with propagation of this one.
   events_.schedule_after(cfg_.link_delay, EventKind::kPortDeliver, this, h);
@@ -202,7 +211,8 @@ void SwitchPortSim::handle_tx_done(PacketHandle h) {
 
 void SwitchPortSim::handle_deliver(PacketHandle h) {
   // Charge the propagation delay to serialization (wire time, not queue).
-  events_.timeline().advance(h, events_.now(), obs::Stage::kSerialization);
+  events_.timeline().advance(PacketPool::slot_of(h), events_.now(),
+                             obs::Stage::kSerialization);
   deliver_(h);  // ownership moves to the next hop
 }
 

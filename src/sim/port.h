@@ -44,11 +44,11 @@ inline void record_flight(EventQueue& events, const Packet& p,
 struct PortConfig {
   RateBps rate = 10 * kGbps;
   Bytes buffer = 312 * kKB;     ///< shared across both priorities
-  Bytes ecn_threshold = 0;      ///< DCTCP K in bytes; 0 disables marking
+  Bytes ecn_threshold {};      ///< DCTCP K in bytes; 0 disables marking
   bool phantom_queue = false;   ///< HULL: mark off a virtual queue instead
   double phantom_drain = 0.95;  ///< phantom queue drains at this link fraction
   Bytes phantom_threshold = 3 * kKB;
-  TimeNs link_delay = 500;      ///< propagation + forwarding to next hop
+  TimeNs link_delay {500};      ///< propagation + forwarding to next hop
   /// pFabric: serve the packet with the fewest remaining message bytes
   /// first; when the buffer fills, evict the largest-remaining packet.
   bool pfabric = false;
@@ -76,7 +76,7 @@ struct PortStats {
   /// Packets killed by injected faults (dead link, random loss) — kept
   /// apart from congestion `drops` so recovery tests can tell them apart.
   std::int64_t fault_drops = 0;
-  Bytes max_queue_bytes = 0;
+  Bytes max_queue_bytes {};
 };
 
 class SwitchPortSim {
@@ -132,6 +132,24 @@ class SwitchPortSim {
     }
   };
 
+  // SILO_AUDIT byte-conservation ledger: every wire byte the port accepts
+  // must later leave through exactly one of tx-start, pfabric eviction, or
+  // a fault flush — or still be queued. An imbalance means a packet was
+  // dropped without accounting (leak) or double-counted (corruption). O(1)
+  // per check, compiled out entirely without SILO_AUDIT.
+#ifdef SILO_AUDIT
+  void audit_accept(Bytes b) { audit_in_ += b.count(); }
+  void audit_leave(Bytes b) { audit_out_ += b.count(); }
+  void audit_conserved() const {
+    if (audit_in_ != audit_out_ + queued_bytes_.count())
+      throw std::logic_error("SwitchPortSim: queued bytes not conserved");
+  }
+#else
+  void audit_accept(Bytes) {}
+  void audit_leave(Bytes) {}
+  void audit_conserved() const {}
+#endif
+
   void maybe_mark(Packet& p);
   void start_tx();
   void handle_tx_done(PacketHandle h);
@@ -146,16 +164,20 @@ class SwitchPortSim {
   std::deque<PacketHandle> queue_[2];  ///< [0]=guaranteed, [1]=best effort
   std::set<PfEntry> pfabric_queue_;
   std::uint64_t pfabric_arrivals_ = 0;
-  Bytes queued_bytes_ = 0;
+  Bytes queued_bytes_ {};
   bool busy_ = false;
   bool link_up_ = true;
   double loss_rate_ = 0;
   Rng* loss_rng_ = nullptr;
   double phantom_bytes_ = 0;
-  TimeNs phantom_updated_ = 0;
+  TimeNs phantom_updated_ {};
   PortStats stats_;
   PortMetricHooks metrics_;
   std::int32_t location_ = 0;
+#ifdef SILO_AUDIT
+  std::int64_t audit_in_ = 0;   ///< wire bytes ever accepted into the queue
+  std::int64_t audit_out_ = 0;  ///< wire bytes that left (tx/evict/flush)
+#endif
 };
 
 }  // namespace silo::sim

@@ -26,7 +26,7 @@ void PortTracer::sample() {
 }
 
 Bytes PortTracer::max_queued() const {
-  Bytes mx = 0;
+  Bytes mx {};
   for (const auto& s : samples_) mx = std::max(mx, s.queued);
   return mx;
 }
@@ -41,7 +41,7 @@ double PortTracer::mean_queued() const {
 double PortTracer::busy_fraction() const {
   if (samples_.empty()) return 0.0;
   int busy = 0;
-  for (const auto& s : samples_) busy += s.queued > 0;
+  for (const auto& s : samples_) busy += s.queued > Bytes{0};
   return static_cast<double>(busy) / static_cast<double>(samples_.size());
 }
 
@@ -68,7 +68,7 @@ std::vector<std::pair<int, Bytes>> FabricTracer::hottest_ports(
 }
 
 Bytes FabricTracer::max_queued_anywhere() const {
-  Bytes mx = 0;
+  Bytes mx {};
   for (const auto& t : tracers_) mx = std::max(mx, t.max_queued());
   return mx;
 }

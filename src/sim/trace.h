@@ -14,8 +14,8 @@
 namespace silo::sim {
 
 struct QueueSample {
-  TimeNs at = 0;
-  Bytes queued = 0;
+  TimeNs at {};
+  Bytes queued {};
 };
 
 /// Samples one port's queue occupancy on a fixed period.
@@ -41,7 +41,7 @@ class PortTracer {
   ClusterSim& cluster_;
   topology::PortId port_;
   TimeNs period_;
-  TimeNs until_ = 0;
+  TimeNs until_ {};
   std::vector<QueueSample> samples_;
 };
 

@@ -25,7 +25,7 @@ void TcpFlow::app_write(Bytes n) {
   // Fresh data on an idle stream starts a new progress epoch, so a long
   // quiet period can never trip the connection deadline by itself.
   if (snd_una_ >= stream_end_) last_progress_ = events_.now();
-  stream_end_ += n;
+  stream_end_ += n.count();
   try_send();
 }
 
@@ -34,9 +34,9 @@ void TcpFlow::try_send() {
       std::min(cwnd_, cfg_.max_cwnd_pkts * static_cast<double>(cfg_.mss)));
   while (snd_next_ < stream_end_) {
     const std::int64_t in_flight = snd_next_ - snd_una_;
-    const Bytes len = static_cast<Bytes>(
-        std::min<std::int64_t>(cfg_.mss, stream_end_ - snd_next_));
-    if (in_flight + len > cwnd_cap) break;
+    const Bytes len{
+        std::min<std::int64_t>(cfg_.mss.count(), stream_end_ - snd_next_)};
+    if (in_flight + len.count() > cwnd_cap) break;
     if (can_send_ && !can_send_(dst_vm_, len)) {
       // Pacer backpressure. ACKs usually re-trigger sending, but a flow
       // blocked with nothing outstanding would never hear one — poll.
@@ -47,7 +47,7 @@ void TcpFlow::try_send() {
       break;
     }
     emit_segment(snd_next_, len, false);
-    snd_next_ += len;
+    snd_next_ += len.count();
   }
   if (snd_una_ < snd_next_ && !rto_armed_) arm_rto();
 }
@@ -74,7 +74,8 @@ void TcpFlow::emit_segment(std::int64_t seq, Bytes len, bool retransmit) {
   p.remaining = stream_end_ - seq;  // pFabric urgency
   metrics_.segments.inc();
   if (retransmit) metrics_.retransmits.inc();
-  events_.timeline().on_emit(h, events_.now(), retransmit);
+  events_.timeline().on_emit(PacketPool::slot_of(h), events_.now(),
+                              retransmit);
   send_data_(h);
 }
 
@@ -87,7 +88,7 @@ void TcpFlow::on_packet(const Packet& p) {
 
 void TcpFlow::handle_data(const Packet& p) {
   const std::int64_t start = p.seq;
-  const std::int64_t end = p.seq + p.payload;
+  const std::int64_t end = p.seq + p.payload.count();
   // `p` may live in the pool arena; copy what the ACK echoes before the
   // alloc below can grow the arena and invalidate the reference.
   const bool ecn_echo = p.ecn_marked;
@@ -136,7 +137,7 @@ void TcpFlow::handle_data(const Packet& p) {
   ack.priority = priority_;
   // Reset the recycled handle's stage entry so the ACK never inherits the
   // previous occupant's timeline (ACK stages are tracked but unused).
-  events_.timeline().on_emit(ah, events_.now(), false);
+  events_.timeline().on_emit(PacketPool::slot_of(ah), events_.now(), false);
   send_ack_(ah);
 }
 
@@ -172,7 +173,7 @@ void TcpFlow::on_rto() {
   const bool retries_exhausted = cfg_.max_consecutive_rtos > 0 &&
                                  consecutive_rtos_ >= cfg_.max_consecutive_rtos;
   const bool deadline_passed =
-      cfg_.conn_deadline > 0 &&
+      cfg_.conn_deadline > TimeNs{0} &&
       events_.now() - last_progress_ >= cfg_.conn_deadline;
   if (retries_exhausted || deadline_passed) {
     abort_connection();
@@ -201,7 +202,7 @@ void TcpFlow::abort_connection() {
   ooo_.clear();
   cwnd_ = cfg_.init_cwnd_pkts * static_cast<double>(cfg_.mss);
   ssthresh_ = cfg_.max_cwnd_pkts * static_cast<double>(cfg_.mss);
-  srtt_ = rttvar_ = 0;
+  srtt_ = rttvar_ = TimeNs{0};
   rto_ = cfg_.min_rto;
   dupacks_ = 0;
   in_recovery_ = false;
@@ -240,9 +241,9 @@ void TcpFlow::enter_loss_recovery() {
   recover_seq_ = snd_next_;
   // Classic fast retransmit of the missing head segment; partial ACKs
   // then retransmit subsequent holes (NewReno).
-  const Bytes len = static_cast<Bytes>(
-      std::min<std::int64_t>(cfg_.mss, stream_end_ - snd_una_));
-  if (len > 0) emit_segment(snd_una_, len, true);
+  const Bytes len{
+      std::min<std::int64_t>(cfg_.mss.count(), stream_end_ - snd_una_)};
+  if (len > Bytes{0}) emit_segment(snd_una_, len, true);
 }
 
 void TcpFlow::handle_ack(const Packet& ack) {
@@ -259,16 +260,16 @@ void TcpFlow::handle_ack(const Packet& ack) {
         cwnd_ = ssthresh_;  // deflate after recovery
       } else {
         // NewReno partial ACK: retransmit the next hole immediately.
-        const Bytes len = static_cast<Bytes>(
-            std::min<std::int64_t>(cfg_.mss, stream_end_ - snd_una_));
-        if (len > 0) emit_segment(snd_una_, len, true);
+        const Bytes len{
+            std::min<std::int64_t>(cfg_.mss.count(), stream_end_ - snd_una_)};
+        if (len > Bytes{0}) emit_segment(snd_una_, len, true);
       }
     }
 
     // RTT sample from the echoed timestamp.
     const TimeNs rtt = events_.now() - ack.enqueue_time;
-    if (rtt > 0) {
-      if (srtt_ == 0) {
+    if (rtt > TimeNs{0}) {
+      if (srtt_ == TimeNs{0}) {
         srtt_ = rtt;
         rttvar_ = rtt / 2;
       } else {

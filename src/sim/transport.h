@@ -34,7 +34,7 @@ struct TcpConfig {
   int max_consecutive_rtos = 0;
   /// Abort when no byte has been newly acked for this long while data is
   /// outstanding (checked at RTO firings). 0 disables.
-  TimeNs conn_deadline = 0;
+  TimeNs conn_deadline {};
 };
 
 /// Registry handles shared by every flow of a cluster (see
@@ -124,15 +124,15 @@ class TcpFlow {
   int dupacks_ = 0;
   bool in_recovery_ = false;
   std::int64_t recover_seq_ = 0;
-  TimeNs srtt_ = 0, rttvar_ = 0, rto_ = 0;
+  TimeNs srtt_{}, rttvar_{}, rto_{};
   bool rto_armed_ = false;
-  TimeNs rto_deadline_ = 0;
+  TimeNs rto_deadline_ {};
   bool rto_event_pending_ = false;
   bool tsq_retry_pending_ = false;
   std::vector<TimeNs> rto_events_;
   std::vector<TimeNs> abort_events_;
   int consecutive_rtos_ = 0;
-  TimeNs last_progress_ = 0;  ///< last time snd_una_ advanced (or fresh data)
+  TimeNs last_progress_ {};  ///< last time snd_una_ advanced (or fresh data)
   std::uint64_t next_packet_id_ = 1;
 
   // DCTCP.

@@ -4,7 +4,7 @@ namespace silo::topology {
 namespace {
 
 TimeNs queue_capacity_for(Bytes buffer, RateBps rate, TimeNs override_ns) {
-  if (override_ns > 0) return override_ns;
+  if (override_ns > TimeNs{0}) return override_ns;
   return transmission_time(buffer, rate);
 }
 
@@ -115,7 +115,7 @@ std::vector<PortId> Topology::switch_path(int src_server,
 }
 
 TimeNs Topology::path_queue_capacity(int src_server, int dst_server) const {
-  TimeNs total = 0;
+  TimeNs total {};
   for (PortId p : switch_path(src_server, dst_server))
     total += port(p).queue_capacity;
   return total;

@@ -29,14 +29,14 @@ struct TopologyConfig {
   Bytes port_buffer = 312 * kKB;
   /// Optional cap on queue capacity (ns); 0 means "derive from buffer".
   /// The paper notes capacity "can be set to a lower value too".
-  TimeNs queue_capacity_override = 0;
+  TimeNs queue_capacity_override {};
 };
 
 /// A directed egress queue in the fabric.
 struct Port {
-  RateBps rate = 0;
-  Bytes buffer = 0;
-  TimeNs queue_capacity = 0;  ///< time to drain a full buffer at line rate
+  RateBps rate {};
+  Bytes buffer {};
+  TimeNs queue_capacity {};  ///< time to drain a full buffer at line rate
   int level = 0;              ///< 0 = server NIC / ToR-to-server, 1 = rack, 2 = pod
 };
 
@@ -112,8 +112,8 @@ class Topology {
   }
 
   TopologyConfig cfg_;
-  RateBps rack_up_rate_ = 0;
-  RateBps pod_up_rate_ = 0;
+  RateBps rack_up_rate_ {};
+  RateBps pod_up_rate_ {};
   std::vector<Port> ports_;
   // Port layout offsets.
   int server_up_base_ = 0, server_down_base_ = 0, rack_up_base_ = 0,

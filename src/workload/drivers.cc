@@ -14,19 +14,21 @@ void BreakdownAgg::add(const sim::ClusterSim::MessageResult& r) {
   queueing_us.add(us(b.queueing_ns));
   serialization_us.add(us(b.serialization_ns));
   retransmit_us.add(us(b.retransmit_ns));
-  max_sum_error_ns =
-      std::max(max_sum_error_ns, std::abs(b.sum() - r.latency));
+  max_sum_error_ns = std::max(
+      max_sum_error_ns, TimeNs{std::abs((b.sum() - r.latency).count())});
   ++messages;
 }
 
 TimeNs retry_delay(const RetryPolicy& p, int attempt, Rng& rng) {
   TimeNs backoff = p.base_backoff;
-  for (int i = 1; i < attempt && backoff < p.max_backoff; ++i) backoff *= 2;
+  for (int i = 1; i < attempt && backoff < p.max_backoff; ++i)
+    backoff = backoff * 2;
   backoff = std::min(backoff, p.max_backoff);
   // Full +/- jitter decorrelates retry storms after a shared fault.
   const double factor = 1.0 + p.jitter * (2.0 * rng.uniform() - 1.0);
-  return std::max<TimeNs>(1, static_cast<TimeNs>(
-                                 static_cast<double>(backoff) * factor));
+  return std::max(TimeNs{1},
+                  TimeNs{static_cast<std::int64_t>(
+                      static_cast<double>(backoff) * factor)});
 }
 
 // ---------------------------------------------------------------- EtcDriver
@@ -182,7 +184,7 @@ double BulkDriver::goodput_bps() const {
   for (const auto& [src, dst] : pairs_)
     bytes += cluster_.pair_delivered_bytes(tenant_, src, dst);
   const TimeNs elapsed = cluster_.events().now() - started_;
-  if (elapsed <= 0) return 0.0;
+  if (elapsed <= TimeNs{0}) return 0.0;
   return static_cast<double>(bytes) * 8e9 / static_cast<double>(elapsed);
 }
 

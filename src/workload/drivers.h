@@ -44,7 +44,7 @@ struct BreakdownAgg {
   Stats queueing_us;
   Stats serialization_us;
   Stats retransmit_us;
-  TimeNs max_sum_error_ns = 0;
+  TimeNs max_sum_error_ns {};
   std::int64_t messages = 0;
 
   void add(const sim::ClusterSim::MessageResult& r);
@@ -57,13 +57,13 @@ class EtcDriver {
  public:
   struct Config {
     double ops_per_sec = 10'000;
-    Bytes request_size = 50;
+    Bytes request_size {50};
     /// Generalized-Pareto value-size parameters from the ETC trace fit.
     double value_mu = 0.0;
     double value_sigma = 214.48;
     double value_xi = 0.348;
     Bytes max_value = 1 * kKB;   ///< the paper's observed max value size
-    Bytes min_value = 1;
+    Bytes min_value {1};
     /// End-host stack + cache lookup time, exponential mean. The paper's
     /// testbed measures this inside transaction latency (its isolated p99
     /// of ~270 us is stack-dominated), so the driver models it; Silo's
@@ -102,7 +102,7 @@ class EtcDriver {
   Config cfg_;
   Rng rng_;
   RetryPolicy retry_;
-  TimeNs until_ = 0;
+  TimeNs until_ {};
   Stats latencies_us_;
   BreakdownAgg breakdown_;
   std::int64_t completed_ = 0;
@@ -147,8 +147,8 @@ class BulkDriver {
   Bytes chunk_;
   Rng rng_;
   RetryPolicy retry_;
-  TimeNs until_ = 0;
-  TimeNs started_ = 0;
+  TimeNs until_ {};
+  TimeNs started_ {};
   std::int64_t completed_ = 0;
   std::int64_t aborted_ = 0;
   std::int64_t retried_ = 0;
@@ -192,7 +192,7 @@ class BurstDriver {
   Config cfg_;
   Rng rng_;
   RetryPolicy retry_;
-  TimeNs until_ = 0;
+  TimeNs until_ {};
   Stats latencies_us_;
   BreakdownAgg breakdown_;
   std::int64_t rto_messages_ = 0;
@@ -232,7 +232,7 @@ class PoissonMessageDriver {
   Bytes size_;
   Rng rng_;
   RetryPolicy retry_;
-  TimeNs until_ = 0;
+  TimeNs until_ {};
   Stats latencies_us_;
   BreakdownAgg breakdown_;
   std::int64_t completed_ = 0;

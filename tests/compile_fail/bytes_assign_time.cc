@@ -1,0 +1,4 @@
+// MUST NOT COMPILE: a size cannot be initialized from a duration.
+#include "util/units.h"
+
+silo::Bytes b = silo::TimeNs{12000};

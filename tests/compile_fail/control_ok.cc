@@ -1,0 +1,8 @@
+// MUST COMPILE: positive control for the compile-fail harness. If this
+// snippet stops compiling, the harness's include path or dialect flags are
+// broken and every WILL_FAIL test above is passing vacuously.
+#include "util/units.h"
+
+silo::TimeNs t = silo::TimeNs{5} + 2 * silo::kUsec;
+silo::Bytes b = silo::RateBps{1e9} * silo::kMsec;
+silo::TimeNs ser = silo::kMtu / (10 * silo::kGbps);

@@ -1,0 +1,4 @@
+// MUST NOT COMPILE: RateBps construction from a raw double is explicit.
+#include "util/units.h"
+
+silo::RateBps r = 1e9;

@@ -1,0 +1,5 @@
+// MUST NOT COMPILE: construction from a raw number is explicit-only, so a
+// bare integer never silently becomes simulated time.
+#include "util/units.h"
+
+silo::TimeNs t = 5;

@@ -1,0 +1,4 @@
+// MUST NOT COMPILE: a duration cannot be initialized from a size.
+#include "util/units.h"
+
+silo::TimeNs t = silo::Bytes{1500};

@@ -1,0 +1,4 @@
+// MUST NOT COMPILE: adding bytes to nanoseconds is dimensionally absurd.
+#include "util/units.h"
+
+silo::TimeNs t = silo::TimeNs{5} + silo::Bytes{5};

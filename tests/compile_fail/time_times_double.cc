@@ -1,0 +1,5 @@
+// MUST NOT COMPILE: simulated time scales by integers only — float
+// scaling is how rounding drift sneaks into a deterministic clock.
+#include "util/units.h"
+
+silo::TimeNs t = silo::TimeNs{1000} * 1.5;

@@ -19,8 +19,8 @@ TEST(Advisor, AverageBandwidthAloneIsAlmostAlwaysLate) {
   // Table 1, row M / column B: guaranteeing the raw average leaves the
   // overwhelming majority of Poisson messages late.
   const auto p = fixed_profile();
-  SiloGuarantee g{p.messages_per_sec * 10e3 * 8, 10 * kKB, 1 * kMsec,
-                  1 * kGbps};
+  SiloGuarantee g{RateBps{p.messages_per_sec * 10e3 * 8}, 10 * kKB,
+                  1 * kMsec, 1 * kGbps};
   const double late = evaluate_late_fraction(p, g, 20000, 1);
   EXPECT_GT(late, 0.5);
 }
@@ -28,7 +28,7 @@ TEST(Advisor, AverageBandwidthAloneIsAlmostAlwaysLate) {
 TEST(Advisor, GenerousGuaranteeIsNeverLate) {
   // Table 1, bottom-right corner.
   const auto p = fixed_profile();
-  SiloGuarantee g{p.messages_per_sec * 10e3 * 8 * 3.0, 9 * 10 * kKB,
+  SiloGuarantee g{RateBps{p.messages_per_sec * 10e3 * 8 * 3.0}, 9 * 10 * kKB,
                   1 * kMsec, 1 * kGbps};
   EXPECT_LT(evaluate_late_fraction(p, g, 20000, 1), 0.005);
 }
@@ -37,8 +37,8 @@ TEST(Advisor, LatenessMonotoneInBandwidth) {
   const auto p = fixed_profile();
   double prev = 1.1;
   for (double mult : {1.0, 1.5, 2.0, 3.0}) {
-    SiloGuarantee g{p.messages_per_sec * 10e3 * 8 * mult, 3 * 10 * kKB,
-                    1 * kMsec, 1 * kGbps};
+    SiloGuarantee g{RateBps{p.messages_per_sec * 10e3 * 8 * mult},
+                    3 * 10 * kKB, 1 * kMsec, 1 * kGbps};
     const double late = evaluate_late_fraction(p, g, 20000, 2);
     EXPECT_LE(late, prev + 0.02) << mult;
     prev = late;
@@ -52,11 +52,11 @@ TEST(Advisor, RecommendationMeetsTarget) {
   const auto rec = recommend_guarantee(p, opts);
   ASSERT_TRUE(rec.feasible);
   EXPECT_LE(rec.expected_late_fraction, opts.target_late_fraction);
-  EXPECT_GT(rec.guarantee.bandwidth, rec.average_bandwidth * 0.99);
+  EXPECT_GT(rec.guarantee.bandwidth.bps(), rec.average_bandwidth * 0.99);
   EXPECT_GE(rec.guarantee.burst, 10 * kKB);
   // Recommendation is reproducible (deterministic seed).
   const auto rec2 = recommend_guarantee(p, opts);
-  EXPECT_DOUBLE_EQ(rec.guarantee.bandwidth, rec2.guarantee.bandwidth);
+  EXPECT_DOUBLE_EQ(rec.guarantee.bandwidth.bps(), rec2.guarantee.bandwidth.bps());
   EXPECT_EQ(rec.guarantee.burst, rec2.guarantee.burst);
 }
 
@@ -80,7 +80,7 @@ TEST(Advisor, Validation) {
   EXPECT_THROW(recommend_guarantee(empty), std::invalid_argument);
   auto p = fixed_profile();
   p.messages_per_sec = 0;
-  SiloGuarantee g{1e9, 1500, 0, 1e9};
+  SiloGuarantee g{RateBps{1e9}, Bytes{1500}, TimeNs{0}, RateBps{1e9}};
   EXPECT_THROW(evaluate_late_fraction(p, g, 100, 1), std::invalid_argument);
 }
 

@@ -44,11 +44,11 @@ TEST(ClusterSim, MessageDelivery) {
   ClusterSim sim(small_cluster(Scheme::kTcp));
   TenantRequest req;
   req.num_vms = 2;
-  req.guarantee = {1 * kGbps, 15 * kKB, 0, 1 * kGbps};
+  req.guarantee = {1 * kGbps, 15 * kKB, TimeNs{0}, 1 * kGbps};
   const auto t = sim.add_tenant(req);
   ASSERT_TRUE(t);
   bool done = false;
-  TimeNs latency = 0;
+  TimeNs latency {};
   sim.send_message(*t, 0, 1, 10 * kKB,
                    [&](const ClusterSim::MessageResult& r) {
                      done = true;
@@ -56,9 +56,9 @@ TEST(ClusterSim, MessageDelivery) {
                    });
   sim.run_until(1 * kSec);
   ASSERT_TRUE(done);
-  EXPECT_GT(latency, 0);
+  EXPECT_GT(latency, TimeNs{0});
   EXPECT_LT(latency, 1 * kMsec);
-  EXPECT_EQ(sim.pair_delivered_bytes(*t, 0, 1), 10 * kKB);
+  EXPECT_EQ(sim.pair_delivered_bytes(*t, 0, 1), (10 * kKB).count());
   // Drained run: every pool packet was returned (exactly-one-owner).
   EXPECT_EQ(sim.events().pool().live(), 0);
 }
@@ -123,7 +123,7 @@ TEST(ClusterSim, TcpUsesFullLink) {
   ClusterSim sim(small_cluster(Scheme::kTcp));
   TenantRequest req;
   req.num_vms = 2;
-  req.guarantee = {500 * kMbps, 1500, 0, 0};
+  req.guarantee = {500 * kMbps, Bytes{1500}, TimeNs{0}, RateBps{0}};
   const auto t = sim.add_tenant(req);
   ASSERT_TRUE(t);
   workload::BulkDriver bulk(sim, *t, {{0, 1}}, 256 * kKB);
@@ -161,7 +161,7 @@ TEST(ClusterSim, ContentionHurtsTcpButNotSilo) {
     a.tenant_class = TenantClass::kDelaySensitive;
     TenantRequest b;
     b.num_vms = 8;
-    b.guarantee = {1 * kGbps, 1500, 0, 1 * kGbps};
+    b.guarantee = {1 * kGbps, Bytes{1500}, TimeNs{0}, 1 * kGbps};
     const auto ta = sim.add_tenant(a);
     const auto tb = sim.add_tenant(b);
     EXPECT_TRUE(ta && tb);
@@ -190,7 +190,7 @@ TEST(ClusterSim, PlacementRejectionPropagates) {
   // Bandwidth overload: 6 VMs per server * 3 Gbps > 10 G access links.
   int admitted = 0;
   for (int i = 0; i < 5; ++i)
-    if (sim.add_tenant(silo_tenant(6, 3 * kGbps, 1500))) ++admitted;
+    if (sim.add_tenant(silo_tenant(6, 3 * kGbps, Bytes{1500}))) ++admitted;
   EXPECT_LT(admitted, 5);
 }
 
@@ -198,7 +198,7 @@ TEST(ClusterSim, RtoTrackingPerTenant) {
   ClusterSim sim(small_cluster(Scheme::kTcp));
   TenantRequest req;
   req.num_vms = 6;
-  req.guarantee = {1 * kGbps, 1500, 0, 0};
+  req.guarantee = {1 * kGbps, Bytes{1500}, TimeNs{0}, RateBps{0}};
   const auto t = sim.add_tenant(req);
   ASSERT_TRUE(t);
   EXPECT_EQ(sim.tenant_rto_count(*t), 0);
@@ -228,7 +228,7 @@ TEST(ClusterSim, BestEffortRidesLowPriority) {
   ClusterSim sim(small_cluster(Scheme::kSilo));
   TenantRequest be;
   be.num_vms = 2;
-  be.guarantee = {1 * kGbps, 1500, 0, 1 * kGbps};
+  be.guarantee = {1 * kGbps, Bytes{1500}, TimeNs{0}, 1 * kGbps};
   be.tenant_class = TenantClass::kBestEffort;
   const auto t = sim.add_tenant(be);
   ASSERT_TRUE(t);
@@ -274,7 +274,7 @@ TEST(ClusterSim, QjumpSmallMessagesBeatTcpUnderContention) {
   TenantRequest b;
   b.num_vms = 8;
   b.tenant_class = TenantClass::kBandwidthOnly;
-  b.guarantee = {1 * kGbps, 1500, 0, 1 * kGbps};
+  b.guarantee = {1 * kGbps, Bytes{1500}, TimeNs{0}, 1 * kGbps};
   const auto ta = sim.add_tenant(a);
   const auto tb = sim.add_tenant(b);
   ASSERT_TRUE(ta && tb);
@@ -284,7 +284,7 @@ TEST(ClusterSim, QjumpSmallMessagesBeatTcpUnderContention) {
   workload::BulkDriver bulk(sim, *tb, workload::all_to_all(8), 256 * kKB);
   bulk.start(300 * kMsec);
   // Single-packet messages: the regime QJUMP guarantees.
-  workload::PoissonMessageDriver msgs(sim, *ta, src, 0, 300.0, 1200, 42);
+  workload::PoissonMessageDriver msgs(sim, *ta, src, 0, 300.0, Bytes{1200}, 42);
   msgs.start(300 * kMsec);
   sim.run_until(350 * kMsec);
   EXPECT_GT(msgs.completed(), 50);

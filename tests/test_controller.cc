@@ -53,7 +53,7 @@ TEST(Controller, ServerConfigListsHostedVmsWithPeers) {
       EXPECT_EQ(rec.tenant, h->id);
       EXPECT_EQ(rec.peers.size(), 5u);  // everyone else in the tenant
       EXPECT_EQ(h->vm_to_server[static_cast<std::size_t>(rec.vm_index)], s);
-      EXPECT_DOUBLE_EQ(rec.guarantee.bandwidth, 500e6);
+      EXPECT_DOUBLE_EQ(rec.guarantee.bandwidth.bps(), 500e6);
       for (const auto& [peer_vm, peer_server] : rec.peers) {
         EXPECT_NE(peer_vm, rec.vm_index);
         EXPECT_EQ(h->vm_to_server[static_cast<std::size_t>(peer_vm)],

@@ -33,14 +33,14 @@ struct TraceChecksum {
 struct ScenarioResult {
   std::uint64_t checksum = 0;
   std::uint64_t packets = 0;
-  TimeNs end_time = 0;
+  TimeNs end_time {};
 };
 
 // A scaled-down Fig-12-style scenario: one class-A OLDI tenant doing
 // synchronized all-to-one bursts plus one class-B all-to-all bulk tenant,
 // sharing a two-rack fabric. `step` > 0 drives the clock through run_until
 // in fixed increments instead of one shot.
-ScenarioResult run_scenario(sim::Scheme scheme, TimeNs step = 0) {
+ScenarioResult run_scenario(sim::Scheme scheme, TimeNs step = TimeNs{0}) {
   sim::ClusterConfig cfg;
   cfg.topo.pods = 1;
   cfg.topo.racks_per_pod = 2;
@@ -66,12 +66,12 @@ ScenarioResult run_scenario(sim::Scheme scheme, TimeNs step = 0) {
   TenantRequest a;
   a.num_vms = 6;
   a.tenant_class = TenantClass::kDelaySensitive;
-  a.guarantee = {0.3e9, 15 * kKB, 1 * kMsec, 1 * kGbps};
+  a.guarantee = {RateBps{0.3e9}, 15 * kKB, 1 * kMsec, 1 * kGbps};
   const auto ta = cluster.add_tenant(a);
   TenantRequest b;
   b.num_vms = 4;
   b.tenant_class = TenantClass::kBandwidthOnly;
-  b.guarantee = {1e9, Bytes{1500}, 0, 1e9};
+  b.guarantee = {RateBps{1e9}, Bytes{1500}, TimeNs{0}, RateBps{1e9}};
   const auto tb = cluster.add_tenant(b);
   EXPECT_TRUE(ta.has_value());
   EXPECT_TRUE(tb.has_value());
@@ -87,7 +87,7 @@ ScenarioResult run_scenario(sim::Scheme scheme, TimeNs step = 0) {
   bulk.start(30 * kMsec);
 
   const TimeNs horizon = 40 * kMsec;
-  if (step > 0) {
+  if (step > TimeNs{0}) {
     for (TimeNs t = step; t <= horizon; t += step) cluster.run_until(t);
     cluster.run_until(horizon);
   } else {
@@ -145,7 +145,7 @@ TEST(PacketPool, SteadyStateIsAllocationFree) {
   TenantRequest b;
   b.num_vms = 4;
   b.tenant_class = TenantClass::kBandwidthOnly;
-  b.guarantee = {1e9, Bytes{1500}, 0, 1e9};
+  b.guarantee = {RateBps{1e9}, Bytes{1500}, TimeNs{0}, RateBps{1e9}};
   const auto tb = cluster.add_tenant(b);
   ASSERT_TRUE(tb.has_value());
   workload::BulkDriver bulk(cluster, *tb, workload::all_to_all(b.num_vms),
@@ -195,7 +195,7 @@ TEST(PacketPool, SteadyStateAllocationFreeWithObservability) {
   TenantRequest b;
   b.num_vms = 4;
   b.tenant_class = TenantClass::kBandwidthOnly;
-  b.guarantee = {1e9, Bytes{1500}, 0, 1e9};
+  b.guarantee = {RateBps{1e9}, Bytes{1500}, TimeNs{0}, RateBps{1e9}};
   const auto tb = cluster.add_tenant(b);
   ASSERT_TRUE(tb.has_value());
   workload::BulkDriver bulk(cluster, *tb, workload::all_to_all(b.num_vms),
@@ -229,7 +229,12 @@ TEST(PacketPool, DoubleFreeThrows) {
   EXPECT_THROW(pool.free(h), std::logic_error);
   EXPECT_THROW(pool.free(sim::kNullPacket), std::logic_error);
   const auto h2 = pool.alloc();
-  EXPECT_EQ(h2, h);  // freelist recycled the slot
+  // The freelist recycled the slot, but the generation tag advanced: the
+  // stale handle can never alias the new occupant.
+  EXPECT_EQ(sim::PacketPool::slot_of(h2), sim::PacketPool::slot_of(h));
+  EXPECT_NE(sim::PacketPool::generation_of(h2),
+            sim::PacketPool::generation_of(h));
+  EXPECT_THROW(pool.free(h), std::logic_error);  // stale handle still dead
   pool.free(h2);
   EXPECT_EQ(pool.total_allocs(), pool.total_frees());
   EXPECT_EQ(pool.live(), 0);

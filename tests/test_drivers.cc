@@ -22,7 +22,7 @@ TEST(EtcDriver, IssuesAtConfiguredRate) {
   sim::ClusterSim sim(tiny());
   TenantRequest req;
   req.num_vms = 5;
-  req.guarantee = {1 * kGbps, 1500, 0, 0};
+  req.guarantee = {1 * kGbps, Bytes{1500}, TimeNs{0}, RateBps{0}};
   const auto t = sim.add_tenant(req);
   ASSERT_TRUE(t);
   EtcDriver::Config cfg;
@@ -39,7 +39,7 @@ TEST(EtcDriver, LatencyIncludesProcessingTime) {
   sim::ClusterSim sim(tiny());
   TenantRequest req;
   req.num_vms = 2;
-  req.guarantee = {1 * kGbps, 1500, 0, 0};
+  req.guarantee = {1 * kGbps, Bytes{1500}, TimeNs{0}, RateBps{0}};
   const auto t = sim.add_tenant(req);
   ASSERT_TRUE(t);
   EtcDriver::Config fast;
@@ -64,7 +64,7 @@ TEST(BurstDriver, IssuesPerEpochFanIn) {
   sim::ClusterSim sim(tiny());
   TenantRequest req;
   req.num_vms = 6;
-  req.guarantee = {1 * kGbps, 15 * kKB, 0, 1 * kGbps};
+  req.guarantee = {1 * kGbps, 15 * kKB, TimeNs{0}, 1 * kGbps};
   const auto t = sim.add_tenant(req);
   ASSERT_TRUE(t);
   BurstDriver::Config cfg;
@@ -85,7 +85,7 @@ TEST(BulkDriver, KeepsFlowsBacklogged) {
   sim::ClusterSim sim(tiny());
   TenantRequest req;
   req.num_vms = 2;
-  req.guarantee = {1 * kGbps, 1500, 0, 0};
+  req.guarantee = {1 * kGbps, Bytes{1500}, TimeNs{0}, RateBps{0}};
   const auto t = sim.add_tenant(req);
   ASSERT_TRUE(t);
   BulkDriver bulk(sim, *t, {{0, 1}}, Bytes{64 * kKB});
@@ -101,7 +101,7 @@ TEST(PoissonDriver, RespectsStopTime) {
   sim::ClusterSim sim(tiny());
   TenantRequest req;
   req.num_vms = 2;
-  req.guarantee = {1 * kGbps, 1500, 0, 0};
+  req.guarantee = {1 * kGbps, Bytes{1500}, TimeNs{0}, RateBps{0}};
   const auto t = sim.add_tenant(req);
   ASSERT_TRUE(t);
   PoissonMessageDriver msgs(sim, *t, 0, 1, 1000.0, 2 * kKB, 4);

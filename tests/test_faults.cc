@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <cstdlib>
 
+#include "core/controller.h"
 #include "sim/cluster.h"
 #include "sim/faults.h"
 #include "workload/drivers.h"
@@ -29,7 +30,7 @@ TEST(PortFaults, DownedLinkKillsQueuedInFlightAndArrivals) {
                      });
   auto send = [&] {
     const PacketHandle h = pool.alloc();
-    pool.get(h).wire_bytes = 1500;
+    pool.get(h).wire_bytes = Bytes{1500};
     port.enqueue(h);
   };
 
@@ -44,7 +45,7 @@ TEST(PortFaults, DownedLinkKillsQueuedInFlightAndArrivals) {
   ev.run_until(1 * kMsec);
   EXPECT_EQ(port.stats().fault_drops, 4);
   EXPECT_EQ(delivered, 0);
-  EXPECT_EQ(port.queued_bytes(), 0);
+  EXPECT_EQ(port.queued_bytes(), Bytes{0});
 
   port.set_link_up(true);
   send();
@@ -69,7 +70,7 @@ TEST(PortFaults, LossWindowConservesEveryPacket) {
   const int sent = 200;
   for (int i = 0; i < sent; ++i) {
     const PacketHandle h = pool.alloc();
-    pool.get(h).wire_bytes = 1500;
+    pool.get(h).wire_bytes = Bytes{1500};
     port.enqueue(h);
   }
   ev.run_until(1 * kSec);
@@ -83,7 +84,7 @@ TEST(PortFaults, LossWindowConservesEveryPacket) {
   const std::int64_t before = delivered;
   for (int i = 0; i < 20; ++i) {
     const PacketHandle h = pool.alloc();
-    pool.get(h).wire_bytes = 1500;
+    pool.get(h).wire_bytes = Bytes{1500};
     port.enqueue(h);
   }
   ev.run_until(2 * kSec);
@@ -112,7 +113,7 @@ TEST(ClusterFaults, LinkDownAbortsMessageThenRecovers) {
   TenantRequest req;
   req.num_vms = 2;
   req.tenant_class = TenantClass::kBandwidthOnly;
-  req.guarantee = {1 * kGbps, Bytes{15 * kKB}, 0, 1 * kGbps};
+  req.guarantee = {1 * kGbps, Bytes{15 * kKB}, TimeNs{0}, 1 * kGbps};
   const auto t = sim.add_tenant(req);
   ASSERT_TRUE(t);
   ASSERT_NE(sim.vm_server(*t, 0), sim.vm_server(*t, 1));
@@ -160,7 +161,7 @@ TEST(ClusterFaults, ServerCrashViaInjectorAbortsThenRecovers) {
   TenantRequest req;
   req.num_vms = 2;
   req.tenant_class = TenantClass::kBandwidthOnly;
-  req.guarantee = {1 * kGbps, Bytes{15 * kKB}, 0, 1 * kGbps};
+  req.guarantee = {1 * kGbps, Bytes{15 * kKB}, TimeNs{0}, 1 * kGbps};
   const auto t = sim.add_tenant(req);
   ASSERT_TRUE(t);
   const int dst_server = sim.vm_server(*t, 1);
@@ -252,7 +253,7 @@ ShuffleOutcome run_tor_uplink_shuffle() {
   TenantRequest req;
   req.num_vms = 4;
   req.tenant_class = TenantClass::kBandwidthOnly;
-  req.guarantee = {500 * kMbps, Bytes{15 * kKB}, 0, 1 * kGbps};
+  req.guarantee = {500 * kMbps, Bytes{15 * kKB}, TimeNs{0}, 1 * kGbps};
   const auto t = sim.add_tenant(req);
   EXPECT_TRUE(t.has_value());
   // One VM per server: the shuffle necessarily crosses the rack uplink.
@@ -360,7 +361,7 @@ SoakOutcome run_soak(std::uint64_t seed) {
   TenantRequest bulk_req;
   bulk_req.num_vms = 4;
   bulk_req.tenant_class = TenantClass::kBandwidthOnly;
-  bulk_req.guarantee = {500 * kMbps, Bytes{15 * kKB}, 0, 1 * kGbps};
+  bulk_req.guarantee = {500 * kMbps, Bytes{15 * kKB}, TimeNs{0}, 1 * kGbps};
   const auto tb = sim.add_tenant(bulk_req);
   TenantRequest msg_req;
   msg_req.num_vms = 2;
@@ -413,6 +414,88 @@ TEST(FaultSoak, RandomPlansConservePacketsAndReplayExactly) {
     EXPECT_EQ(a.aborted, b.aborted) << "seed " << seed;
     EXPECT_EQ(a.fault_drops, b.fault_drops) << "seed " << seed;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Golden fault-scenario checksums. The replay tests above prove run-to-run
+// stability *within* one build; these pin the traces and the control-plane
+// recovery ordering *across* builds, so a refactor that silently changes
+// event ordering, retry scheduling, or the controller's recovery ladder
+// (map iteration order, report sorting) trips a hard-coded constant
+// instead of sailing through.
+
+TEST(ClusterFaults, TorUplinkFlapMatchesGoldenChecksum) {
+  const auto out = run_tor_uplink_shuffle();
+  EXPECT_EQ(out.checksum, 8871870258756233443ull);
+  EXPECT_EQ(out.packets, 6258u);
+}
+
+// Drive the controller through the full recovery ladder — admissions up to
+// near-capacity, a server death, a ToR uplink death, then both restores —
+// and checksum every RecoveryReport in order: which tenants were affected,
+// how each one fared (replaced / degraded / unplaced), and the exact pacer
+// records pushed back out. The golden value locks the deterministic
+// ordering contract of RecoveryReport (sorted ids, stable map iteration).
+TEST(ControllerFaults, RecoveryLadderMatchesGoldenChecksum) {
+  topology::TopologyConfig topo;
+  topo.pods = 1;
+  topo.racks_per_pod = 2;
+  topo.servers_per_rack = 4;
+  topo.vm_slots_per_server = 2;
+  SiloController ctl(topo);
+
+  TraceChecksum ck;
+  const auto mix_records = [&](const std::vector<PacerConfigRecord>& recs) {
+    ck.mix(recs.size());
+    for (const auto& r : recs) {
+      ck.mix(static_cast<std::uint64_t>(r.tenant));
+      ck.mix(static_cast<std::uint64_t>(r.vm_index));
+      ck.mix(static_cast<std::uint64_t>(r.server));
+      for (const auto& [peer_vm, peer_server] : r.peers) {
+        ck.mix(static_cast<std::uint64_t>(peer_vm));
+        ck.mix(static_cast<std::uint64_t>(peer_server));
+      }
+    }
+  };
+  const auto mix_report = [&](const RecoveryReport& rep) {
+    for (const auto* ids :
+         {&rep.affected, &rep.replaced, &rep.degraded, &rep.unplaced}) {
+      ck.mix(ids->size());
+      for (const auto id : *ids) ck.mix(static_cast<std::uint64_t>(id));
+    }
+    mix_records(rep.refreshed);
+  };
+
+  // Three delay-sensitive tenants fill 12 of 16 slots; re-placement room
+  // exists but is scarce, so failures exercise every ladder rung.
+  std::vector<TenantHandle> handles;
+  for (const int vms : {6, 4, 2}) {
+    TenantRequest req;
+    req.num_vms = vms;
+    req.tenant_class = TenantClass::kDelaySensitive;
+    req.guarantee = {500 * kMbps, 15 * kKB, 2 * kMsec, 1 * kGbps};
+    const auto h = ctl.admit(req);
+    ASSERT_TRUE(h.has_value()) << vms << " VMs";
+    handles.push_back(*h);
+    for (const int s : h->vm_to_server) ck.mix(static_cast<std::uint64_t>(s));
+  }
+
+  mix_report(ctl.handle_server_failure(0));
+  mix_report(ctl.handle_link_failure(ctl.topo().rack_up(0)));
+  mix_report(ctl.restore_link(ctl.topo().rack_up(0)));
+  mix_report(ctl.restore_server(0));
+
+  // Final state: per-tenant status and placement, plus what each server's
+  // hypervisor would be told to pace.
+  for (const auto& h : handles) {
+    ck.mix(static_cast<std::uint64_t>(ctl.tenant_status(h.id)));
+    for (const int s : ctl.tenant_placement(h.id))
+      ck.mix(static_cast<std::uint64_t>(s));
+  }
+  for (int s = 0; s < ctl.topo().num_servers(); ++s)
+    mix_records(ctl.server_config(s));
+
+  EXPECT_EQ(ck.h, 872242249491521731ull);
 }
 
 }  // namespace

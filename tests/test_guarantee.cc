@@ -13,8 +13,8 @@ SiloGuarantee paper_guarantee() {
 TEST(Guarantee, SmallMessageWithinBurst) {
   // M <= S: latency = M/Bmax + d.
   const auto g = paper_guarantee();
-  const TimeNs lat = max_message_latency(g, 1500);
-  EXPECT_EQ(lat, transmission_time(1500, 1 * kGbps) + 1 * kMsec);
+  const TimeNs lat = max_message_latency(g, Bytes{1500});
+  EXPECT_EQ(lat, transmission_time(Bytes{1500}, 1 * kGbps) + 1 * kMsec);
 }
 
 TEST(Guarantee, PaperMemcachedBound) {
@@ -22,8 +22,8 @@ TEST(Guarantee, PaperMemcachedBound) {
   // memcached experiment. A transaction is a ~400 B request plus a
   // <= 1 KB response: two one-way messages and two delay bounds.
   const auto g = paper_guarantee();
-  const TimeNs request = max_message_latency(g, 400);
-  const TimeNs response = max_message_latency(g, 1024);
+  const TimeNs request = max_message_latency(g, Bytes{400});
+  const TimeNs response = max_message_latency(g, Bytes{1024});
   const double total_ms =
       static_cast<double>(request + response) / static_cast<double>(kMsec);
   EXPECT_NEAR(total_ms, 2.01, 0.02);
@@ -33,14 +33,14 @@ TEST(Guarantee, LargeMessageUsesAverageBandwidth) {
   // M > S: latency = S/Bmax + (M-S)/B + d.
   const auto g = paper_guarantee();
   const Bytes m = 100 * kKB;
-  const TimeNs expected = transmission_time(1500, 1 * kGbps) +
-                          transmission_time(m - 1500, 210 * kMbps) + 1 * kMsec;
+  const TimeNs expected = transmission_time(Bytes{1500}, 1 * kGbps) +
+                          transmission_time(m - Bytes{1500}, 210 * kMbps) + 1 * kMsec;
   EXPECT_EQ(max_message_latency(g, m), expected);
 }
 
 TEST(Guarantee, MonotoneInSize) {
   const auto g = paper_guarantee();
-  TimeNs prev = 0;
+  TimeNs prev {};
   for (Bytes m : {Bytes{100}, Bytes{1500}, Bytes{1501}, Bytes{15000},
                   Bytes{1500000}}) {
     const TimeNs lat = max_message_latency(g, m);
@@ -50,21 +50,21 @@ TEST(Guarantee, MonotoneInSize) {
 }
 
 TEST(Guarantee, BurstRateDefaultsToBandwidth) {
-  SiloGuarantee g{1 * kGbps, 10 * kKB, 0, 0};
-  EXPECT_EQ(max_message_latency(g, 1000),
-            transmission_time(1000, 1 * kGbps));
+  SiloGuarantee g{1 * kGbps, 10 * kKB, TimeNs{0}, RateBps{0}};
+  EXPECT_EQ(max_message_latency(g, Bytes{1000}),
+            transmission_time(Bytes{1000}, 1 * kGbps));
 }
 
 TEST(Guarantee, Validation) {
   SiloGuarantee g{};
-  EXPECT_THROW(max_message_latency(g, 100), std::invalid_argument);
+  EXPECT_THROW(max_message_latency(g, Bytes{100}), std::invalid_argument);
   const auto ok = paper_guarantee();
-  EXPECT_THROW(max_message_latency(ok, -1), std::invalid_argument);
+  EXPECT_THROW(max_message_latency(ok, Bytes{-1}), std::invalid_argument);
 }
 
 TEST(Guarantee, DelayFlag) {
   EXPECT_TRUE(paper_guarantee().wants_delay_guarantee());
-  SiloGuarantee bw_only{1 * kGbps, 1500, 0, 0};
+  SiloGuarantee bw_only{1 * kGbps, Bytes{1500}, TimeNs{0}, RateBps{0}};
   EXPECT_FALSE(bw_only.wants_delay_guarantee());
 }
 
@@ -76,9 +76,10 @@ class LatencyKnobs : public ::testing::TestWithParam<std::tuple<int, int>> {};
 TEST_P(LatencyKnobs, BoundShrinksWithKnobs) {
   const auto [burst_mult, bw_mult] = GetParam();
   const Bytes msg = 10 * kKB;
-  SiloGuarantee g{bw_mult * 100 * kMbps, burst_mult * msg, 0, 1 * kGbps};
+  SiloGuarantee g{bw_mult * 100 * kMbps, burst_mult * msg, TimeNs{0},
+                  1 * kGbps};
   SiloGuarantee tighter = g;
-  tighter.bandwidth *= 2;
+  tighter.bandwidth = tighter.bandwidth * 2;
   EXPECT_LE(max_message_latency(tighter, 5 * msg),
             max_message_latency(g, 5 * msg));
   SiloGuarantee burstier = g;

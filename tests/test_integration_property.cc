@@ -58,12 +58,12 @@ TEST_P(NoOverflowSweep, SiloAdmittedTrafficNeverDropsInFabric) {
     const bool bursty = rng.uniform() < 0.5;
     if (bursty) {
       req.tenant_class = TenantClass::kDelaySensitive;
-      req.guarantee = {rng.uniform(0.1e9, 0.5e9), 15 * kKB, 2 * kMsec,
+      req.guarantee = {RateBps{rng.uniform(0.1e9, 0.5e9)}, 15 * kKB, 2 * kMsec,
                        1 * kGbps};
     } else {
       req.tenant_class = TenantClass::kBandwidthOnly;
       const double bw = rng.uniform(0.3e9, 2e9);
-      req.guarantee = {bw, Bytes{1500}, 0, bw};
+      req.guarantee = {RateBps{bw}, Bytes{1500}, TimeNs{0}, RateBps{bw}};
     }
     const auto t = sim.add_tenant(req);
     if (!t) continue;
@@ -83,7 +83,7 @@ TEST_P(NoOverflowSweep, SiloAdmittedTrafficNeverDropsInFabric) {
       bc.receiver = t.vms - 1;
       bc.message_size = 15 * kKB;
       bc.epochs_per_sec =
-          0.5 * t.g.bandwidth / (8.0 * (t.vms - 1) * 15000.0);
+          0.5 * t.g.bandwidth.bps() / (8.0 * (t.vms - 1) * 15000.0);
       t.bursts = std::make_unique<workload::BurstDriver>(sim, t.id, t.vms,
                                                          bc, ++seed);
       t.bursts->start(duration);
@@ -137,7 +137,7 @@ TEST(NoOverflowContrast, TcpDropsUnderTheSamePressure) {
   ClusterSim sim(cfg);
   TenantRequest bulk;
   bulk.num_vms = 12;
-  bulk.guarantee = {2 * kGbps, Bytes{1500}, 0, 0};
+  bulk.guarantee = {2 * kGbps, Bytes{1500}, TimeNs{0}, RateBps{0}};
   TenantRequest oldi;
   oldi.num_vms = 8;
   oldi.tenant_class = TenantClass::kDelaySensitive;

@@ -8,9 +8,9 @@ namespace {
 TEST(Curve, TokenBucketValues) {
   // A_{B,S}(t) = S + B*t : 1 Gbps, 100 KB burst.
   const auto a = Curve::token_bucket(1 * kGbps, 100 * kKB);
-  EXPECT_DOUBLE_EQ(a.value(0), 100e3);
+  EXPECT_DOUBLE_EQ(a.value(TimeNs{0}), 100e3);
   EXPECT_NEAR(a.value(1 * kMsec), 100e3 + 125e3, 1.0);
-  EXPECT_DOUBLE_EQ(a.value(-5), 0.0);
+  EXPECT_DOUBLE_EQ(a.value(TimeNs{-5}), 0.0);
   EXPECT_DOUBLE_EQ(a.burst(), 100e3);
   EXPECT_NEAR(a.long_run_slope() * 8e9, 1e9, 1.0);
 }
@@ -25,7 +25,7 @@ TEST(Curve, RateLimitedBurstIsBelowTokenBucket) {
     EXPECT_LE(rl.value(t), tb.value(t) + 1e-3) << "t=" << t;
   }
   // Before the crossover the burst drains at Bmax.
-  EXPECT_NEAR(rl.value(0), static_cast<double>(kMtu), 1.0);
+  EXPECT_NEAR(rl.value(TimeNs{0}), static_cast<double>(kMtu), 1.0);
   // After (100KB-1.5KB)/(10G-1G) = ~87.6 us the curves meet.
   EXPECT_NEAR(rl.value(1 * kMsec), tb.value(1 * kMsec), 2000.0);
 }
@@ -39,9 +39,9 @@ TEST(Curve, RateLimitedBurstDegenerateCases) {
 }
 
 TEST(Curve, ConstructorRejectsNonConcave) {
-  EXPECT_THROW(Curve({{0, 0.0, 1.0}, {10, 10.0, 2.0}}), std::invalid_argument);
-  EXPECT_THROW(Curve({{5, 0.0, 1.0}}), std::invalid_argument);   // not at 0
-  EXPECT_THROW(Curve({{0, 0.0, 1.0}, {10, 99.0, 0.5}}),          // discontinuous
+  EXPECT_THROW(Curve({{TimeNs{0}, 0.0, 1.0}, {TimeNs{10}, 10.0, 2.0}}), std::invalid_argument);
+  EXPECT_THROW(Curve({{TimeNs{5}, 0.0, 1.0}}), std::invalid_argument);   // not at 0
+  EXPECT_THROW(Curve({{TimeNs{0}, 0.0, 1.0}, {TimeNs{10}, 99.0, 0.5}}),          // discontinuous
                std::invalid_argument);
 }
 
@@ -63,7 +63,7 @@ TEST(Curve, PlusWithZeroIsIdentity) {
 
 TEST(Curve, MinWithComputesPointwiseMin) {
   const auto a = Curve::token_bucket(1 * kGbps, 100 * kKB);
-  const auto b = Curve::token_bucket(10 * kGbps, 1500);
+  const auto b = Curve::token_bucket(10 * kGbps, Bytes{1500});
   const auto m = a.min_with(b);
   for (TimeNs t :
        {TimeNs{0}, TimeNs{20 * kUsec}, TimeNs{87 * kUsec}, TimeNs{1 * kMsec}}) {
@@ -80,11 +80,11 @@ TEST(Curve, ScaledMultiplies) {
 }
 
 TEST(Curve, TimeToReach) {
-  const auto a = Curve::token_bucket(8 * kGbps, 1000);  // 1 B/ns slope
-  EXPECT_EQ(a.time_to_reach(0), 0);
-  EXPECT_EQ(a.time_to_reach(1000.0).value(), 0);
-  EXPECT_EQ(a.time_to_reach(2000.0).value(), 1000);
-  const auto flat = Curve({{0, 100.0, 0.0}});
+  const auto a = Curve::token_bucket(8 * kGbps, Bytes{1000});  // 1 B/ns slope
+  EXPECT_EQ(a.time_to_reach(0), TimeNs{0});
+  EXPECT_EQ(a.time_to_reach(1000.0).value(), TimeNs{0});
+  EXPECT_EQ(a.time_to_reach(2000.0).value(), TimeNs{1000});
+  const auto flat = Curve({{TimeNs{0}, 100.0, 0.0}});
   EXPECT_FALSE(flat.time_to_reach(200.0).has_value());
 }
 
@@ -97,8 +97,8 @@ TEST(QueueAnalysis, NFlowsNPacketsInsight) {
     agg = agg.plus(Curve::token_bucket(1 * kGbps, kMtu));
   const auto q = analyze_queue(agg, Curve::constant_rate(10 * kGbps));
   ASSERT_TRUE(q.backlog_bound.has_value());
-  EXPECT_LE(*q.backlog_bound, n * kMtu + 1.0);
-  EXPECT_GT(*q.backlog_bound, (n - 1) * kMtu);
+  EXPECT_LE(*q.backlog_bound, static_cast<double>(n * kMtu) + 1.0);
+  EXPECT_GT(*q.backlog_bound, static_cast<double>((n - 1) * kMtu));
   ASSERT_TRUE(q.queue_bound.has_value());
   // Delay bound ~= n packets serialized at link rate.
   EXPECT_NEAR(static_cast<double>(*q.queue_bound),
@@ -115,7 +115,7 @@ TEST(QueueAnalysis, OverloadIsUnbounded) {
 
 TEST(QueueAnalysis, ZeroArrivalZeroBounds) {
   const auto q = analyze_queue(Curve{}, Curve::constant_rate(10 * kGbps));
-  EXPECT_EQ(q.queue_bound.value(), 0);
+  EXPECT_EQ(q.queue_bound.value(), TimeNs{0});
   EXPECT_DOUBLE_EQ(q.backlog_bound.value(), 0.0);
 }
 
@@ -123,14 +123,16 @@ TEST(QueueAnalysis, Fig5WorstCaseBuffering) {
   // Paper Fig. 5 arithmetic treats the burst as a one-shot event (no
   // token refill while bursting): eight VMs deliver 800 KB at 20 Gbps
   // into a 10 Gbps port -> half the bytes queue: 400 KB.
-  const auto burst8 = Curve::rate_limited_burst(0, 800 * kKB, 20 * kGbps);
+  const auto burst8 =
+      Curve::rate_limited_burst(RateBps{0}, 800 * kKB, 20 * kGbps);
   const auto q = analyze_queue(burst8, Curve::constant_rate(10 * kGbps));
   ASSERT_TRUE(q.backlog_bound.has_value());
   EXPECT_NEAR(*q.backlog_bound, 400e3, 5e3);
 
   // Silo's placement leaves only 6 senders behind the port: 600 KB at
   // 20 Gbps -> 300 KB of buffering suffices.
-  const auto burst6 = Curve::rate_limited_burst(0, 600 * kKB, 20 * kGbps);
+  const auto burst6 =
+      Curve::rate_limited_burst(RateBps{0}, 600 * kKB, 20 * kGbps);
   const auto q2 = analyze_queue(burst6, Curve::constant_rate(10 * kGbps));
   EXPECT_NEAR(*q2.backlog_bound, 300e3, 5e3);
 
@@ -147,7 +149,7 @@ TEST(QueueAnalysis, BusyPeriodExists) {
   const auto q = analyze_queue(a, Curve::constant_rate(10 * kGbps));
   ASSERT_TRUE(q.busy_period.has_value());
   // The queue must drain within p; p >= time to serve the whole burst.
-  EXPECT_GT(*q.busy_period, 0);
+  EXPECT_GT(*q.busy_period, TimeNs{0});
   EXPECT_TRUE(q.queue_bound.has_value());
   EXPECT_LE(*q.queue_bound, *q.busy_period);
 }
@@ -166,9 +168,9 @@ TEST(TenantCutCurve, SymmetricCut) {
   const auto a =
       tenant_cut_curve(10, 5, 1 * kGbps, 10 * kKB, 2 * kGbps, 100 * kGbps);
   EXPECT_NEAR(a.long_run_slope() * 8e9, 5e9, 1e3);
-  EXPECT_THROW(tenant_cut_curve(1, 0, kGbps, 1, kGbps, kGbps),
+  EXPECT_THROW(tenant_cut_curve(1, 0, kGbps, Bytes{1}, kGbps, kGbps),
                std::invalid_argument);
-  EXPECT_THROW(tenant_cut_curve(4, 4, kGbps, 1, kGbps, kGbps),
+  EXPECT_THROW(tenant_cut_curve(4, 4, kGbps, Bytes{1}, kGbps, kGbps),
                std::invalid_argument);
 }
 
@@ -201,10 +203,10 @@ TEST(Concatenation, ClosedForm) {
   const auto path = concatenate({{10 * kGbps, 10 * kUsec},
                                  {8 * kGbps, 20 * kUsec},
                                  {16 * kGbps, 5 * kUsec}});
-  EXPECT_NEAR(path.rate, 8 * kGbps, 1);
+  EXPECT_NEAR(path.rate.bps(), (8 * kGbps).bps(), 1);
   EXPECT_EQ(path.latency, 35 * kUsec);
   EXPECT_THROW(concatenate({}), std::invalid_argument);
-  EXPECT_THROW(concatenate({{0, 0}}), std::invalid_argument);
+  EXPECT_THROW(concatenate({{RateBps{0}, TimeNs{0}}}), std::invalid_argument);
 }
 
 TEST(Concatenation, PayBurstsOnlyOnce) {
@@ -213,12 +215,12 @@ TEST(Concatenation, PayBurstsOnlyOnce) {
   // burst propagation between hops (what Silo's placement conservatively
   // does).
   const auto a = Curve::rate_limited_burst(1 * kGbps, 100 * kKB, 10 * kGbps);
-  const std::vector<RateLatency> hops(3, {10 * kGbps, 5 * kUsec});
+  const std::vector<RateLatency> hops(3, RateLatency{10 * kGbps, 5 * kUsec});
 
   const auto e2e = end_to_end_delay_bound(a, concatenate(hops));
   ASSERT_TRUE(e2e.has_value());
 
-  TimeNs per_hop_sum = 0;
+  TimeNs per_hop_sum {};
   Curve at_hop = a;
   for (const auto& hop : hops) {
     const auto q = analyze_queue(at_hop, Curve::constant_rate(hop.rate));
@@ -227,7 +229,7 @@ TEST(Concatenation, PayBurstsOnlyOnce) {
     at_hop = propagate_through_port(at_hop, *q.queue_bound, hop.rate);
   }
   EXPECT_LT(*e2e, per_hop_sum);
-  EXPECT_GT(*e2e, 0);
+  EXPECT_GT(*e2e, TimeNs{0});
 }
 
 TEST(Concatenation, OverloadedPathUnbounded) {

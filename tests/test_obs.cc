@@ -133,7 +133,7 @@ TEST(FlightRecorder, CapacityZeroThrows) {
 TEST(FlightRecorder, RingWrapsAndKeepsNewestWindow) {
   FlightRecorder rec(4);
   rec.enable_all();
-  for (int i = 0; i < 10; ++i) rec.record(make_event(i, 0, 0));
+  for (int i = 0; i < 10; ++i) rec.record(make_event(TimeNs{i}, 0, 0));
 
   EXPECT_EQ(rec.capacity(), 4u);
   EXPECT_EQ(rec.size(), 4u);
@@ -142,19 +142,19 @@ TEST(FlightRecorder, RingWrapsAndKeepsNewestWindow) {
 
   const auto events = rec.in_order();
   ASSERT_EQ(events.size(), 4u);
-  for (int i = 0; i < 4; ++i) EXPECT_EQ(events[static_cast<std::size_t>(i)].at, 6 + i);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(events[static_cast<std::size_t>(i)].at, TimeNs{6 + i});
 }
 
 TEST(FlightRecorder, BeforeWrapSizeTracksRecorded) {
   FlightRecorder rec(8);
   rec.enable_all();
-  for (int i = 0; i < 3; ++i) rec.record(make_event(i, 0, 0));
+  for (int i = 0; i < 3; ++i) rec.record(make_event(TimeNs{i}, 0, 0));
   EXPECT_EQ(rec.size(), 3u);
   EXPECT_EQ(rec.overwritten(), 0u);
   const auto events = rec.in_order();
   ASSERT_EQ(events.size(), 3u);
-  EXPECT_EQ(events.front().at, 0);
-  EXPECT_EQ(events.back().at, 2);
+  EXPECT_EQ(events.front().at, TimeNs{0});
+  EXPECT_EQ(events.back().at, TimeNs{2});
 }
 
 TEST(FlightRecorder, TenantFilterResolvesViaFlowTable) {
@@ -163,25 +163,25 @@ TEST(FlightRecorder, TenantFilterResolvesViaFlowTable) {
   rec.set_flow_tenants(&flow_tenant);
   rec.enable_tenant(7);
 
-  rec.record(make_event(1, 0, 0));  // tenant 7: kept
-  rec.record(make_event(2, 1, 0));  // tenant 8: filtered
-  rec.record(make_event(3, 2, 0));  // tenant 7: kept
-  rec.record(make_event(4, -1, 0)); // unresolvable: filtered
+  rec.record(make_event(TimeNs{1}, 0, 0));  // tenant 7: kept
+  rec.record(make_event(TimeNs{2}, 1, 0));  // tenant 8: filtered
+  rec.record(make_event(TimeNs{3}, 2, 0));  // tenant 7: kept
+  rec.record(make_event(TimeNs{4}, -1, 0)); // unresolvable: filtered
 
   const auto events = rec.in_order();
   ASSERT_EQ(events.size(), 2u);
   EXPECT_EQ(events[0].tenant, 7);
   EXPECT_EQ(events[1].tenant, 7);
-  EXPECT_EQ(events[1].at, 3);
+  EXPECT_EQ(events[1].at, TimeNs{3});
 }
 
 TEST(FlightRecorder, LocationFilterMatchesHostEncoding) {
   FlightRecorder rec(16);
   rec.enable_port(obs::host_location(2));  // server 2's NIC -> -3
 
-  rec.record(make_event(1, -1, obs::host_location(2)));  // kept
-  rec.record(make_event(2, -1, obs::host_location(0)));  // filtered
-  rec.record(make_event(3, -1, 5));                      // fabric: filtered
+  rec.record(make_event(TimeNs{1}, -1, obs::host_location(2)));  // kept
+  rec.record(make_event(TimeNs{2}, -1, obs::host_location(0)));  // filtered
+  rec.record(make_event(TimeNs{3}, -1, 5));                      // fabric: filtered
 
   const auto events = rec.in_order();
   ASSERT_EQ(events.size(), 1u);
@@ -191,7 +191,7 @@ TEST(FlightRecorder, LocationFilterMatchesHostEncoding) {
 TEST(FlightRecorder, DumpsAreWellFormed) {
   FlightRecorder rec(4);
   rec.enable_all();
-  for (int i = 0; i < 6; ++i) rec.record(make_event(i, 0, i % 2));
+  for (int i = 0; i < 6; ++i) rec.record(make_event(TimeNs{i}, 0, i % 2));
 
   std::ostringstream jsonl;
   rec.dump_jsonl(jsonl);
@@ -286,7 +286,7 @@ TEST(Breakdown, ComponentsSumExactlyToLatency) {
 
     const auto& agg = drv.breakdown();
     EXPECT_GT(agg.messages, 0) << sim::scheme_name(scheme);
-    EXPECT_LE(agg.max_sum_error_ns, 1) << sim::scheme_name(scheme);
+    EXPECT_LE(agg.max_sum_error_ns, TimeNs{1}) << sim::scheme_name(scheme);
     // Every component series sees one sample per delivered message.
     EXPECT_EQ(static_cast<std::int64_t>(agg.queueing_us.count()),
               agg.messages);

@@ -11,30 +11,30 @@ namespace {
 
 TEST(TokenBucket, StartsFull) {
   TokenBucket tb(1 * kGbps, 10 * kKB);
-  EXPECT_EQ(tb.earliest_conformance(0, 10 * kKB), 0);
+  EXPECT_EQ(tb.earliest_conformance(TimeNs{0}, 10 * kKB), TimeNs{0});
 }
 
 TEST(TokenBucket, RefillsAtRate) {
-  TokenBucket tb(8 * kGbps, 1000);  // 1 byte per ns
-  tb.consume(0, 1000);
+  TokenBucket tb(8 * kGbps, Bytes{1000});  // 1 byte per ns
+  tb.consume(TimeNs{0}, Bytes{1000});
   // 500 more bytes need 500 ns.
-  EXPECT_EQ(tb.earliest_conformance(0, 500), 501);
-  EXPECT_EQ(tb.earliest_conformance(1000, 500), 1000);
+  EXPECT_EQ(tb.earliest_conformance(TimeNs{0}, Bytes{500}), TimeNs{501});
+  EXPECT_EQ(tb.earliest_conformance(TimeNs{1000}, Bytes{500}), TimeNs{1000});
 }
 
 TEST(TokenBucket, CapacityCaps) {
-  TokenBucket tb(8 * kGbps, 1000);
+  TokenBucket tb(8 * kGbps, Bytes{1000});
   // After a long idle period the bucket holds only its capacity.
   EXPECT_DOUBLE_EQ(tb.tokens(1 * kSec), 1000.0);
 }
 
 TEST(TokenBucket, LongRunRateRespected) {
-  TokenBucket tb(1 * kGbps, 3000);
+  TokenBucket tb(1 * kGbps, Bytes{3000});
   Rng rng(5);
-  TimeNs now = 0;
-  Bytes sent = 0;
+  TimeNs now {};
+  Bytes sent {};
   for (int i = 0; i < 20000; ++i) {
-    const Bytes pkt = 100 + rng.uniform_int(0, 1400);
+    const Bytes pkt{100 + rng.uniform_int(0, 1400)};
     now = tb.earliest_conformance(now, pkt);
     tb.consume(now, pkt);
     sent += pkt;
@@ -45,22 +45,23 @@ TEST(TokenBucket, LongRunRateRespected) {
 }
 
 TEST(TokenBucket, SetRateTakesEffect) {
-  TokenBucket tb(1 * kGbps, 1500);
-  tb.consume(0, 1500);
-  tb.set_rate(0, 2 * kGbps);
+  TokenBucket tb(1 * kGbps, Bytes{1500});
+  tb.consume(TimeNs{0}, Bytes{1500});
+  tb.set_rate(TimeNs{0}, 2 * kGbps);
   // 1500 B at 2 Gbps: 6 us.
-  EXPECT_NEAR(static_cast<double>(tb.earliest_conformance(0, 1500)), 6000, 10);
-  EXPECT_THROW(tb.set_rate(0, 0), std::invalid_argument);
-  EXPECT_THROW(TokenBucket(0, 100), std::invalid_argument);
+  EXPECT_NEAR(static_cast<double>(tb.earliest_conformance(TimeNs{0}, Bytes{1500})),
+              6000, 10);
+  EXPECT_THROW(tb.set_rate(TimeNs{0}, RateBps{0}), std::invalid_argument);
+  EXPECT_THROW(TokenBucket(RateBps{0}, Bytes{100}), std::invalid_argument);
 }
 
 TEST(VmPacer, PacesAtGuaranteedRate) {
   // 1 Gbps guarantee, bursting at most one packet: packets space ~12 us.
-  SiloGuarantee g{1 * kGbps, 1500, 0, 1 * kGbps};
+  SiloGuarantee g{1 * kGbps, Bytes{1500}, TimeNs{0}, 1 * kGbps};
   VmPacer pacer(g);
-  TimeNs prev = pacer.stamp(0, 1, 1500);
+  TimeNs prev = pacer.stamp(TimeNs{0}, 1, Bytes{1500});
   for (int i = 0; i < 50; ++i) {
-    const TimeNs t = pacer.stamp(prev, 1, 1500);
+    const TimeNs t = pacer.stamp(prev, 1, Bytes{1500});
     EXPECT_NEAR(static_cast<double>(t - prev), 12000.0, 20.0);
     prev = t;
   }
@@ -69,12 +70,12 @@ TEST(VmPacer, PacesAtGuaranteedRate) {
 TEST(VmPacer, BurstGoesAtBurstRate) {
   // 100 Mbps average but 10 KB burst at 1 Gbps: the first ~6 full packets
   // are spaced at 1 Gbps (12 us), later ones at 100 Mbps (120 us).
-  SiloGuarantee g{100 * kMbps, 10 * kKB, 0, 1 * kGbps};
+  SiloGuarantee g{100 * kMbps, 10 * kKB, TimeNs{0}, 1 * kGbps};
   VmPacer pacer(g);
   std::vector<TimeNs> stamps;
-  TimeNs now = 0;
+  TimeNs now {};
   for (int i = 0; i < 12; ++i) {
-    now = pacer.stamp(now, 1, 1500);
+    now = pacer.stamp(now, 1, Bytes{1500});
     stamps.push_back(now);
   }
   EXPECT_NEAR(static_cast<double>(stamps[1] - stamps[0]), 12000.0, 20.0);
@@ -82,57 +83,60 @@ TEST(VmPacer, BurstGoesAtBurstRate) {
 }
 
 TEST(VmPacer, HoseRateLimitsPerDestination) {
-  SiloGuarantee g{1 * kGbps, 1500, 0, 1 * kGbps};
+  SiloGuarantee g{1 * kGbps, Bytes{1500}, TimeNs{0}, 1 * kGbps};
   VmPacer pacer(g);
-  pacer.set_destination_rate(0, 7, 100 * kMbps);
-  TimeNs t1 = pacer.stamp(0, 7, 1500);
-  TimeNs t2 = pacer.stamp(t1, 7, 1500);
-  EXPECT_GE(t2 - t1, 115000);  // ~120 us at 100 Mbps
+  pacer.set_destination_rate(TimeNs{0}, 7, 100 * kMbps);
+  TimeNs t1 = pacer.stamp(TimeNs{0}, 7, Bytes{1500});
+  TimeNs t2 = pacer.stamp(t1, 7, Bytes{1500});
+  EXPECT_GE(t2 - t1, TimeNs{115000});  // ~120 us at 100 Mbps
 }
 
 TEST(VmPacer, RejectsBadInput) {
-  SiloGuarantee g{1 * kGbps, 1500, 0, 1 * kGbps};
+  SiloGuarantee g{1 * kGbps, Bytes{1500}, TimeNs{0}, 1 * kGbps};
   VmPacer pacer(g);
-  EXPECT_THROW(pacer.stamp(0, 1, 0), std::invalid_argument);
-  EXPECT_THROW(pacer.stamp(0, 1, kMtu + 1), std::invalid_argument);
+  EXPECT_THROW(pacer.stamp(TimeNs{0}, 1, Bytes{0}), std::invalid_argument);
+  EXPECT_THROW(pacer.stamp(TimeNs{0}, 1, kMtu + Bytes{1}), std::invalid_argument);
   SiloGuarantee zero{};
   EXPECT_THROW(VmPacer{zero}, std::invalid_argument);
-  SiloGuarantee inverted{1 * kGbps, 1500, 0, 500 * kMbps};
+  SiloGuarantee inverted{1 * kGbps, Bytes{1500}, TimeNs{0}, 500 * kMbps};
   EXPECT_THROW(VmPacer{inverted}, std::invalid_argument);
 }
 
 TEST(HoseAllocator, SingleFlowGetsFullRate) {
-  const auto r = hose_allocate({{0, 1, 5e9}}, {1e9, 1e9}, {1e9, 1e9});
+  const std::vector<HoseDemand> one{{0, 1, RateBps{5e9}}};
+  const std::vector<RateBps> cap2(2, RateBps{1e9});
+  const auto r = hose_allocate(one, cap2, cap2);
   ASSERT_EQ(r.size(), 1u);
-  EXPECT_NEAR(r[0], 1e9, 1);
+  EXPECT_NEAR(r[0].bps(), 1e9, 1);
 }
 
 TEST(HoseAllocator, AllToOneSharesReceiver) {
   // N senders into one receiver: each gets B/N (the hose semantics of §4.1).
   std::vector<HoseDemand> demands;
-  for (int i = 1; i <= 4; ++i) demands.push_back({i, 0, 1e9});
-  const std::vector<RateBps> caps(5, 1e9);
+  for (int i = 1; i <= 4; ++i) demands.push_back({i, 0, RateBps{1e9}});
+  const std::vector<RateBps> caps(5, RateBps{1e9});
   const auto r = hose_allocate(demands, caps, caps);
-  for (double v : r) EXPECT_NEAR(v, 0.25e9, 1e3);
+  for (RateBps v : r) EXPECT_NEAR(v.bps(), 0.25e9, 1e3);
 }
 
 TEST(HoseAllocator, MaxMinNotEqualSplit) {
   // Two flows from VM0 (cap 1G) to different receivers, plus one flow into
   // receiver 1 from VM3. Max-min: f(0->1) and f(3->1) share receiver 1.
-  std::vector<HoseDemand> demands{{0, 1, 1e9}, {0, 2, 1e9}, {3, 1, 1e9}};
-  const std::vector<RateBps> caps(4, 1e9);
+  std::vector<HoseDemand> demands{
+      {0, 1, RateBps{1e9}}, {0, 2, RateBps{1e9}}, {3, 1, RateBps{1e9}}};
+  const std::vector<RateBps> caps(4, RateBps{1e9});
   const auto r = hose_allocate(demands, caps, caps);
-  EXPECT_NEAR(r[0], 0.5e9, 1e6);  // receiver-1 bottleneck
-  EXPECT_NEAR(r[1], 0.5e9, 1e6);  // sender-0 leftover
-  EXPECT_NEAR(r[2], 0.5e9, 1e6);
+  EXPECT_NEAR(r[0].bps(), 0.5e9, 1e6);  // receiver-1 bottleneck
+  EXPECT_NEAR(r[1].bps(), 0.5e9, 1e6);  // sender-0 leftover
+  EXPECT_NEAR(r[2].bps(), 0.5e9, 1e6);
 }
 
 TEST(HoseAllocator, RespectsDemandCeilings) {
-  std::vector<HoseDemand> demands{{0, 1, 0.2e9}, {0, 2, 5e9}};
-  const std::vector<RateBps> caps(3, 1e9);
+  std::vector<HoseDemand> demands{{0, 1, RateBps{0.2e9}}, {0, 2, RateBps{5e9}}};
+  const std::vector<RateBps> caps(3, RateBps{1e9});
   const auto r = hose_allocate(demands, caps, caps);
-  EXPECT_NEAR(r[0], 0.2e9, 1e3);
-  EXPECT_NEAR(r[1], 0.8e9, 1e6);
+  EXPECT_NEAR(r[0].bps(), 0.2e9, 1e3);
+  EXPECT_NEAR(r[1].bps(), 0.8e9, 1e6);
 }
 
 TEST(HoseAllocator, CapsNeverExceeded) {
@@ -142,19 +146,19 @@ TEST(HoseAllocator, CapsNeverExceeded) {
   for (int i = 0; i < 60; ++i)
     demands.push_back({static_cast<int>(rng.uniform_int(0, n - 1)),
                        static_cast<int>(rng.uniform_int(0, n - 1)),
-                       rng.uniform(0.1e9, 3e9)});
+                       RateBps{rng.uniform(0.1e9, 3e9)}});
   std::vector<RateBps> caps;
-  for (int i = 0; i < n; ++i) caps.push_back(rng.uniform(0.2e9, 2e9));
+  for (int i = 0; i < n; ++i) caps.push_back(RateBps{rng.uniform(0.2e9, 2e9)});
   const auto r = hose_allocate(demands, caps, caps);
   std::vector<double> out(n, 0), in(n, 0);
   for (std::size_t i = 0; i < demands.size(); ++i) {
-    EXPECT_LE(r[i], demands[i].demand + 1e3);
-    out[demands[i].src] += r[i];
-    in[demands[i].dst] += r[i];
+    EXPECT_LE(r[i].bps(), demands[i].demand.bps() + 1e3);
+    out[demands[i].src] += r[i].bps();
+    in[demands[i].dst] += r[i].bps();
   }
   for (int v = 0; v < n; ++v) {
-    EXPECT_LE(out[v], caps[v] * 1.001) << v;
-    EXPECT_LE(in[v], caps[v] * 1.001) << v;
+    EXPECT_LE(out[v], caps[v].bps() * 1.001) << v;
+    EXPECT_LE(in[v], caps[v].bps() * 1.001) << v;
   }
 }
 
@@ -162,10 +166,11 @@ TEST(PacedNic, VoidFillPreservesSpacing) {
   // 2 Gbps pacing on a 10 Gbps link (paper Fig. 9): data packets must be
   // spaced ~6 us on the wire; voids fill the gaps.
   PacedNic nic(10 * kGbps, NicMode::kPacedVoid);
-  const TimeNs gap = transmission_time(1500, 2 * kGbps);  // 6 us
+  const TimeNs gap = transmission_time(Bytes{1500}, 2 * kGbps);  // 6 us
   for (int i = 0; i < 8; ++i)  // 8 releases fit inside one 50 us batch
-    nic.enqueue(i * gap, 1500 - kEthOverhead, static_cast<std::uint64_t>(i + 1));
-  const auto slots = nic.build_batch(0);
+    nic.enqueue(i * gap, Bytes{1500} - kEthOverhead,
+                static_cast<std::uint64_t>(i + 1));
+  const auto slots = nic.build_batch(TimeNs{0});
   std::vector<TimeNs> data_starts;
   for (const auto& s : slots)
     if (!s.is_void) data_starts.push_back(s.start);
@@ -173,8 +178,8 @@ TEST(PacedNic, VoidFillPreservesSpacing) {
   for (std::size_t i = 1; i < data_starts.size(); ++i) {
     const auto spacing = data_starts[i] - data_starts[i - 1];
     // Never early; late by at most one minimum void frame (~68 ns).
-    EXPECT_GE(spacing, gap - 1);
-    EXPECT_LE(spacing, gap + 80);
+    EXPECT_GE(spacing, gap - TimeNs{1});
+    EXPECT_LE(spacing, gap + TimeNs{80});
   }
   EXPECT_GT(nic.stats().void_packets, 0);
 }
@@ -182,59 +187,59 @@ TEST(PacedNic, VoidFillPreservesSpacing) {
 TEST(PacedNic, BatchedModeBunchesPackets) {
   PacedNic nic(10 * kGbps, NicMode::kBatched);
   const TimeNs gap = 5 * kUsec;  // all 10 releases inside one 50 us batch
-  for (int i = 0; i < 10; ++i) nic.enqueue(i * gap, 1462, i + 1);
-  const auto slots = nic.build_batch(0);
+  for (int i = 0; i < 10; ++i) nic.enqueue(i * gap, Bytes{1462}, i + 1);
+  const auto slots = nic.build_batch(TimeNs{0});
   ASSERT_EQ(slots.size(), 10u);
   // Back to back at line rate: spacing is the serialization time, not gap.
   const auto spacing = slots[1].start - slots[0].start;
-  EXPECT_LT(spacing, 2000);
+  EXPECT_LT(spacing, TimeNs{2000});
   EXPECT_EQ(nic.stats().void_packets, 0);
 }
 
 TEST(PacedNic, MinimumSpacingIs68ns) {
   // §5: the smallest void frame is 84 B -> 67.2 ns at 10 Gbps.
   PacedNic nic(10 * kGbps, NicMode::kPacedVoid);
-  nic.enqueue(0, 1462, 1);
-  nic.enqueue(1250, 1462, 2);  // data takes 1200+30.4ns; ask for +~20ns gap
-  const auto slots = nic.build_batch(0);
+  nic.enqueue(TimeNs{0}, Bytes{1462}, 1);
+  nic.enqueue(TimeNs{1250}, Bytes{1462}, 2);  // data takes 1200+30.4ns; +~20ns gap
+  const auto slots = nic.build_batch(TimeNs{0});
   std::vector<const WireSlot*> data;
   for (const auto& s : slots)
     if (!s.is_void) data.push_back(&s);
   ASSERT_EQ(data.size(), 2u);
   // The sub-minimum gap was rounded up to one 84-byte void: never early.
-  EXPECT_GE(data[1]->start, 1250);
-  EXPECT_LE(data[1]->start, 1250 + 70);
+  EXPECT_GE(data[1]->start, TimeNs{1250});
+  EXPECT_LE(data[1]->start, TimeNs{1250 + 70});
 }
 
 TEST(PacedNic, WindowLimitsBatch) {
   PacedNic nic(10 * kGbps, NicMode::kPacedVoid, 50 * kUsec);
   // Two packets: one now, one beyond the window.
-  nic.enqueue(0, 1462, 1);
-  nic.enqueue(200 * kUsec, 1462, 2);
-  const auto slots = nic.build_batch(0);
+  nic.enqueue(TimeNs{0}, Bytes{1462}, 1);
+  nic.enqueue(200 * kUsec, Bytes{1462}, 2);
+  const auto slots = nic.build_batch(TimeNs{0});
   int data = 0;
   for (const auto& s : slots) data += s.is_void ? 0 : 1;
   EXPECT_EQ(data, 1);
   EXPECT_EQ(nic.backlog(), 1u);
-  EXPECT_EQ(nic.next_start(0), 200 * kUsec);
+  EXPECT_EQ(nic.next_start(TimeNs{0}), 200 * kUsec);
 }
 
 TEST(PacedNic, PerPacketModeOnePerBatch) {
   PacedNic nic(10 * kGbps, NicMode::kPerPacket);
-  nic.enqueue(0, 1462, 1);
-  nic.enqueue(100, 1462, 2);
-  EXPECT_EQ(nic.build_batch(0).size(), 1u);
+  nic.enqueue(TimeNs{0}, Bytes{1462}, 1);
+  nic.enqueue(TimeNs{100}, Bytes{1462}, 2);
+  EXPECT_EQ(nic.build_batch(TimeNs{0}).size(), 1u);
   EXPECT_EQ(nic.backlog(), 1u);
 }
 
 TEST(PacedNic, StatsAccounting) {
   PacedNic nic(10 * kGbps, NicMode::kPacedVoid);
-  const TimeNs gap = transmission_time(1500, 1 * kGbps);
-  for (int i = 0; i < 4; ++i) nic.enqueue(i * gap, 1462, i + 1);
-  (void)nic.build_batch(0);
+  const TimeNs gap = transmission_time(Bytes{1500}, 1 * kGbps);
+  for (int i = 0; i < 4; ++i) nic.enqueue(i * gap, Bytes{1462}, i + 1);
+  (void)nic.build_batch(TimeNs{0});
   const auto& st = nic.stats();
   EXPECT_EQ(st.data_packets, 4);
-  EXPECT_GT(st.void_wire_bytes, 0);
+  EXPECT_GT(st.void_wire_bytes, Bytes{0});
   EXPECT_EQ(st.batches, 1);
   // Wire occupancy: data + voids roughly fill the paced span at line rate.
   const double span_bytes = static_cast<double>(bytes_in(10 * kGbps, 3 * gap));
@@ -243,14 +248,15 @@ TEST(PacedNic, StatsAccounting) {
 }
 
 TEST(TenantPacerGroup, RebalanceEnforcesHose) {
-  SiloGuarantee g{1 * kGbps, 1500, 0, 1 * kGbps};
+  SiloGuarantee g{1 * kGbps, Bytes{1500}, TimeNs{0}, 1 * kGbps};
   TenantPacerGroup group(g, 4);
   // Three senders toward VM 0: after rebalance each is ~B/3.
-  std::vector<HoseDemand> demands{{1, 0, 1e9}, {2, 0, 1e9}, {3, 0, 1e9}};
-  group.rebalance(0, demands);
+  std::vector<HoseDemand> demands{
+      {1, 0, RateBps{1e9}}, {2, 0, RateBps{1e9}}, {3, 0, RateBps{1e9}}};
+  group.rebalance(TimeNs{0}, demands);
   for (int v = 1; v <= 3; ++v) {
-    TimeNs t1 = group.vm(v).stamp(0, 0, 1500);
-    TimeNs t2 = group.vm(v).stamp(t1, 0, 1500);
+    TimeNs t1 = group.vm(v).stamp(TimeNs{0}, 0, Bytes{1500});
+    TimeNs t2 = group.vm(v).stamp(t1, 0, Bytes{1500});
     // 1500 B at ~333 Mbps: ~36 us.
     EXPECT_NEAR(static_cast<double>(t2 - t1), 36000.0, 1000.0);
   }

@@ -32,7 +32,7 @@ TenantRequest class_a(int vms, RateBps bw = 500 * kMbps) {
 TenantRequest class_b(int vms, RateBps bw = 1 * kGbps) {
   TenantRequest r;
   r.num_vms = vms;
-  r.guarantee = {bw, Bytes{1500}, 0, bw};
+  r.guarantee = {bw, Bytes{1500}, TimeNs{0}, bw};
   r.tenant_class = TenantClass::kBandwidthOnly;
   return r;
 }
@@ -80,11 +80,11 @@ TEST(Placement, DelayGuaranteeRestrictsScope) {
   ASSERT_LT(rack_cap, pod_cap);
 
   TenantRequest tight = class_a(17);  // rack holds 16
-  tight.guarantee.delay = rack_cap + 1000;
+  tight.guarantee.delay = rack_cap + TimeNs{1000};
   EXPECT_FALSE(eng.place(tight).has_value());
 
   TenantRequest fits = class_a(16);
-  fits.guarantee.delay = rack_cap + 1000;
+  fits.guarantee.delay = rack_cap + TimeNs{1000};
   fits.guarantee.bandwidth = 100 * kMbps;
   const auto got = eng.place(fits);
   ASSERT_TRUE(got.has_value());
@@ -146,7 +146,7 @@ TEST(Placement, SiloQueueBoundsWithinCapacity) {
   for (int p = 0; p < topo.num_ports(); ++p) {
     const auto id = topology::PortId{p};
     const TimeNs bound = eng.port_queue_bound(id);
-    ASSERT_GE(bound, 0) << "unbounded queue at port " << p;
+    ASSERT_GE(bound, TimeNs{0}) << "unbounded queue at port " << p;
     EXPECT_LE(bound, topo.port(id).queue_capacity) << "port " << p;
   }
 }
@@ -170,7 +170,7 @@ TEST(Placement, BestEffortTenantsReserveNothing) {
   PlacementEngine eng(topo, Policy::kSilo);
   TenantRequest be;
   be.num_vms = 8;
-  be.guarantee = {1 * kGbps, 1500, 0, 1 * kGbps};
+  be.guarantee = {1 * kGbps, Bytes{1500}, TimeNs{0}, 1 * kGbps};
   be.tenant_class = TenantClass::kBestEffort;
   ASSERT_TRUE(eng.place(be).has_value());
   for (int p = 0; p < topo.num_ports(); ++p)
@@ -279,7 +279,7 @@ TEST_P(PlacementInvariant, QueueBoundsHold) {
   for (int p = 0; p < topo.num_ports(); ++p) {
     const auto id = topology::PortId{p};
     const TimeNs bound = eng.port_queue_bound(id);
-    ASSERT_GE(bound, 0);
+    ASSERT_GE(bound, TimeNs{0});
     EXPECT_LE(bound, topo.port(id).queue_capacity);
   }
 }

@@ -18,23 +18,23 @@ namespace {
 // destination's wait and serialize all destinations behind it.
 TEST(Regression, TokenBucketConformanceIsPure) {
   pacer::TokenBucket tb(1 * kGbps, 15 * kKB);
-  tb.consume(0, 15 * kKB);  // empty at t=0
-  const TimeNs far = tb.earliest_conformance(0, 15 * kKB);
+  tb.consume(TimeNs{0}, 15 * kKB);  // empty at t=0
+  const TimeNs far = tb.earliest_conformance(TimeNs{0}, 15 * kKB);
   EXPECT_GT(far, 100 * kUsec);
   // Querying for the far future must not change what a query "now" sees.
-  const TimeNs near1 = tb.earliest_conformance(0, 1500);
+  const TimeNs near1 = tb.earliest_conformance(TimeNs{0}, Bytes{1500});
   (void)tb.earliest_conformance(1 * kSec, 15 * kKB);
-  const TimeNs near2 = tb.earliest_conformance(0, 1500);
+  const TimeNs near2 = tb.earliest_conformance(TimeNs{0}, Bytes{1500});
   EXPECT_EQ(near1, near2);
-  EXPECT_DOUBLE_EQ(tb.tokens(0), tb.tokens(0));
+  EXPECT_DOUBLE_EQ(tb.tokens(TimeNs{0}), tb.tokens(TimeNs{0}));
 }
 
 TEST(Regression, VmPacerPeekDoesNotConsume) {
-  pacer::VmPacer pacer({1 * kGbps, 15 * kKB, 0, 1 * kGbps});
-  const TimeNs p1 = pacer.peek(0, 1, 1500);
-  const TimeNs p2 = pacer.peek(0, 1, 1500);
+  pacer::VmPacer pacer({1 * kGbps, 15 * kKB, TimeNs{0}, 1 * kGbps});
+  const TimeNs p1 = pacer.peek(TimeNs{0}, 1, Bytes{1500});
+  const TimeNs p2 = pacer.peek(TimeNs{0}, 1, Bytes{1500});
   EXPECT_EQ(p1, p2);
-  EXPECT_EQ(pacer.stamp(0, 1, 1500), p1);
+  EXPECT_EQ(pacer.stamp(TimeNs{0}, 1, Bytes{1500}), p1);
 }
 
 // One slow destination must not starve the others: the host's release
@@ -52,16 +52,16 @@ TEST(Regression, HostSchedulerIsFairAcrossDestinations) {
   std::int64_t recv[5] = {0, 0, 0, 0, 0};
   fabric.set_host_deliver([&](sim::PacketHandle h) {
     const sim::Packet& p = ev.pool().get(h);
-    recv[p.dst_vm] += p.payload;
+    recv[p.dst_vm] += p.payload.count();
     ev.pool().free(h);
   });
   sim::Host::Config hc;
   hc.nic_mode = pacer::NicMode::kPacedVoid;
   sim::Host host(ev, fabric, 0, hc);
-  pacer::VmPacer pacer({2 * kGbps, 1500, 0, 2 * kGbps});
+  pacer::VmPacer pacer({2 * kGbps, Bytes{1500}, TimeNs{0}, 2 * kGbps});
   host.attach_pacer(0, &pacer);
   for (int d = 1; d <= 3; ++d)
-    pacer.set_destination_rate(0, d, 2e9 / 3);
+    pacer.set_destination_rate(TimeNs{0}, d, RateBps{2e9 / 3});
 
   // Continuous backlog toward three destinations.
   std::function<void()> refill = [&] {
@@ -73,14 +73,14 @@ TEST(Regression, HostSchedulerIsFairAcrossDestinations) {
         p.dst_vm = d;
         p.src_server = 0;
         p.dst_server = d;
-        p.payload = 1460;
-        p.wire_bytes = 1500;
+        p.payload = Bytes{1460};
+        p.wire_bytes = Bytes{1500};
         host.send(ev.pool().clone(p));
       }
     }
     if (ev.now() < 50 * kMsec) ev.after(100 * kUsec, refill);
   };
-  ev.after(0, refill);
+  ev.after(TimeNs{0}, refill);
   ev.run_until(50 * kMsec);
 
   const double total = static_cast<double>(recv[1] + recv[2] + recv[3]);
@@ -106,12 +106,12 @@ TEST(Regression, SecondTenantHoseCoordinationUsesGlobalIds) {
 
   TenantRequest first;  // occupies vm id 0 so tenant 2 has a base > 0
   first.num_vms = 1;
-  first.guarantee = {100 * kMbps, 1500, 0, 100 * kMbps};
+  first.guarantee = {100 * kMbps, Bytes{1500}, TimeNs{0}, 100 * kMbps};
   ASSERT_TRUE(cluster.add_tenant(first).has_value());
 
   TenantRequest second;
   second.num_vms = 4;
-  second.guarantee = {400 * kMbps, 1500, 0, 400 * kMbps};
+  second.guarantee = {400 * kMbps, Bytes{1500}, TimeNs{0}, 400 * kMbps};
   const auto t = cluster.add_tenant(second);
   ASSERT_TRUE(t.has_value());
 
@@ -145,7 +145,7 @@ TEST_P(QueueBoundParity, ClosedFormMatchesCurveAnalysis) {
   const auto slow = netcalc::analyze_queue(
       load.arrival_curve(), netcalc::Curve::constant_rate(service));
   ASSERT_TRUE(slow.queue_bound.has_value());
-  ASSERT_GE(fast, 0);
+  ASSERT_GE(fast, TimeNs{0});
   EXPECT_NEAR(static_cast<double>(fast),
               static_cast<double>(*slow.queue_bound),
               2.0 + 0.001 * static_cast<double>(*slow.queue_bound));
@@ -160,7 +160,7 @@ TEST(Regression, QueueBoundOverloadReturnsNegative) {
   c.rate_bps = 11e9;
   c.burst_rate_bps = 11e9;
   load.add(c);
-  EXPECT_EQ(load.queue_bound(10 * kGbps), -1);
+  EXPECT_EQ(load.queue_bound(10 * kGbps), TimeNs{-1});
 }
 
 TEST(Regression, ShiftedLeftSemantics) {
@@ -173,7 +173,7 @@ TEST(Regression, ShiftedLeftSemantics) {
     EXPECT_NEAR(s.value(t), a.value(t + delta), 1.0) << t;
   }
   // Shift by zero (or on the zero curve) is the identity.
-  EXPECT_NEAR(a.shifted_left(0).value(kUsec), a.value(kUsec), 1e-9);
+  EXPECT_NEAR(a.shifted_left(TimeNs{0}).value(kUsec), a.value(kUsec), 1e-9);
   EXPECT_TRUE(netcalc::Curve{}.shifted_left(delta).is_zero());
 }
 

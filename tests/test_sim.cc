@@ -13,19 +13,19 @@ namespace {
 TEST(EventQueue, RunsInTimeOrder) {
   EventQueue ev;
   std::vector<int> order;
-  ev.at(30, [&] { order.push_back(3); });
-  ev.at(10, [&] { order.push_back(1); });
-  ev.at(20, [&] { order.push_back(2); });
+  ev.at(TimeNs{30}, [&] { order.push_back(3); });
+  ev.at(TimeNs{10}, [&] { order.push_back(1); });
+  ev.at(TimeNs{20}, [&] { order.push_back(2); });
   ev.run_all();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-  EXPECT_EQ(ev.now(), 30);
+  EXPECT_EQ(ev.now(), TimeNs{30});
   EXPECT_EQ(ev.processed(), 3u);
 }
 
 TEST(EventQueue, TiesBreakByInsertion) {
   EventQueue ev;
   std::vector<int> order;
-  for (int i = 0; i < 5; ++i) ev.at(7, [&, i] { order.push_back(i); });
+  for (int i = 0; i < 5; ++i) ev.at(TimeNs{7}, [&, i] { order.push_back(i); });
   ev.run_all();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
@@ -34,33 +34,33 @@ TEST(EventQueue, ReentrantScheduling) {
   EventQueue ev;
   int count = 0;
   std::function<void()> tick = [&] {
-    if (++count < 10) ev.after(5, tick);
+    if (++count < 10) ev.after(TimeNs{5}, tick);
   };
-  ev.after(0, tick);
+  ev.after(TimeNs{0}, tick);
   ev.run_all();
   EXPECT_EQ(count, 10);
-  EXPECT_EQ(ev.now(), 45);
+  EXPECT_EQ(ev.now(), TimeNs{45});
 }
 
 TEST(EventQueue, RunUntilStopsAtDeadline) {
   EventQueue ev;
   int fired = 0;
-  ev.at(10, [&] { ++fired; });
-  ev.at(100, [&] { ++fired; });
-  ev.run_until(50);
+  ev.at(TimeNs{10}, [&] { ++fired; });
+  ev.at(TimeNs{100}, [&] { ++fired; });
+  ev.run_until(TimeNs{50});
   EXPECT_EQ(fired, 1);
-  EXPECT_EQ(ev.now(), 50);
+  EXPECT_EQ(ev.now(), TimeNs{50});
   EXPECT_EQ(ev.pending(), 1u);
 }
 
 TEST(EventQueue, PastEventsClampToNow) {
   EventQueue ev;
-  ev.at(100, [] {});
+  ev.at(TimeNs{100}, [] {});
   ev.run_all();
-  TimeNs seen = -1;
-  ev.at(5, [&] { seen = ev.now(); });  // in the past: clamps to now
+  TimeNs seen {-1};
+  ev.at(TimeNs{5}, [&] { seen = ev.now(); });  // in the past: clamps to now
   ev.run_all();
-  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(seen, TimeNs{100});
 }
 
 // --- Timing-wheel specifics: ordering across slot, group and overflow
@@ -71,7 +71,7 @@ TEST(EventQueue, OrdersAcrossAllWheelLevels) {
   // One event per magnitude: same tick, level-0 slot, level-1 slot, and
   // overflow heap (~65 us and ~16.8 ms are the level spans).
   const std::vector<TimeNs> times = {3 * kSec,  20 * kMsec, 70 * kUsec,
-                                     1 * kUsec, 100,        1};
+                                     1 * kUsec, TimeNs{100}, TimeNs{1}};
   std::vector<TimeNs> fired;
   for (TimeNs t : times) ev.at(t, [&, t] { fired.push_back(t); });
   ev.run_all();
@@ -97,12 +97,12 @@ TEST(EventQueue, ReentrantSchedulingAcrossGroupBoundaries) {
   // forcing group advancement and cascades while dispatching.
   int count = 0;
   std::function<void()> hop = [&] {
-    if (++count < 100) ev.after(63 * kUsec + 7, hop);
+    if (++count < 100) ev.after(63 * kUsec + TimeNs{7}, hop);
   };
-  ev.after(0, hop);
+  ev.after(TimeNs{0}, hop);
   ev.run_all();
   EXPECT_EQ(count, 100);
-  EXPECT_EQ(ev.now(), 99 * (63 * kUsec + 7));
+  EXPECT_EQ(ev.now(), 99 * (63 * kUsec + TimeNs{7}));
 }
 
 TEST(EventQueue, InterleavedNearAndFarEvents) {
@@ -117,7 +117,7 @@ TEST(EventQueue, InterleavedNearAndFarEvents) {
     fired.push_back({ev.now(), n});
     if (++n < 5000) ev.after(17 * kUsec, tick);
   };
-  ev.at(0, tick);
+  ev.at(TimeNs{0}, tick);
   ev.run_all();
   ASSERT_EQ(fired.size(), 5004u);
   for (std::size_t i = 1; i < fired.size(); ++i)
@@ -129,11 +129,11 @@ PortConfig port_10g() {
   PortConfig cfg;
   cfg.rate = 10 * kGbps;
   cfg.buffer = 312 * kKB;
-  cfg.link_delay = 500;
+  cfg.link_delay = TimeNs{500};
   return cfg;
 }
 
-Packet data_packet(std::uint64_t id, Bytes payload = 1460) {
+Packet data_packet(std::uint64_t id, Bytes payload = Bytes{1460}) {
   Packet p;
   p.id = id;
   p.flow_id = 0;
@@ -163,7 +163,7 @@ TEST(SwitchPort, DropsWhenBufferFull) {
   EventQueue ev;
   int delivered = 0;
   auto cfg = port_10g();
-  cfg.buffer = 5 * 1500;  // room for ~5 packets
+  cfg.buffer = Bytes{5 * 1500};  // room for ~5 packets
   SwitchPortSim port(ev, cfg, [&](PacketHandle h) {
     ++delivered;
     ev.pool().free(h);
@@ -178,7 +178,7 @@ TEST(SwitchPort, EcnMarksAboveThreshold) {
   EventQueue ev;
   int marked = 0;
   auto cfg = port_10g();
-  cfg.ecn_threshold = 3000;
+  cfg.ecn_threshold = Bytes{3000};
   SwitchPortSim port(ev, cfg, [&](PacketHandle h) {
     marked += ev.pool().get(h).ecn_marked;
     ev.pool().free(h);
@@ -194,7 +194,7 @@ TEST(SwitchPort, PhantomQueueMarksEarly) {
   int marked = 0;
   auto cfg = port_10g();
   cfg.phantom_queue = true;
-  cfg.phantom_threshold = 3000;
+  cfg.phantom_threshold = Bytes{3000};
   cfg.phantom_drain = 0.95;
   SwitchPortSim port(ev, cfg, [&](PacketHandle h) {
     marked += ev.pool().get(h).ecn_marked;
@@ -203,7 +203,7 @@ TEST(SwitchPort, PhantomQueueMarksEarly) {
   // Line-rate arrivals: the phantom queue (draining at 95%) builds up and
   // marks even though the real queue would be shallow.
   for (int i = 0; i < 50; ++i)
-    ev.at(i * 1231, [&, i] { port.enqueue(ev.pool().clone(data_packet(i))); });
+    ev.at(TimeNs{i * 1231}, [&, i] { port.enqueue(ev.pool().clone(data_packet(i))); });
   ev.run_all();
   EXPECT_GT(marked, 5);
 }
@@ -259,7 +259,7 @@ TEST(SwitchPort, PfabricEvictsLargestOnOverflow) {
   EventQueue ev;
   auto cfg = port_10g();
   cfg.pfabric = true;
-  cfg.buffer = 4 * 1500;  // room for ~4 packets
+  cfg.buffer = Bytes{4 * 1500};  // room for ~4 packets
   std::vector<std::int64_t> delivered;
   SwitchPortSim port(ev, cfg, [&](PacketHandle h) {
     delivered.push_back(ev.pool().get(h).remaining);
@@ -311,8 +311,8 @@ TEST(TcpFlow, DeliversAllBytesInOrder) {
   loop.flow->set_on_delivery([&](std::int64_t d) { delivered = d; });
   loop.flow->app_write(1 * kMB);
   loop.ev.run_all();
-  EXPECT_EQ(delivered, 1 * kMB);
-  EXPECT_EQ(loop.flow->bytes_acked(), 1 * kMB);
+  EXPECT_EQ(delivered, (1 * kMB).count());
+  EXPECT_EQ(loop.flow->bytes_acked(), (1 * kMB).count());
   EXPECT_TRUE(loop.flow->rto_events().empty());
 }
 
@@ -332,13 +332,13 @@ TEST(TcpFlow, ApproachesLineRate) {
 
 TEST(TcpFlow, RecoversFromLossViaFastRetransmit) {
   auto pcfg = port_10g();
-  pcfg.buffer = 8 * 1500;  // shallow: slow-start overshoot drops packets
+  pcfg.buffer = Bytes{8 * 1500};  // shallow: slow-start overshoot drops packets
   Loop loop({}, pcfg);
   std::int64_t delivered = 0;
   loop.flow->set_on_delivery([&](std::int64_t d) { delivered = d; });
   loop.flow->app_write(5 * kMB);
   loop.ev.run_all();
-  EXPECT_EQ(delivered, 5 * kMB);
+  EXPECT_EQ(delivered, (5 * kMB).count());
   EXPECT_GT(loop.fwd.stats().drops, 0);  // loss actually happened
 }
 
@@ -373,7 +373,7 @@ TEST(TcpFlow, RtoFiresWhenAllAcksLost) {
   auto flow = std::make_unique<TcpFlow>(
       ev, 0, 0, 1, 0, 1, cfg, [&](PacketHandle h) { fwd.enqueue(h); },
       [&](PacketHandle h) { ev.pool().free(h); /* ACK black hole */ });
-  flow->app_write(10000);
+  flow->app_write(Bytes{10000});
   ev.run_until(100 * kMsec);
   EXPECT_GT(flow->rto_events().size(), 1u);  // retried with backoff
   EXPECT_GT(got_data, 0);
@@ -404,7 +404,7 @@ TEST(Fabric, RoutesAcrossRacksAndDropsVoids) {
   ASSERT_EQ(received.size(), 1u);  // the void died at the first hop
   EXPECT_EQ(received[0].dst_server, 7);
   // Cross-pod: 5 switch hops each adding serialization + link delay.
-  EXPECT_GT(ev.now(), 5 * 500);
+  EXPECT_GT(ev.now(), TimeNs{5 * 500});
 }
 
 TEST(Host, PacedHostSpacesPacketsOnWire) {
@@ -424,7 +424,7 @@ TEST(Host, PacedHostSpacesPacketsOnWire) {
   Host::Config hcfg;
   hcfg.nic_mode = pacer::NicMode::kPacedVoid;
   Host host(ev, fabric, 0, hcfg);
-  SiloGuarantee g{1 * kGbps, 1500, 0, 1 * kGbps};
+  SiloGuarantee g{1 * kGbps, Bytes{1500}, TimeNs{0}, 1 * kGbps};
   pacer::VmPacer pacer(g);
   host.attach_pacer(0, &pacer);
 

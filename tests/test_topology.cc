@@ -30,11 +30,11 @@ TEST(Topology, Dimensions) {
 TEST(Topology, Oversubscription) {
   Topology t(small());
   // Rack uplink: 4 servers * 10G / 5 = 8 Gbps.
-  EXPECT_NEAR(t.rack_uplink_rate(), 8 * kGbps, 1);
+  EXPECT_NEAR(t.rack_uplink_rate().bps(), (8 * kGbps).bps(), 1);
   // Pod uplink: 3 racks * 8G / 5 = 4.8 Gbps.
-  EXPECT_NEAR(t.pod_uplink_rate(), 4.8 * kGbps, 1e3);
-  EXPECT_NEAR(t.port(t.rack_up(0)).rate, 8 * kGbps, 1);
-  EXPECT_NEAR(t.port(t.pod_down(1)).rate, 4.8 * kGbps, 1e3);
+  EXPECT_NEAR(t.pod_uplink_rate().bps(), (4.8 * kGbps).bps(), 1e3);
+  EXPECT_NEAR(t.port(t.rack_up(0)).rate.bps(), (8 * kGbps).bps(), 1);
+  EXPECT_NEAR(t.port(t.pod_down(1)).rate.bps(), (4.8 * kGbps).bps(), 1e3);
 }
 
 TEST(Topology, IndexMaps) {
@@ -68,7 +68,7 @@ TEST(Topology, QueueCapacityOverride) {
 TEST(Topology, IntraServerPathIsEmpty) {
   Topology t(small());
   EXPECT_TRUE(t.path(3, 3).empty());
-  EXPECT_EQ(t.path_queue_capacity(3, 3), 0);
+  EXPECT_EQ(t.path_queue_capacity(3, 3), TimeNs{0});
 }
 
 TEST(Topology, IntraRackPath) {

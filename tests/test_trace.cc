@@ -33,7 +33,7 @@ TEST(Trace, IdleFabricShowsEmptyQueues) {
   FabricTracer tracer(sim, 50 * kUsec);
   tracer.start(1 * kMsec);
   sim.run_until(2 * kMsec);
-  EXPECT_EQ(tracer.max_queued_anywhere(), 0);
+  EXPECT_EQ(tracer.max_queued_anywhere(), Bytes{0});
 }
 
 TEST(Trace, BulkTrafficBuildsQueuesUnderTcpNotSilo) {
@@ -42,7 +42,7 @@ TEST(Trace, BulkTrafficBuildsQueuesUnderTcpNotSilo) {
     TenantRequest req;
     req.num_vms = 8;
     req.tenant_class = TenantClass::kBandwidthOnly;
-    req.guarantee = {1 * kGbps, Bytes{1500}, 0, 1 * kGbps};
+    req.guarantee = {1 * kGbps, Bytes{1500}, TimeNs{0}, 1 * kGbps};
     auto t = sim.add_tenant(req);
     EXPECT_TRUE(t.has_value());
     workload::BulkDriver bulk(sim, *t, workload::all_to_all(8),
@@ -65,7 +65,7 @@ TEST(Trace, HottestPortsSortedDescending) {
   ClusterSim sim(tiny(Scheme::kTcp));
   TenantRequest req;
   req.num_vms = 4;
-  req.guarantee = {1 * kGbps, Bytes{1500}, 0, 0};
+  req.guarantee = {1 * kGbps, Bytes{1500}, TimeNs{0}, RateBps{0}};
   auto t = sim.add_tenant(req);
   ASSERT_TRUE(t.has_value());
   workload::BulkDriver bulk(sim, *t, {{0, 2}, {1, 2}, {3, 2}},
@@ -78,7 +78,7 @@ TEST(Trace, HottestPortsSortedDescending) {
   ASSERT_EQ(hot.size(), 3u);
   EXPECT_GE(hot[0].second, hot[1].second);
   EXPECT_GE(hot[1].second, hot[2].second);
-  EXPECT_GT(hot[0].second, 0);
+  EXPECT_GT(hot[0].second, Bytes{0});
 }
 
 }  // namespace

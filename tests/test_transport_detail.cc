@@ -10,12 +10,12 @@
 namespace silo::sim {
 namespace {
 
-PortConfig port(Bytes buffer = 312 * kKB, Bytes ecn = 0) {
+PortConfig port(Bytes buffer = 312 * kKB, Bytes ecn = Bytes{0}) {
   PortConfig cfg;
   cfg.rate = 10 * kGbps;
   cfg.buffer = buffer;
   cfg.ecn_threshold = ecn;
-  cfg.link_delay = 500;
+  cfg.link_delay = TimeNs{500};
   return cfg;
 }
 
@@ -46,7 +46,7 @@ TEST(Dctcp, ConvergesWithoutDropsWhenMarked) {
   Loop loop(cfg, port(312 * kKB, 30 * kKB));
   loop.flow->app_write(30 * kMB);
   loop.ev.run_all();
-  EXPECT_EQ(loop.flow->bytes_acked(), 30 * kMB);
+  EXPECT_EQ(loop.flow->bytes_acked(), (30 * kMB).count());
   EXPECT_GT(loop.fwd.stats().ecn_marks, 0);
   EXPECT_EQ(loop.fwd.stats().drops, 0);   // marking averts loss entirely
   EXPECT_TRUE(loop.flow->rto_events().empty());
@@ -74,7 +74,7 @@ TEST(Dctcp, EcnEchoOnlyWhenMarked) {
   loop.flow->app_write(256 * kKB);
   loop.ev.run_all();
   EXPECT_EQ(loop.fwd.stats().ecn_marks, 0);
-  EXPECT_EQ(loop.flow->bytes_acked(), 256 * kKB);
+  EXPECT_EQ(loop.flow->bytes_acked(), (256 * kKB).count());
 }
 
 TEST(Transport, CwndGrowsInSlowStart) {
@@ -94,11 +94,11 @@ TEST(Transport, ZeroLossTransferHasNoRetransmits) {
   loop.flow->set_on_delivery([&](std::int64_t d) { delivered = d; });
   loop.flow->app_write(4 * kMB);
   loop.ev.run_all();
-  EXPECT_EQ(delivered, 4 * kMB);
+  EXPECT_EQ(delivered, (4 * kMB).count());
   EXPECT_EQ(loop.fwd.stats().drops, 0);
   // Bytes on the wire == bytes delivered + headers: no duplicates.
   EXPECT_EQ(loop.fwd.stats().tx_bytes,
-            4 * kMB + loop.fwd.stats().tx_packets * kHeaderBytes);
+            (4 * kMB).count() + loop.fwd.stats().tx_packets * kHeaderBytes.count());
 }
 
 TEST(Transport, ManySmallMessagesInterleaved) {
@@ -106,7 +106,7 @@ TEST(Transport, ManySmallMessagesInterleaved) {
   std::int64_t delivered = 0;
   loop.flow->set_on_delivery([&](std::int64_t d) { delivered = d; });
   for (int i = 0; i < 200; ++i) {
-    loop.ev.at(i * 50 * kUsec, [&] { loop.flow->app_write(700); });
+    loop.ev.at(i * 50 * kUsec, [&] { loop.flow->app_write(Bytes{700}); });
   }
   loop.ev.run_all();
   EXPECT_EQ(delivered, 200 * 700);
@@ -118,9 +118,9 @@ TEST(Transport, BackpressureGateIsHonored) {
   loop.flow->set_can_send([&](int, Bytes) { return allowed-- > 0; });
   loop.flow->app_write(1 * kMB);
   // Only the first three segments may leave immediately.
-  EXPECT_EQ(loop.flow->bytes_written() - 1 * kMB, 0);
+  EXPECT_EQ(loop.flow->bytes_written() - (1 * kMB).count(), 0);
   loop.ev.run_until(100 * kUsec);
-  EXPECT_LE(loop.flow->bytes_acked(), 3 * kMss);
+  EXPECT_LE(loop.flow->bytes_acked(), (3 * kMss).count());
 }
 
 TEST(Transport, RtoBacksOffExponentially) {
@@ -135,7 +135,7 @@ TEST(Transport, RtoBacksOffExponentially) {
   TcpFlow flow(ev, 0, 0, 1, 0, 1, cfg,
                [&](PacketHandle h) { fwd.enqueue(h); },
                [&](PacketHandle h) { ev.pool().free(h); /* ACK black hole */ });
-  flow.app_write(1000);
+  flow.app_write(Bytes{1000});
   ev.run_until(200 * kMsec);
   const auto& rtos = flow.rto_events();
   ASSERT_GE(rtos.size(), 3u);

@@ -1,0 +1,157 @@
+// Property tests for the strong unit types (src/util/units.h): dimensional
+// operator algebra, overflow checking, and exactness of the __int128
+// transmission-time path at byte counts where the old double round-trip
+// went wrong. Cross-unit *rejection* (TimeNs = Bytes must not compile) is
+// proved separately by the compile-fail harness in tests/compile_fail/.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace silo {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Compile-time surface: the unit algebra is constexpr end to end, so the
+// constants below fail the *build* if an operator loses constexpr-ness.
+static_assert(TimeNs{3} + TimeNs{4} == TimeNs{7});
+static_assert(2 * kUsec + TimeNs{500} == TimeNs{2500});
+static_assert(kSec / kUsec == 1000 * 1000);    // dimensionless ratio
+static_assert(kSec % (999 * kUsec) == kUsec);  // 1e9 = 1001*999e3 + 1e3
+static_assert(Bytes{1500} * 3 == Bytes{4500});
+static_assert(3 * kKiB / Bytes{1024} == 3);
+static_assert(transmission_time(Bytes{1500}, RateBps{1e9}) == TimeNs{12000});
+static_assert(bytes_in(RateBps{1e9}, TimeNs{12000}) == Bytes{1500});
+static_assert(Bytes{1500} / (10 * kGbps) == TimeNs{1200});
+static_assert(RateBps{1e9} * kUsec == Bytes{125});
+static_assert(TimeNs{} == TimeNs{0});  // default construction is zero
+static_assert(Bytes{} == Bytes{0});
+static_assert(static_cast<double>(TimeNs{250}) == 250.0);
+static_assert(static_cast<std::int64_t>(Bytes{42}) == 42);
+
+TEST(Units, RoundTripBytesThroughTime) {
+  // bytes_in(transmission_time(b)) returns b for whole-byte-per-ns-exact
+  // cases, and never *exceeds* b: ceil on the way to time, truncation on
+  // the way back means a link can't deliver more than was serialized.
+  const RateBps rates[] = {100 * kMbps, 1 * kGbps, 10 * kGbps, 40 * kGbps};
+  for (const RateBps r : rates) {
+    for (std::int64_t n : {1, 84, 1500, 1538, 65535, 1 << 20}) {
+      const Bytes b{n};
+      const TimeNs t = transmission_time(b, r);
+      const Bytes back = bytes_in(r, t);
+      EXPECT_GE(back, b) << n << " B @ " << r;  // ceil'd time covers b
+      // ...but only by what the link emits during the sub-ns rounding
+      // slack: strictly less than one nanosecond's worth of bytes.
+      EXPECT_LE(static_cast<double>((back - b).count()), r.bps() / 8e9)
+          << n << " B @ " << r;
+    }
+  }
+}
+
+TEST(Units, TransmissionTimeExactAtLargeByteCounts) {
+  // The old double path computed bytes*8e9 and lost integer exactness past
+  // 2^53 (~1.1 MB at 1 Gbps). The __int128 path must stay exact: check
+  // against hand-computed ceil(bytes*8e9/rate) at sizes around and far
+  // beyond that boundary.
+  struct Case {
+    std::int64_t bytes;
+    std::int64_t rate;
+    std::int64_t want_ns;  // ceil(bytes * 8e9 / rate)
+  };
+  const Case cases[] = {
+      // 2^53 / 8e9 = 1125899.9... bytes: straddle the double-exactness edge.
+      {1125899, 1000000000, 9007192},
+      {1125900, 1000000000, 9007200},
+      {1125901, 1000000000, 9007208},
+      // 1 GiB at 1G: the product 2^30 * 8e9 needs 63 bits — far past
+      // double exactness, exactly bytes*8 ns.
+      {1 << 30, 1000000000, 8589934592},
+      // 1 GB at 3 Gbps: product 8e18 close to the int64 limit and the
+      // quotient 2666666666.67 forces a true ceil in 128-bit arithmetic.
+      {1000000000, 3000000000, 2666666667},
+      // Non-divisible small case: 1 B at 3 bps = 2.66...e9 ns, ceil.
+      {1, 3, 2666666667},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(transmission_time(Bytes{c.bytes}, RateBps{c.rate}),
+              TimeNs{c.want_ns})
+        << c.bytes << " B @ " << c.rate << " bps";
+  }
+}
+
+TEST(Units, TransmissionTimeMonotoneAcrossDoubleBoundary) {
+  // One more byte never serializes faster. Scan a window across the 2^53
+  // boundary where the double path used to plateau/jitter.
+  const RateBps r{1e9};
+  TimeNs prev = transmission_time(Bytes{1125890}, r);
+  for (std::int64_t b = 1125891; b < 1125910; ++b) {
+    const TimeNs t = transmission_time(Bytes{b}, r);
+    EXPECT_GT(t, prev) << b;  // strictly: 8 ns per byte at 1 Gbps
+    EXPECT_EQ((t - prev).count(), 8) << b;
+    prev = t;
+  }
+}
+
+TEST(Units, TransmissionTimeFractionalRateStillCeils) {
+  // Fractional rates use the double path but must still round up.
+  const TimeNs t = transmission_time(Bytes{1}, RateBps{2.5});
+  EXPECT_EQ(t, TimeNs{3200000000});  // 8e9 / 2.5 exactly
+  const TimeNs t2 = transmission_time(Bytes{1}, RateBps{2.6});
+  EXPECT_EQ(t2, TimeNs{3076923077});  // ceil(3076923076.9...)
+}
+
+TEST(Units, TransmissionTimeEdgeCases) {
+  EXPECT_EQ(transmission_time(Bytes{0}, 1 * kGbps), TimeNs{0});
+  EXPECT_EQ(transmission_time(Bytes{-5}, 1 * kGbps), TimeNs{0});
+  EXPECT_EQ(transmission_time(Bytes{1500}, RateBps{0}), TimeNs{0});
+  EXPECT_EQ(transmission_time(Bytes{1500}, RateBps{-1e9}), TimeNs{0});
+  EXPECT_EQ(bytes_in(RateBps{1e9}, TimeNs{-1}), Bytes{0});
+  EXPECT_EQ(bytes_in(RateBps{0}, kSec), Bytes{0});
+}
+
+TEST(Units, AverageRateOperator) {
+  // 1500 B over 12 us -> 1 Gbps.
+  const RateBps r = Bytes{1500} / (12 * kUsec);
+  EXPECT_DOUBLE_EQ(r.bps(), 1e9);
+  EXPECT_EQ(Bytes{1500} / TimeNs{0}, RateBps{0});
+}
+
+#ifdef SILO_UNITS_CHECKED
+TEST(Units, OverflowGuardsThrowWhenChecked) {
+  EXPECT_THROW(TimeNs::max() + kNsec, std::overflow_error);
+  EXPECT_THROW(TimeNs::min() - kNsec, std::overflow_error);
+  EXPECT_THROW(TimeNs::max() * 2, std::overflow_error);
+  EXPECT_THROW(Bytes::max() + Bytes{1}, std::overflow_error);
+  EXPECT_THROW(Bytes::max() * 2, std::overflow_error);
+  // In-range arithmetic is untouched by the guards.
+  EXPECT_EQ(TimeNs::max() - kNsec + kNsec, TimeNs::max());
+}
+#else
+TEST(Units, OverflowGuardsCompiledOut) {
+  // Release builds wrap (the guards are debug/audit-only); just prove the
+  // expression still compiles and runs without UB being observable here.
+  const TimeNs t = TimeNs{std::numeric_limits<std::int64_t>::max() - 1};
+  EXPECT_EQ((t + kNsec).count(), std::numeric_limits<std::int64_t>::max());
+}
+#endif
+
+TEST(Units, ComparisonAndOrdering) {
+  EXPECT_LT(TimeNs{1}, TimeNs{2});
+  EXPECT_GE(kMsec, 1000 * kUsec);
+  EXPECT_EQ(kMsec, 1000 * kUsec);
+  EXPECT_LT(kKB, kKiB);
+  EXPECT_LT(RateBps{1e6}, RateBps{1e9});
+}
+
+TEST(Units, StreamInsertionPrintsRawCount) {
+  std::ostringstream os;
+  os << TimeNs{42} << " " << Bytes{1500} << " " << RateBps{1e9};
+  EXPECT_EQ(os.str(), "42 1500 1e+09");
+}
+
+}  // namespace
+}  // namespace silo

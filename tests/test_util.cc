@@ -12,11 +12,11 @@ namespace {
 
 TEST(Units, TransmissionTimeRoundsUp) {
   // 1500 B at 10 Gbps = 1200 ns exactly.
-  EXPECT_EQ(transmission_time(1500, 10 * kGbps), 1200);
+  EXPECT_EQ(transmission_time(Bytes{1500}, 10 * kGbps), TimeNs{1200});
   // 1 B at 10 Gbps = 0.8 ns -> rounds up to 1.
-  EXPECT_EQ(transmission_time(1, 10 * kGbps), 1);
-  EXPECT_EQ(transmission_time(0, 10 * kGbps), 0);
-  EXPECT_EQ(transmission_time(1500, 0), 0);
+  EXPECT_EQ(transmission_time(Bytes{1}, 10 * kGbps), TimeNs{1});
+  EXPECT_EQ(transmission_time(Bytes{0}, 10 * kGbps), TimeNs{0});
+  EXPECT_EQ(transmission_time(Bytes{1500}, RateBps{0}), TimeNs{0});
 }
 
 TEST(Units, PaperVoidPacketSpacing) {
@@ -26,17 +26,17 @@ TEST(Units, PaperVoidPacketSpacing) {
 }
 
 TEST(Units, BytesInInterval) {
-  EXPECT_EQ(bytes_in(10 * kGbps, 1200), 1500);
-  EXPECT_EQ(bytes_in(1 * kGbps, 8), 1);
-  EXPECT_EQ(bytes_in(1 * kGbps, 0), 0);
-  EXPECT_EQ(bytes_in(-1.0, 100), 0);
+  EXPECT_EQ(bytes_in(10 * kGbps, TimeNs{1200}), Bytes{1500});
+  EXPECT_EQ(bytes_in(1 * kGbps, TimeNs{8}), Bytes{1});
+  EXPECT_EQ(bytes_in(1 * kGbps, TimeNs{0}), Bytes{0});
+  EXPECT_EQ(bytes_in(RateBps{-1.0}, TimeNs{100}), Bytes{0});
 }
 
 TEST(Units, NineGbpsInterPacketGap) {
   // §1: 9 Gbps limit with 1.5 KB packets on a 10 Gbps link needs 133 ns
   // of inter-packet spacing.
-  const TimeNs at_9g = transmission_time(1500, 9 * kGbps);
-  const TimeNs at_10g = transmission_time(1500, 10 * kGbps);
+  const TimeNs at_9g = transmission_time(Bytes{1500}, 9 * kGbps);
+  const TimeNs at_10g = transmission_time(Bytes{1500}, 10 * kGbps);
   EXPECT_NEAR(static_cast<double>(at_9g - at_10g), 133.0, 2.0);
 }
 
