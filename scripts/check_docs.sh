@@ -55,7 +55,28 @@ done
 ndoc=$(echo "$doc_metrics" | wc -w)
 nsrc=$(echo "$src_metrics" | wc -w)
 
-# ---- 3. silo-lint rule catalog <-> DESIGN.md -----------------------------
+# ---- 3. controller.diff.* family -----------------------------------------
+# The incremental pacer-config protocol's metric family, cross-checked as
+# a set in both directions: the per-name check above would stay quiet if
+# the whole family vanished from both sides (e.g. a prefix rename), so
+# this one additionally fails when no controller.diff.* metric exists.
+diff_src=$(grep -rhoE '"controller\.diff\.[a-z_]+"' src/core \
+             --include='*.cc' --include='*.h' | tr -d '"' | sort -u)
+diff_doc=$(grep -oE '`controller\.diff\.[a-z_]+`' docs/OBSERVABILITY.md \
+             | tr -d '`' | sort -u)
+if [ -z "$diff_src" ]; then
+  echo "NO controller.diff.* METRICS REGISTERED IN src/core"
+  fail=1
+fi
+if [ "$diff_src" != "$diff_doc" ]; then
+  echo "controller.diff.* FAMILY MISMATCH between src/core and OBSERVABILITY.md"
+  echo "  registered: " $diff_src
+  echo "  documented: " $diff_doc
+  fail=1
+fi
+ndiff=$(echo "$diff_src" | wc -w)
+
+# ---- 4. silo-lint rule catalog <-> DESIGN.md -----------------------------
 # DESIGN.md's "silo-lint rule catalog" table carries each rule name in
 # backticks in its first column; silo_lint.py --list-rules prints
 # "name: description" per rule. Both directions must agree, so neither
@@ -78,6 +99,7 @@ for r in $doc_rules; do
 done
 nrules=$(echo "$lint_rules" | wc -w)
 
-echo "checked markdown links, $ndoc documented / $nsrc registered metrics," \
-     "and $nrules silo-lint rules against the DESIGN.md catalog"
+echo "checked markdown links, $ndoc documented / $nsrc registered metrics" \
+     "($ndiff controller.diff.*), and $nrules silo-lint rules against the" \
+     "DESIGN.md catalog"
 exit $fail

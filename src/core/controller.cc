@@ -10,7 +10,7 @@ SiloController::SiloController(const topology::TopologyConfig& topo,
                                const Options& options)
     : topo_(topo),
       engine_(topo_, options.policy, options.nic_delay_allowance,
-              options.hose_tightening) {
+              options.hose_tightening, options.admission_mode) {
   m_admissions_ = metrics_.counter("controller.admissions", "tenants",
                                    "controller");
   m_rejections_ = metrics_.counter("controller.rejections", "tenants",
@@ -25,6 +25,12 @@ SiloController::SiloController(const topology::TopologyConfig& topo,
                                  "controller");
   m_promotions_ = metrics_.counter("controller.recovery.promotions", "tenants",
                                    "controller");
+  m_diff_deltas_ = metrics_.counter("controller.diff.deltas", "deltas",
+                                    "controller");
+  m_diff_upserts_ = metrics_.counter("controller.diff.upserts", "records",
+                                     "controller");
+  m_diff_removes_ = metrics_.counter("controller.diff.removes", "records",
+                                     "controller");
 }
 
 std::optional<TenantHandle> SiloController::admit(
@@ -36,30 +42,43 @@ std::optional<TenantHandle> SiloController::admit(
   }
   m_admissions_.inc();
   TenantHandle handle{placed->id, placed->vm_to_server};
-  tenants_.emplace(placed->id,
-                   TenantState{request, placed->vm_to_server, placed->id,
-                               TenantStatus::kGuaranteed});
+  auto it = tenants_
+                .emplace(placed->id,
+                         TenantState{request, placed->vm_to_server, {},
+                                     placed->id, TenantStatus::kGuaranteed})
+                .first;
+  engine_to_external_.emplace(placed->id, placed->id);
+  emit_config_deltas(placed->id, it->second,
+                     request.tenant_class != TenantClass::kBestEffort);
   return handle;
 }
 
 void SiloController::release(const TenantHandle& handle) {
   auto it = tenants_.find(handle.id);
   if (it == tenants_.end()) return;
-  if (it->second.engine_id >= 0) engine_.remove(it->second.engine_id);
+  auto& state = it->second;
+  if (state.engine_id >= 0) {
+    engine_.remove(state.engine_id);
+    engine_to_external_.erase(state.engine_id);
+  }
+  emit_config_deltas(handle.id, state, /*now_paced=*/false);
+  count_status(state.status, -1);
   tenants_.erase(it);
   m_releases_.inc();
+}
+
+void SiloController::count_status(TenantStatus status, int delta) {
+  if (status == TenantStatus::kDegraded) degraded_count_ += delta;
+  if (status == TenantStatus::kUnplaced) unplaced_count_ += delta;
 }
 
 std::vector<placement::TenantId> SiloController::to_external(
     const std::vector<placement::TenantId>& engine_ids) const {
   std::vector<placement::TenantId> out;
+  out.reserve(engine_ids.size());
   for (const auto eid : engine_ids) {
-    for (const auto& [id, state] : tenants_) {
-      if (state.engine_id == eid) {
-        out.push_back(id);
-        break;
-      }
-    }
+    auto it = engine_to_external_.find(eid);
+    if (it != engine_to_external_.end()) out.push_back(it->second);
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -75,23 +94,71 @@ std::vector<placement::TenantId> SiloController::non_guaranteed_tenants()
   return out;
 }
 
+PacerConfigRecord SiloController::make_record(placement::TenantId id,
+                                              const TenantState& state,
+                                              int vm) const {
+  PacerConfigRecord rec;
+  rec.tenant = id;
+  rec.vm_index = vm;
+  rec.server = state.vm_to_server[static_cast<std::size_t>(vm)];
+  rec.guarantee = state.request.guarantee;
+  for (int p = 0; p < state.request.num_vms; ++p) {
+    if (p == vm) continue;
+    rec.peers.emplace_back(p, state.vm_to_server[static_cast<std::size_t>(p)]);
+  }
+  return rec;
+}
+
 void SiloController::append_records(
     placement::TenantId id, const TenantState& state,
     std::vector<PacerConfigRecord>& out) const {
   if (state.request.tenant_class == TenantClass::kBestEffort) return;
   for (int v = 0; v < state.request.num_vms; ++v) {
-    PacerConfigRecord rec;
-    rec.tenant = id;
-    rec.vm_index = v;
-    rec.server = state.vm_to_server[static_cast<std::size_t>(v)];
-    rec.guarantee = state.request.guarantee;
-    for (int p = 0; p < state.request.num_vms; ++p) {
-      if (p == v) continue;
-      rec.peers.emplace_back(p,
-                             state.vm_to_server[static_cast<std::size_t>(p)]);
-    }
-    out.push_back(std::move(rec));
+    out.push_back(make_record(id, state, v));
   }
+}
+
+void SiloController::emit_config_deltas(placement::TenantId id,
+                                        TenantState& state, bool now_paced) {
+  if (engine_.admission_mode() != placement::AdmissionMode::kIncremental) {
+    // Full-snapshot protocol: nothing queued, but track shipped state so a
+    // mode flip mid-life (not supported) fails loudly in tests.
+    state.paced_vm_to_server.clear();
+    if (now_paced) state.paced_vm_to_server = state.vm_to_server;
+    return;
+  }
+  const bool was_paced = !state.paced_vm_to_server.empty();
+  if (!was_paced && !now_paced) return;
+  // One delta per affected server; within a delta removals apply before
+  // upserts, so a VM whose record merely changed (e.g. a peer moved) is
+  // simply rewritten in place.
+  std::map<int, PacerConfigDelta> by_server;
+  for (std::size_t v = 0; v < state.paced_vm_to_server.size(); ++v) {
+    const int server = state.paced_vm_to_server[v];
+    if (server < 0) continue;
+    by_server[server].removes.emplace_back(id, static_cast<int>(v));
+  }
+  if (now_paced) {
+    for (int v = 0; v < state.request.num_vms; ++v) {
+      const int server = state.vm_to_server[static_cast<std::size_t>(v)];
+      by_server[server].upserts.push_back(make_record(id, state, v));
+    }
+  }
+  for (auto& [server, delta] : by_server) {
+    delta.server = server;
+    m_diff_deltas_.inc();
+    m_diff_upserts_.inc(static_cast<std::int64_t>(delta.upserts.size()));
+    m_diff_removes_.inc(static_cast<std::int64_t>(delta.removes.size()));
+    pending_deltas_.push_back(std::move(delta));
+  }
+  state.paced_vm_to_server.clear();
+  if (now_paced) state.paced_vm_to_server = state.vm_to_server;
+}
+
+std::vector<PacerConfigDelta> SiloController::drain_config_deltas() {
+  std::vector<PacerConfigDelta> out;
+  out.swap(pending_deltas_);
+  return out;
 }
 
 RecoveryReport SiloController::recover(
@@ -101,17 +168,26 @@ RecoveryReport SiloController::recover(
   report.affected = affected;
   for (const auto id : affected) {
     auto& state = tenants_.at(id);
-    if (state.engine_id >= 0) engine_.remove(state.engine_id);
+    const TenantStatus old_status = state.status;
+    count_status(old_status, -1);
+    if (state.engine_id >= 0) {
+      engine_.remove(state.engine_id);
+      engine_to_external_.erase(state.engine_id);
+      state.engine_id = -1;
+    }
     // Full re-admission first: exactly the network-calculus checks the
     // tenant's original admission ran, against the post-failure fabric.
     if (auto placed = engine_.place(state.request)) {
-      if (state.status != TenantStatus::kGuaranteed) m_promotions_.inc();
+      if (old_status != TenantStatus::kGuaranteed) m_promotions_.inc();
       state.engine_id = placed->id;
+      engine_to_external_.emplace(placed->id, id);
       state.vm_to_server = placed->vm_to_server;
       state.status = TenantStatus::kGuaranteed;
       report.replaced.push_back(id);
       m_replaced_.inc();
       append_records(id, state, report.refreshed);
+      emit_config_deltas(
+          id, state, state.request.tenant_class != TenantClass::kBestEffort);
       continue;
     }
     // Guarantees infeasible: run the VMs best-effort (slots only, low
@@ -120,18 +196,23 @@ RecoveryReport SiloController::recover(
     degraded.tenant_class = TenantClass::kBestEffort;
     if (auto placed = engine_.place(degraded)) {
       state.engine_id = placed->id;
+      engine_to_external_.emplace(placed->id, id);
       state.vm_to_server = placed->vm_to_server;
       state.status = TenantStatus::kDegraded;
+      count_status(state.status, +1);
       report.degraded.push_back(id);
       m_degraded_.inc();
+      emit_config_deltas(id, state, /*now_paced=*/false);
       continue;
     }
     state.engine_id = -1;
     state.vm_to_server.assign(
         static_cast<std::size_t>(state.request.num_vms), -1);
     state.status = TenantStatus::kUnplaced;
+    count_status(state.status, +1);
     report.unplaced.push_back(id);
     m_unplaced_.inc();
+    emit_config_deltas(id, state, /*now_paced=*/false);
   }
   return report;
 }
@@ -161,24 +242,31 @@ RecoveryReport SiloController::restore_link(topology::PortId port) {
 std::vector<PacerConfigRecord> SiloController::server_config(
     int server) const {
   std::vector<PacerConfigRecord> out;
-  for (const auto& [id, state] : tenants_) {
-    if (state.request.tenant_class == TenantClass::kBestEffort)
-      continue;  // best-effort VMs run unpaced at low priority (§4.4)
-    if (state.status != TenantStatus::kGuaranteed)
-      continue;  // degraded/unplaced tenants are not paced
-    for (int v = 0; v < state.request.num_vms; ++v) {
-      if (state.vm_to_server[static_cast<std::size_t>(v)] != server) continue;
-      PacerConfigRecord rec;
-      rec.tenant = id;
-      rec.vm_index = v;
-      rec.server = server;
-      rec.guarantee = state.request.guarantee;
-      for (int p = 0; p < state.request.num_vms; ++p) {
-        if (p == v) continue;
-        rec.peers.emplace_back(p,
-                               state.vm_to_server[static_cast<std::size_t>(p)]);
+  if (engine_.admission_mode() == placement::AdmissionMode::kIncremental) {
+    // Only tenants indexed on this server can have records here.
+    for (const auto eid : engine_.tenants_on_server(server)) {
+      const auto ext = engine_to_external_.find(eid);
+      if (ext == engine_to_external_.end()) continue;
+      const auto& state = tenants_.at(ext->second);
+      if (state.request.tenant_class == TenantClass::kBestEffort)
+        continue;  // best-effort VMs run unpaced at low priority (§4.4)
+      if (state.status != TenantStatus::kGuaranteed)
+        continue;  // degraded/unplaced tenants are not paced
+      for (int v = 0; v < state.request.num_vms; ++v) {
+        if (state.vm_to_server[static_cast<std::size_t>(v)] != server)
+          continue;
+        out.push_back(make_record(ext->second, state, v));
       }
-      out.push_back(std::move(rec));
+    }
+  } else {
+    for (const auto& [id, state] : tenants_) {
+      if (state.request.tenant_class == TenantClass::kBestEffort) continue;
+      if (state.status != TenantStatus::kGuaranteed) continue;
+      for (int v = 0; v < state.request.num_vms; ++v) {
+        if (state.vm_to_server[static_cast<std::size_t>(v)] != server)
+          continue;
+        out.push_back(make_record(id, state, v));
+      }
     }
   }
   // Deterministic order for config diffing by the driver.
@@ -194,22 +282,10 @@ DatacenterStats SiloController::stats() const {
   s.total_slots = topo_.total_vm_slots();
   s.free_slots = engine_.free_slots();
   s.admitted_tenants = engine_.admitted_tenants();
-  for (const auto& [id, state] : tenants_) {
-    if (state.status == TenantStatus::kDegraded) ++s.degraded_tenants;
-    if (state.status == TenantStatus::kUnplaced) ++s.unplaced_tenants;
-  }
-  for (int p = 0; p < topo_.num_ports(); ++p) {
-    const topology::PortId id{p};
-    s.max_port_reservation =
-        std::max(s.max_port_reservation, engine_.port_reservation(id));
-    const TimeNs bound = engine_.port_queue_bound(id);
-    if (bound >= TimeNs{0} && topo_.port(id).queue_capacity > TimeNs{0}) {
-      s.max_queue_headroom_used =
-          std::max(s.max_queue_headroom_used,
-                   static_cast<double>(bound) /
-                       static_cast<double>(topo_.port(id).queue_capacity));
-    }
-  }
+  s.degraded_tenants = degraded_count_;
+  s.unplaced_tenants = unplaced_count_;
+  s.max_port_reservation = engine_.max_port_reservation();
+  s.max_queue_headroom_used = engine_.max_queue_headroom_used();
   return s;
 }
 

@@ -5,7 +5,10 @@
 // emits the per-server pacer configuration records that the hypervisor
 // filter driver (the prototype's NDIS driver) consumes — which VM slots
 // to pace, with what {B, S, Bmax}, and which peer VMs share the tenant's
-// hose so destination buckets can be coordinated.
+// hose so destination buckets can be coordinated. Config shipping is
+// incremental: each admit/release/recovery enqueues PacerConfigDeltas for
+// the affected servers only (drain_config_deltas); server_config() stays
+// available as the full-snapshot reference the deltas must reproduce.
 #pragma once
 
 #include <optional>
@@ -14,22 +17,11 @@
 
 #include "core/guarantee.h"
 #include "obs/metrics.h"
+#include "pacer/pacer_config.h"
 #include "placement/placement.h"
 #include "topology/topology.h"
 
 namespace silo {
-
-/// One VM's pacing assignment on a server — everything the hypervisor
-/// needs to enforce the tenant's guarantees locally.
-struct PacerConfigRecord {
-  placement::TenantId tenant = -1;
-  int vm_index = 0;   ///< tenant-local VM id
-  int server = 0;
-  SiloGuarantee guarantee;
-  /// (tenant-local VM id, server) of every peer VM: the hypervisor keys
-  /// its per-destination token buckets and EyeQ coordination off these.
-  std::vector<std::pair<int, int>> peers;
-};
 
 struct TenantHandle {
   placement::TenantId id = -1;
@@ -76,6 +68,10 @@ class SiloController {
     placement::Policy policy = placement::Policy::kSilo;
     TimeNs nic_delay_allowance = 50 * kUsec;
     bool hose_tightening = true;
+    /// kFullRescan keeps the quadratic reference path (full port-load
+    /// rebuilds, no delta emission) for equivalence tests and benchmarks.
+    placement::AdmissionMode admission_mode =
+        placement::AdmissionMode::kIncremental;
   };
 
   explicit SiloController(const topology::TopologyConfig& topo)
@@ -114,8 +110,15 @@ class SiloController {
   }
 
   /// Pacer configuration for every guaranteed VM currently on `server` —
-  /// the state pushed to that server's hypervisor driver.
+  /// the full-snapshot reference the incremental deltas must reproduce.
   std::vector<PacerConfigRecord> server_config(int server) const;
+
+  /// Incremental pacer-config updates queued since the last drain, in
+  /// emission order: one delta per affected server per admit/release/
+  /// recovery event. Applying each to its server's PacerConfigTable yields
+  /// exactly server_config(server). Empty in kFullRescan mode (full
+  /// snapshots are the only protocol there).
+  std::vector<PacerConfigDelta> drain_config_deltas();
 
   /// The §4.1 worst-case message latency a tenant admitted with
   /// `guarantee` may advertise to its application.
@@ -137,6 +140,9 @@ class SiloController {
   struct TenantState {
     TenantRequest request;
     std::vector<int> vm_to_server;
+    /// Placement last shipped to the pacers via deltas; empty when no
+    /// records are live (never paced, released, degraded or unplaced).
+    std::vector<int> paced_vm_to_server;
     /// Current placement-engine id — changes on every re-placement while
     /// the controller-facing tenant id stays stable; -1 when unplaced.
     placement::TenantId engine_id = -1;
@@ -151,10 +157,27 @@ class SiloController {
   std::vector<placement::TenantId> non_guaranteed_tenants() const;
   void append_records(placement::TenantId id, const TenantState& state,
                       std::vector<PacerConfigRecord>& out) const;
+  PacerConfigRecord make_record(placement::TenantId id,
+                                const TenantState& state, int vm) const;
+  /// Queue removals for the previously shipped records and, when
+  /// `now_paced`, upserts for the current placement — one delta per
+  /// affected server — then record what is now shipped. No-op (state
+  /// cleared only) in kFullRescan mode.
+  void emit_config_deltas(placement::TenantId id, TenantState& state,
+                          bool now_paced);
+  /// Keep degraded_count_/unplaced_count_ in sync on a status change.
+  void count_status(TenantStatus status, int delta);
 
   topology::Topology topo_;
   placement::PlacementEngine engine_;
   std::map<placement::TenantId, TenantState> tenants_;
+  /// Live engine id -> controller-facing tenant id (engine ids churn on
+  /// every re-placement; this replaces the full-map scans to_external and
+  /// server_config used to need).
+  std::map<placement::TenantId, placement::TenantId> engine_to_external_;
+  std::vector<PacerConfigDelta> pending_deltas_;
+  int degraded_count_ = 0;
+  int unplaced_count_ = 0;
 
   obs::MetricsRegistry metrics_;
   obs::Counter m_admissions_;
@@ -164,6 +187,9 @@ class SiloController {
   obs::Counter m_degraded_;   ///< recoveries falling to best-effort
   obs::Counter m_unplaced_;   ///< recoveries with no slots anywhere
   obs::Counter m_promotions_; ///< degraded/unplaced back to guaranteed
+  obs::Counter m_diff_deltas_;   ///< per-server deltas emitted
+  obs::Counter m_diff_upserts_;  ///< records upserted across all deltas
+  obs::Counter m_diff_removes_;  ///< record keys removed across all deltas
 };
 
 }  // namespace silo

@@ -13,6 +13,7 @@
 #include <deque>
 #include <vector>
 
+#include "pacer/pacer_config.h"
 #include "util/units.h"
 
 namespace silo::pacer {
@@ -68,6 +69,13 @@ class PacedNic {
   RateBps line_rate() const { return line_rate_; }
   TimeNs batch_window() const { return batch_window_; }
 
+  /// Fold one controller-emitted pacer-config delta into this server's
+  /// applied state. Deltas for other servers are a caller bug.
+  void apply_config(const PacerConfigDelta& delta) { config_.apply(delta); }
+  /// The applied per-VM pacing records (what a full server_config snapshot
+  /// must reproduce — see the controller golden tests).
+  const PacerConfigTable& config() const { return config_; }
+
  private:
   struct Pending {
     TimeNs release;
@@ -87,6 +95,7 @@ class PacedNic {
                                // cross-VM merge keeps it sorted on insert
   std::vector<WireSlot> batch_;  ///< reused across build_batch calls
   BatchStats stats_;
+  PacerConfigTable config_;  ///< delta-applied per-VM pacing records
 };
 
 }  // namespace silo::pacer

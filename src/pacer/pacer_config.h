@@ -1,0 +1,115 @@
+// Pacer configuration protocol between the controller and the per-server
+// hypervisor pacer (the prototype's NDIS filter driver).
+//
+// The controller's admission/recovery decisions materialize as
+// PacerConfigRecords — one per guaranteed VM, naming the server that hosts
+// it, its {B, S, d, Bmax} guarantee and its peer VMs. Historically the
+// controller pushed a *full snapshot* of every server's records after each
+// change; at datacenter scale (32K servers, thousands of tenants) that is
+// quadratic. The incremental protocol here ships a PacerConfigDelta per
+// *affected* server instead: a batch of keyed removals and upserts that a
+// PacerConfigTable folds into its state. Applying every delta in emission
+// order reproduces the full snapshot bit for bit — the controller tests
+// pin table checksums against freshly computed snapshots.
+//
+// Header-only on purpose: the pacer library sits below the controller in
+// the link graph, so both sides share these types without a dependency
+// cycle.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/guarantee.h"
+
+namespace silo {
+
+/// One VM's pacing assignment on a server — everything the hypervisor
+/// needs to enforce the tenant's guarantees locally.
+struct PacerConfigRecord {
+  std::int64_t tenant = -1;
+  int vm_index = 0;   ///< tenant-local VM id
+  int server = 0;
+  SiloGuarantee guarantee;
+  /// (tenant-local VM id, server) of every peer VM: the hypervisor keys
+  /// its per-destination token buckets and EyeQ coordination off these.
+  std::vector<std::pair<int, int>> peers;
+};
+
+/// Incremental update to one server's pacer state. Removals apply before
+/// upserts, so a VM that moved onto this server within one recovery pass
+/// ends up present exactly once.
+struct PacerConfigDelta {
+  int server = -1;
+  /// (tenant, vm_index) keys whose records leave this server.
+  std::vector<std::pair<std::int64_t, int>> removes;
+  /// Records added or replaced on this server.
+  std::vector<PacerConfigRecord> upserts;
+};
+
+/// FNV-1a over a record sequence; the golden tests compare delta-built
+/// tables against full snapshots through this.
+inline std::uint64_t pacer_config_checksum(
+    const std::vector<PacerConfigRecord>& records) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  auto mix_rate = [&](RateBps r) {
+    const double d = r.bps();
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  for (const auto& rec : records) {
+    mix(static_cast<std::uint64_t>(rec.tenant));
+    mix(static_cast<std::uint64_t>(rec.vm_index));
+    mix(static_cast<std::uint64_t>(rec.server));
+    mix_rate(rec.guarantee.bandwidth);
+    mix(static_cast<std::uint64_t>(rec.guarantee.burst.count()));
+    mix(static_cast<std::uint64_t>(rec.guarantee.delay.count()));
+    mix_rate(rec.guarantee.burst_rate);
+    mix(static_cast<std::uint64_t>(rec.peers.size()));
+    for (const auto& [vm, server] : rec.peers) {
+      mix(static_cast<std::uint64_t>(vm));
+      mix(static_cast<std::uint64_t>(server));
+    }
+  }
+  return h;
+}
+
+/// One server's applied pacer state, keyed by (tenant, vm_index) — the
+/// hypervisor-side consumer of PacerConfigDeltas.
+class PacerConfigTable {
+ public:
+  void apply(const PacerConfigDelta& delta) {
+    for (const auto& key : delta.removes) records_.erase(key);
+    for (const auto& rec : delta.upserts)
+      records_.insert_or_assign({rec.tenant, rec.vm_index}, rec);
+  }
+
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Records in (tenant, vm_index) order — the same deterministic order
+  /// SiloController::server_config emits, so snapshots diff cleanly.
+  std::vector<PacerConfigRecord> records() const {
+    std::vector<PacerConfigRecord> out;
+    out.reserve(records_.size());
+    for (const auto& [key, rec] : records_) out.push_back(rec);
+    return out;
+  }
+
+  std::uint64_t checksum() const { return pacer_config_checksum(records()); }
+
+ private:
+  std::map<std::pair<std::int64_t, int>, PacerConfigRecord> records_;
+};
+
+}  // namespace silo

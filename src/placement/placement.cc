@@ -21,11 +21,12 @@ enum class PortKind {
 
 PlacementEngine::PlacementEngine(const topology::Topology& topo, Policy policy,
                                  TimeNs nic_delay_allowance,
-                                 bool hose_tightening)
+                                 bool hose_tightening, AdmissionMode mode)
     : topo_(topo),
       policy_(policy),
       nic_delay_allowance_(nic_delay_allowance),
-      hose_tightening_(hose_tightening) {
+      hose_tightening_(hose_tightening),
+      mode_(mode) {
   free_slots_.assign(topo.num_servers(), topo.config().vm_slots_per_server);
   free_slots_rack_.assign(
       topo.num_racks(),
@@ -33,11 +34,70 @@ PlacementEngine::PlacementEngine(const topology::Topology& topo, Policy policy,
   free_slots_pod_.assign(topo.num_pods(), topo.config().vm_slots_per_server *
                                               topo.config().servers_per_rack *
                                               topo.config().racks_per_pod);
+  rack_max_free_.assign(topo.num_racks(), topo.config().vm_slots_per_server);
   free_slots_total_ = topo.total_vm_slots();
   port_load_.resize(topo.num_ports());
   server_failed_.assign(static_cast<std::size_t>(topo.num_servers()), 0);
   quarantined_slots_.assign(static_cast<std::size_t>(topo.num_servers()), 0);
   port_failed_.assign(static_cast<std::size_t>(topo.num_ports()), 0);
+
+  // Shard layout: racks own their servers' ports, pods their racks' ports,
+  // one core shard owns the pod ports. Every port has exactly one owner.
+  const std::size_t num_shards =
+      static_cast<std::size_t>(topo.num_racks() + topo.num_pods() + 1);
+  shard_of_port_.assign(static_cast<std::size_t>(topo.num_ports()), -1);
+  shard_ports_.resize(num_shards);
+  auto own = [this](int shard, topology::PortId p) {
+    shard_of_port_[static_cast<std::size_t>(p.value)] = shard;
+    shard_ports_[static_cast<std::size_t>(shard)].push_back(p.value);
+  };
+  for (int s = 0; s < topo.num_servers(); ++s) {
+    own(topo.rack_of_server(s), topo.server_up(s));
+    own(topo.rack_of_server(s), topo.server_down(s));
+  }
+  for (int r = 0; r < topo.num_racks(); ++r) {
+    own(topo.num_racks() + topo.pod_of_rack(r), topo.rack_up(r));
+    own(topo.num_racks() + topo.pod_of_rack(r), topo.rack_down(r));
+  }
+  const int core_shard = topo.num_racks() + topo.num_pods();
+  for (int p = 0; p < topo.num_pods(); ++p) {
+    own(core_shard, topo.pod_up(p));
+    own(core_shard, topo.pod_down(p));
+  }
+  shard_dirty_.assign(num_shards, 0);
+  shard_max_resv_.assign(num_shards, 0.0);
+  shard_max_qfrac_.assign(num_shards, 0.0);
+  tenants_by_server_.resize(static_cast<std::size_t>(topo.num_servers()));
+  tenants_by_port_.resize(static_cast<std::size_t>(topo.num_ports()));
+}
+
+void PlacementEngine::recompute_rack_max_free(int rack) {
+  const int first = topo_.first_server_of_rack(rack);
+  int best = 0;
+  for (int i = 0; i < topo_.config().servers_per_rack; ++i)
+    best = std::max(best, free_slots_[first + i]);
+  rack_max_free_[static_cast<std::size_t>(rack)] = best;
+}
+
+void PlacementEngine::adjust_free_slots(int server, int delta) {
+  if (delta == 0) return;
+  const int rack = topo_.rack_of_server(server);
+  const int old = free_slots_[server];
+  free_slots_[server] = old + delta;
+  free_slots_rack_[rack] += delta;
+  free_slots_pod_[topo_.pod_of_server(server)] += delta;
+  free_slots_total_ += delta;
+  auto& rmf = rack_max_free_[static_cast<std::size_t>(rack)];
+  if (delta > 0) {
+    rmf = std::max(rmf, free_slots_[server]);
+  } else if (old == rmf) {
+    recompute_rack_max_free(rack);  // the rack max may have shrunk
+  }
+}
+
+void PlacementEngine::touch_port(int port) {
+  shard_dirty_[static_cast<std::size_t>(
+      shard_of_port_[static_cast<std::size_t>(port)])] = 1;
 }
 
 void PlacementEngine::fail_server(int server) {
@@ -45,10 +105,7 @@ void PlacementEngine::fail_server(int server) {
   server_failed_[static_cast<std::size_t>(server)] = 1;
   const int f = free_slots_[server];
   quarantined_slots_[static_cast<std::size_t>(server)] = f;
-  free_slots_[server] = 0;
-  free_slots_rack_[topo_.rack_of_server(server)] -= f;
-  free_slots_pod_[topo_.pod_of_server(server)] -= f;
-  free_slots_total_ -= f;
+  adjust_free_slots(server, -f);
 }
 
 void PlacementEngine::restore_server(int server) {
@@ -56,10 +113,7 @@ void PlacementEngine::restore_server(int server) {
   server_failed_[static_cast<std::size_t>(server)] = 0;
   const int f = quarantined_slots_[static_cast<std::size_t>(server)];
   quarantined_slots_[static_cast<std::size_t>(server)] = 0;
-  free_slots_[server] += f;
-  free_slots_rack_[topo_.rack_of_server(server)] += f;
-  free_slots_pod_[topo_.pod_of_server(server)] += f;
-  free_slots_total_ += f;
+  adjust_free_slots(server, f);
 }
 
 void PlacementEngine::fail_port(topology::PortId p) {
@@ -71,6 +125,8 @@ void PlacementEngine::restore_port(topology::PortId p) {
 }
 
 std::vector<TenantId> PlacementEngine::tenants_on_server(int server) const {
+  if (mode_ == AdmissionMode::kIncremental)
+    return tenants_by_server_[static_cast<std::size_t>(server)];  // sorted
   std::vector<TenantId> out;
   for (const auto& [id, rec] : tenants_) {
     for (const auto& [s, count] : rec.slot_usage) {
@@ -114,11 +170,48 @@ bool PlacementEngine::placement_uses_port(const TenantRecord& rec,
 
 std::vector<TenantId> PlacementEngine::tenants_using_port(
     topology::PortId p) const {
+  if (mode_ == AdmissionMode::kIncremental)
+    return tenants_by_port_[static_cast<std::size_t>(p.value)];  // sorted
   std::vector<TenantId> out;
   for (const auto& [id, rec] : tenants_) {
     if (placement_uses_port(rec, p.value)) out.push_back(id);
   }
   std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int> PlacementEngine::used_ports_for(const CountMap& counts) const {
+  // Enumerates exactly the ports placement_uses_port() tests positive for:
+  // colocated placements never touch the fabric; rack/pod ports only count
+  // once the placement actually spans racks/pods.
+  std::vector<int> out;
+  if (counts.size() < 2) return out;
+  int first_rack = -1, first_pod = -1;
+  bool multi_rack = false, multi_pod = false;
+  for (const auto& [s, count] : counts) {
+    const int r = topo_.rack_of_server(s);
+    const int p = topo_.pod_of_rack(r);
+    if (first_rack < 0) first_rack = r;
+    if (first_pod < 0) first_pod = p;
+    multi_rack = multi_rack || r != first_rack;
+    multi_pod = multi_pod || p != first_pod;
+  }
+  for (const auto& [s, count] : counts) {
+    out.push_back(topo_.server_up(s).value);
+    out.push_back(topo_.server_down(s).value);
+    if (multi_rack) {
+      const int r = topo_.rack_of_server(s);
+      out.push_back(topo_.rack_up(r).value);
+      out.push_back(topo_.rack_down(r).value);
+    }
+    if (multi_pod) {
+      const int p = topo_.pod_of_server(s);
+      out.push_back(topo_.pod_up(p).value);
+      out.push_back(topo_.pod_down(p).value);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
@@ -365,6 +458,7 @@ std::optional<PlacementEngine::CountMap> PlacementEngine::try_scope(
     case Scope::kPod: {
       const int first_rack = topo_.first_rack_of_pod(anchor);
       for (int r = 0; r < cfg.racks_per_pod; ++r) {
+        if (free_slots_rack_[first_rack + r] == 0) continue;  // rack full
         const int first = topo_.first_server_of_rack(first_rack + r);
         for (int i = 0; i < cfg.servers_per_rack; ++i)
           if (free_slots_[first + i] > 0) servers.push_back(first + i);
@@ -372,8 +466,12 @@ std::optional<PlacementEngine::CountMap> PlacementEngine::try_scope(
       break;
     }
     case Scope::kDatacenter: {
-      for (int s = 0; s < topo_.num_servers(); ++s)
-        if (free_slots_[s] > 0) servers.push_back(s);
+      for (int r = 0; r < topo_.num_racks(); ++r) {
+        if (free_slots_rack_[r] == 0) continue;  // rack full: skip 40 probes
+        const int first = topo_.first_server_of_rack(r);
+        for (int i = 0; i < cfg.servers_per_rack; ++i)
+          if (free_slots_[first + i] > 0) servers.push_back(first + i);
+      }
       break;
     }
   }
@@ -398,11 +496,38 @@ std::optional<AdmittedTenant> PlacementEngine::place(
   for (int sc = static_cast<int>(Scope::kServer);
        sc <= static_cast<int>(widest); ++sc) {
     const auto scope = static_cast<Scope>(sc);
+    auto attempt = [&](int anchor) -> std::optional<AdmittedTenant> {
+      auto counts = try_scope(request, scope, anchor);
+      if (!counts) return std::nullopt;
+      TenantRecord rec;
+      rec.request = request;
+      rec.slot_usage = *counts;
+      rec.contributions = tenant_contributions(request, *counts, scope);
+      AdmittedTenant admitted;
+      commit(std::move(rec), admitted);
+      return admitted;
+    };
+    if (scope == Scope::kServer) {
+      // First-fit over servers, but rack by rack: the per-rack max-free
+      // cache skips a whole rack (40 slot probes) when no server in it
+      // could colocate the tenant. Iteration order — and therefore the
+      // placement decision — is identical to the flat per-server loop.
+      for (int r = 0; r < topo_.num_racks(); ++r) {
+        if (rack_max_free_[static_cast<std::size_t>(r)] < request.num_vms)
+          continue;
+        const int first = topo_.first_server_of_rack(r);
+        for (int i = 0; i < topo_.config().servers_per_rack; ++i) {
+          const int s = first + i;
+          if (free_slots_[s] < request.num_vms) continue;
+          if (auto admitted = attempt(s)) return admitted;
+        }
+      }
+      continue;
+    }
     int anchors = 1;
     switch (scope) {
       case Scope::kServer:
-        anchors = topo_.num_servers();
-        break;
+        break;  // handled above
       case Scope::kRack:
         anchors = topo_.num_racks();
         break;
@@ -415,21 +540,11 @@ std::optional<AdmittedTenant> PlacementEngine::place(
     }
     for (int a = 0; a < anchors; ++a) {
       // Cheap slot-count skips keep first-fit fast in large datacenters.
-      if (scope == Scope::kServer && free_slots_[a] < request.num_vms)
-        continue;
       if (scope == Scope::kRack && free_slots_rack_[a] < request.num_vms)
         continue;
       if (scope == Scope::kPod && free_slots_pod_[a] < request.num_vms)
         continue;
-      if (auto counts = try_scope(request, scope, a)) {
-        TenantRecord rec;
-        rec.request = request;
-        rec.slot_usage = *counts;
-        rec.contributions = tenant_contributions(request, *counts, scope);
-        AdmittedTenant admitted;
-        commit(std::move(rec), admitted);
-        return admitted;
-      }
+      if (auto admitted = attempt(a)) return admitted;
     }
   }
   return std::nullopt;
@@ -438,15 +553,24 @@ std::optional<AdmittedTenant> PlacementEngine::place(
 void PlacementEngine::commit(TenantRecord&& rec, AdmittedTenant& out) {
   out.id = next_id_++;
   for (const auto& [server, count] : rec.slot_usage) {
-    free_slots_[server] -= count;
-    free_slots_rack_[topo_.rack_of_server(server)] -= count;
-    free_slots_pod_[topo_.pod_of_server(server)] -= count;
-    free_slots_total_ -= count;
+    adjust_free_slots(server, -count);
     for (int i = 0; i < count; ++i) out.vm_to_server.push_back(server);
   }
-  for (const auto& [port, c] : rec.contributions) port_load_[port].add(c);
+  for (const auto& [port, c] : rec.contributions) {
+    port_load_[port].add(c);
+    touch_port(port);
+  }
   rec.vm_to_server = out.vm_to_server;
+  rec.used_ports = used_ports_for(rec.slot_usage);
+  if (mode_ == AdmissionMode::kIncremental) {
+    // Ids are monotonic, so push_back keeps every index list sorted.
+    for (const auto& [server, count] : rec.slot_usage)
+      tenants_by_server_[static_cast<std::size_t>(server)].push_back(out.id);
+    for (int p : rec.used_ports)
+      tenants_by_port_[static_cast<std::size_t>(p)].push_back(out.id);
+  }
   tenants_.emplace(out.id, std::move(rec));
+  if (mode_ == AdmissionMode::kFullRescan) rebuild_port_loads();
 }
 
 void PlacementEngine::remove(TenantId id) {
@@ -459,14 +583,70 @@ void PlacementEngine::remove(TenantId id) {
       quarantined_slots_[static_cast<std::size_t>(server)] += count;
       continue;
     }
-    free_slots_[server] += count;
-    free_slots_rack_[topo_.rack_of_server(server)] += count;
-    free_slots_pod_[topo_.pod_of_server(server)] += count;
-    free_slots_total_ += count;
+    adjust_free_slots(server, count);
   }
-  for (const auto& [port, c] : it->second.contributions)
+  for (const auto& [port, c] : it->second.contributions) {
     port_load_[port].remove(c);
+    touch_port(port);
+  }
+  if (mode_ == AdmissionMode::kIncremental) {
+    auto drop = [id](std::vector<TenantId>& list) {
+      list.erase(std::find(list.begin(), list.end(), id));
+    };
+    for (const auto& [server, count] : it->second.slot_usage)
+      drop(tenants_by_server_[static_cast<std::size_t>(server)]);
+    for (int p : it->second.used_ports)
+      drop(tenants_by_port_[static_cast<std::size_t>(p)]);
+  }
   tenants_.erase(it);
+  if (mode_ == AdmissionMode::kFullRescan) rebuild_port_loads();
+}
+
+void PlacementEngine::rebuild_port_loads() {
+  // The kFullRescan baseline: forget every aggregate and re-sum all
+  // admitted tenants' contributions — O(tenants x ports-per-tenant) per
+  // admit/release, the cost profile the sharded path exists to avoid.
+  for (auto& load : port_load_) load = PortLoad{};
+  for (const auto& [id, rec] : tenants_)
+    for (const auto& [port, c] : rec.contributions) port_load_[port].add(c);
+  std::fill(shard_dirty_.begin(), shard_dirty_.end(), 1);
+}
+
+void PlacementEngine::refresh_shard(std::size_t shard) const {
+  double resv = 0.0, qfrac = 0.0;
+  for (int p : shard_ports_[shard]) {
+    const topology::PortId id{p};
+    const auto& port = topo_.port(id);
+    const auto& load = port_load_[p];
+    if (load.empty()) continue;
+    resv = std::max(resv, load.rate_bps() / port.rate.bps());
+    const TimeNs bound = port_queue_bound(id);
+    if (bound >= TimeNs{0} && port.queue_capacity > TimeNs{0})
+      qfrac = std::max(qfrac, static_cast<double>(bound) /
+                                  static_cast<double>(port.queue_capacity));
+  }
+  shard_max_resv_[shard] = resv;
+  shard_max_qfrac_[shard] = qfrac;
+  shard_dirty_[shard] = 0;
+}
+
+void PlacementEngine::refresh_dirty_shards() const {
+  for (std::size_t sh = 0; sh < shard_dirty_.size(); ++sh)
+    if (shard_dirty_[sh]) refresh_shard(sh);
+}
+
+double PlacementEngine::max_port_reservation() const {
+  refresh_dirty_shards();
+  double out = 0.0;
+  for (double v : shard_max_resv_) out = std::max(out, v);
+  return out;
+}
+
+double PlacementEngine::max_queue_headroom_used() const {
+  refresh_dirty_shards();
+  double out = 0.0;
+  for (double v : shard_max_qfrac_) out = std::max(out, v);
+  return out;
 }
 
 double PlacementEngine::port_reservation(topology::PortId p) const {

@@ -35,6 +35,17 @@ enum class Policy {
 /// Topology scopes in packing order.
 enum class Scope { kServer = 0, kRack = 1, kPod = 2, kDatacenter = 3 };
 
+/// How admission maintains its derived state.
+///
+/// kIncremental (the default) shards per-port load and headroom caches by
+/// rack/pod/DC and maintains per-server and per-port tenant indexes, so an
+/// admit or release touches only the shards on the tenant's placement
+/// path. kFullRescan is the reference baseline: after every mutation it
+/// recomputes all port loads from the tenant map and answers index queries
+/// by scanning every tenant — the quadratic behaviour the incremental path
+/// replaces. Both modes make bit-identical placement decisions.
+enum class AdmissionMode { kIncremental, kFullRescan };
+
 struct AdmittedTenant {
   TenantId id = -1;
   std::vector<int> vm_to_server;  ///< VM index -> server index
@@ -50,7 +61,8 @@ class PlacementEngine {
   /// (ablation: the naive m*B bound admits strictly fewer tenants).
   PlacementEngine(const topology::Topology& topo, Policy policy,
                   TimeNs nic_delay_allowance = 50 * kUsec,
-                  bool hose_tightening = true);
+                  bool hose_tightening = true,
+                  AdmissionMode mode = AdmissionMode::kIncremental);
 
   /// Admission control + placement. Returns nullopt when the request
   /// cannot be accommodated (its guarantees would be violated, or would
@@ -87,9 +99,20 @@ class PlacementEngine {
 
   int free_slots() const { return free_slots_total_; }
   int admitted_tenants() const { return static_cast<int>(tenants_.size()); }
+  AdmissionMode admission_mode() const { return mode_; }
 
   /// Fraction of a port's line rate reserved by admitted tenants.
   double port_reservation(topology::PortId p) const;
+
+  /// Highest port_reservation() over every port. Incremental mode answers
+  /// from the per-rack/pod/DC shard caches, recomputing only shards whose
+  /// load changed since the last query; kFullRescan scans every port.
+  double max_port_reservation() const;
+
+  /// Worst admitted queue bound anywhere, as a fraction of that port's
+  /// queue capacity (<= 1 by construction for Silo policy). Same shard
+  /// caching as max_port_reservation().
+  double max_queue_headroom_used() const;
 
   /// Worst-case queuing delay currently admitted at a port (ns); 0 for an
   /// idle port. Exposed for tests and the placement example.
@@ -107,6 +130,7 @@ class PlacementEngine {
     std::vector<int> vm_to_server;
     std::vector<std::pair<int, PortContribution>> contributions;  // port -> c
     std::vector<std::pair<int, int>> slot_usage;  // server -> count
+    std::vector<int> used_ports;  // sorted; ports this placement routes over
   };
 
   // Per-server VM counts for a candidate placement.
@@ -137,14 +161,30 @@ class PlacementEngine {
   Scope widest_scope_for_delay(const SiloGuarantee& g) const;
   void commit(TenantRecord&& rec, AdmittedTenant& out);
   bool placement_uses_port(const TenantRecord& rec, int port) const;
+  std::vector<int> used_ports_for(const CountMap& counts) const;
+
+  /// Slot bookkeeping for one server: free_slots_, the rack/pod/total
+  /// aggregates, and the per-rack max-free cache all move together.
+  void adjust_free_slots(int server, int delta);
+  void recompute_rack_max_free(int rack);
+
+  /// Mark the shard owning `port` stale after a load change.
+  void touch_port(int port);
+  void refresh_shard(std::size_t shard) const;
+  void refresh_dirty_shards() const;
+  /// kFullRescan baseline: rebuild every port's aggregate load from the
+  /// tenant map (the cost the sharded incremental path avoids).
+  void rebuild_port_loads();
 
   const topology::Topology& topo_;
   Policy policy_;
   TimeNs nic_delay_allowance_;
   bool hose_tightening_;
+  AdmissionMode mode_;
   std::vector<int> free_slots_;
   std::vector<int> free_slots_rack_;  // fast skip of full racks/pods
   std::vector<int> free_slots_pod_;
+  std::vector<int> rack_max_free_;  // max free slots on any server in rack
   int free_slots_total_ = 0;
   std::vector<PortLoad> port_load_;
   std::vector<char> server_failed_;
@@ -152,6 +192,23 @@ class PlacementEngine {
   std::vector<char> port_failed_;
   std::map<TenantId, TenantRecord> tenants_;
   TenantId next_id_ = 0;
+
+  // --- Sharded derived state (incremental mode) --------------------------
+  // Shard layout: one shard per rack (owning its servers' NIC/ToR ports),
+  // one per pod (owning its racks' up/down ports), one for the DC core
+  // (pod up/down ports). A load change dirties only the owning shard; the
+  // max-headroom queries recompute dirty shards and fold cached maxima.
+  std::vector<int> shard_of_port_;
+  std::vector<std::vector<int>> shard_ports_;
+  mutable std::vector<char> shard_dirty_;
+  mutable std::vector<double> shard_max_resv_;
+  mutable std::vector<double> shard_max_qfrac_;
+  // Tenant indexes so failure handling touches only the affected shards
+  // instead of scanning every tenant. Ids are kept sorted (admission ids
+  // are monotonic). Maintained in incremental mode only; kFullRescan
+  // answers the same queries by scanning the tenant map.
+  std::vector<std::vector<TenantId>> tenants_by_server_;
+  std::vector<std::vector<TenantId>> tenants_by_port_;
 };
 
 }  // namespace silo::placement

@@ -71,12 +71,14 @@ std::vector<std::pair<double, double>> Stats::cdf(std::size_t points) const {
   std::vector<std::pair<double, double>> out;
   if (samples_.empty() || points == 0) return out;
   out.reserve(points);
+  const std::size_t n = samples_.size();
   for (std::size_t i = 1; i <= points; ++i) {
     const double frac = static_cast<double>(i) / static_cast<double>(points);
-    const auto idx = std::min(
-        samples_.size() - 1,
-        static_cast<std::size_t>(frac * static_cast<double>(samples_.size())));
-    out.emplace_back(frac, samples_[idx]);
+    // The value at cumulative fraction f is the ceil(f*n)-th order
+    // statistic; integer arithmetic (f = i/points) keeps the ceiling exact
+    // where floating-point rounding of f*n could straddle an integer.
+    const std::size_t rank = (i * n + points - 1) / points;  // ceil(i*n/points)
+    out.emplace_back(frac, samples_[std::min(n - 1, rank - 1)]);
   }
   return out;
 }
@@ -93,6 +95,10 @@ TextTable::TextTable(std::vector<std::string> header)
     : header_(std::move(header)) {}
 
 void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument(
+        "TextTable::add_row: " + std::to_string(cells.size()) +
+        " cells for a " + std::to_string(header_.size()) + "-column header");
   rows_.push_back(std::move(cells));
 }
 

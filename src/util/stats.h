@@ -31,6 +31,11 @@ class Stats {
   /// Fraction of samples strictly greater than `threshold`.
   double fraction_above(double threshold) const;
 
+  /// Raw sample vector. Order contract: insertion order is preserved only
+  /// until the first order-statistic query (percentile/median/min/max/
+  /// fraction_above/cdf), which sorts the vector in place; after any such
+  /// query this view is sorted ascending. Callers needing arrival order
+  /// must copy before querying.
   const std::vector<double>& samples() const { return samples_; }
 
   /// Evenly spaced CDF points (value at each of `points` cumulative
@@ -50,6 +55,8 @@ class TextTable {
  public:
   explicit TextTable(std::vector<std::string> header);
 
+  /// Throws std::invalid_argument unless `cells` matches the header's
+  /// column count — malformed bench tables must fail loudly, not truncate.
   void add_row(std::vector<std::string> cells);
   std::string to_string() const;
 

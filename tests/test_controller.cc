@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "core/controller.h"
+#include "util/rng.h"
 
 namespace silo {
 namespace {
@@ -224,6 +227,205 @@ TEST(Controller, ServerFailureUnplacedWhenNoSlotsThenRestored) {
   EXPECT_EQ(ctl.tenant_status(h->id), TenantStatus::kGuaranteed);
   EXPECT_EQ(ctl.stats().unplaced_tenants, 0);
   EXPECT_EQ(ctl.stats().free_slots, 0);  // both slots in use again
+}
+
+// --- Incremental pacer-config diff protocol (goldens) ---------------------
+
+/// Hypervisor-side model: every server's PacerConfigTable fed only by
+/// drained deltas. apply() folds the controller's queue; verify() pins each
+/// table's checksum against a freshly computed full snapshot.
+struct PacerFleet {
+  std::map<int, PacerConfigTable> tables;
+
+  void apply(SiloController& ctl) {
+    for (const auto& delta : ctl.drain_config_deltas()) {
+      ASSERT_GE(delta.server, 0);
+      tables[delta.server].apply(delta);
+    }
+  }
+  void verify(const SiloController& ctl) {
+    for (int s = 0; s < ctl.topo().num_servers(); ++s) {
+      const auto snapshot = ctl.server_config(s);
+      const auto it = tables.find(s);
+      const std::uint64_t applied =
+          it == tables.end() ? pacer_config_checksum({}) : it->second.checksum();
+      ASSERT_EQ(applied, pacer_config_checksum(snapshot)) << "server " << s;
+      if (it != tables.end())
+        ASSERT_EQ(it->second.size(), snapshot.size()) << "server " << s;
+    }
+  }
+};
+
+TEST(ControllerDiff, AdmitEmitsOneDeltaPerAffectedServer) {
+  SiloController ctl(small_dc());
+  const auto h = ctl.admit(tenant(6));
+  ASSERT_TRUE(h);
+  const auto deltas = ctl.drain_config_deltas();
+  std::map<int, int> upserts_by_server;
+  for (const auto& d : deltas) {
+    EXPECT_TRUE(d.removes.empty());  // fresh tenant: nothing to remove
+    upserts_by_server[d.server] += static_cast<int>(d.upserts.size());
+  }
+  std::map<int, int> expected;
+  for (int s : h->vm_to_server) ++expected[s];
+  EXPECT_EQ(upserts_by_server, expected);
+  EXPECT_TRUE(ctl.drain_config_deltas().empty());  // drain is destructive
+  EXPECT_EQ(ctl.metrics().value("controller.diff.deltas"),
+            static_cast<std::int64_t>(deltas.size()));
+  EXPECT_EQ(ctl.metrics().value("controller.diff.upserts"), 6);
+  EXPECT_EQ(ctl.metrics().value("controller.diff.removes"), 0);
+}
+
+TEST(ControllerDiff, BestEffortTenantsEmitNoDeltas) {
+  SiloController ctl(small_dc());
+  TenantRequest be = tenant(4);
+  be.tenant_class = TenantClass::kBestEffort;
+  const auto h = ctl.admit(be);
+  ASSERT_TRUE(h);
+  EXPECT_TRUE(ctl.drain_config_deltas().empty());
+  ctl.release(*h);
+  EXPECT_TRUE(ctl.drain_config_deltas().empty());
+}
+
+TEST(ControllerDiff, ReleaseThenReadmitReproducesSnapshotChecksums) {
+  // Satellite: release -> re-admit under sharded state must restore stats
+  // and leave the delta-applied pacer state checksum-identical to freshly
+  // computed full snapshots at every step.
+  SiloController ctl(small_dc());
+  PacerFleet fleet;
+
+  const auto a = ctl.admit(tenant(8));
+  ASSERT_TRUE(a);
+  fleet.apply(ctl);
+  fleet.verify(ctl);
+  const auto only_a = ctl.stats();
+
+  const auto b = ctl.admit(tenant(6, 800 * kMbps));
+  ASSERT_TRUE(b);
+  fleet.apply(ctl);
+  fleet.verify(ctl);
+
+  ctl.release(*b);
+  fleet.apply(ctl);
+  fleet.verify(ctl);
+  const auto released = ctl.stats();
+  EXPECT_EQ(released.free_slots, only_a.free_slots);
+  EXPECT_NEAR(released.max_port_reservation, only_a.max_port_reservation,
+              1e-12);
+  EXPECT_NEAR(released.max_queue_headroom_used,
+              only_a.max_queue_headroom_used, 1e-12);
+
+  const auto b2 = ctl.admit(tenant(6, 800 * kMbps));
+  ASSERT_TRUE(b2);
+  EXPECT_EQ(b2->vm_to_server, b->vm_to_server);
+  fleet.apply(ctl);
+  fleet.verify(ctl);
+}
+
+TEST(ControllerDiff, FailureRecoveryDeltasTrackSnapshots) {
+  SiloController ctl(small_dc());
+  PacerFleet fleet;
+  std::vector<TenantHandle> live;
+  for (int i = 0; i < 4; ++i) {
+    const auto h = ctl.admit(tenant(5, 400 * kMbps));
+    ASSERT_TRUE(h);
+    live.push_back(*h);
+  }
+  fleet.apply(ctl);
+  fleet.verify(ctl);
+
+  const int victim = live[0].vm_to_server.front();
+  ctl.handle_server_failure(victim);
+  fleet.apply(ctl);
+  fleet.verify(ctl);  // replaced/degraded/unplaced all reflected via deltas
+
+  ctl.restore_server(victim);
+  fleet.apply(ctl);
+  fleet.verify(ctl);
+
+  const auto dead = ctl.topo().server_down(live[1].vm_to_server.front());
+  ctl.handle_link_failure(dead);
+  fleet.apply(ctl);
+  fleet.verify(ctl);
+
+  ctl.restore_link(dead);
+  fleet.apply(ctl);
+  fleet.verify(ctl);
+}
+
+TEST(ControllerDiff, ChurnStormMatchesFullRescanController) {
+  // Drive an incremental and a full-rescan controller with the identical
+  // op sequence: placements, stats and per-server config checksums must
+  // stay bit-identical, and the incremental side's delta stream must keep
+  // reproducing its own snapshots.
+  SiloController::Options inc_opts;
+  SiloController::Options full_opts;
+  full_opts.admission_mode = placement::AdmissionMode::kFullRescan;
+  SiloController inc(small_dc(), inc_opts);
+  SiloController full(small_dc(), full_opts);
+  PacerFleet fleet;
+
+  Rng rng(11);
+  std::vector<std::pair<TenantHandle, TenantHandle>> live;
+  const auto check = [&] {
+    const auto si = inc.stats();
+    const auto sf = full.stats();
+    ASSERT_EQ(si.free_slots, sf.free_slots);
+    ASSERT_EQ(si.admitted_tenants, sf.admitted_tenants);
+    ASSERT_EQ(si.degraded_tenants, sf.degraded_tenants);
+    ASSERT_EQ(si.unplaced_tenants, sf.unplaced_tenants);
+    ASSERT_DOUBLE_EQ(si.max_port_reservation, sf.max_port_reservation);
+    ASSERT_DOUBLE_EQ(si.max_queue_headroom_used, sf.max_queue_headroom_used);
+    for (int s = 0; s < inc.topo().num_servers(); ++s)
+      ASSERT_EQ(pacer_config_checksum(inc.server_config(s)),
+                pacer_config_checksum(full.server_config(s)));
+    fleet.apply(inc);
+    fleet.verify(inc);
+    ASSERT_TRUE(full.drain_config_deltas().empty());  // full mode: no diffs
+  };
+
+  for (int step = 0; step < 120; ++step) {
+    const auto roll = rng.uniform_int(0, 9);
+    if (roll < 5) {
+      const int vms = 2 + static_cast<int>(rng.uniform_int(0, 5));
+      const auto req = tenant(vms, 300 * kMbps);
+      const auto a = inc.admit(req);
+      const auto b = full.admit(req);
+      ASSERT_EQ(a.has_value(), b.has_value()) << "step " << step;
+      if (a) {
+        ASSERT_EQ(a->vm_to_server, b->vm_to_server);
+        live.emplace_back(*a, *b);
+      }
+    } else if (roll < 8 && !live.empty()) {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      inc.release(live[i].first);
+      full.release(live[i].second);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (roll == 8) {
+      const int s = static_cast<int>(
+          rng.uniform_int(0, inc.topo().num_servers() - 1));
+      if (!inc.placement().server_failed(s)) {
+        inc.handle_server_failure(s);
+        full.handle_server_failure(s);
+        check();
+        inc.restore_server(s);
+        full.restore_server(s);
+      }
+    } else {
+      const int s = static_cast<int>(
+          rng.uniform_int(0, inc.topo().num_servers() - 1));
+      const auto p = inc.topo().server_down(s);
+      if (!inc.placement().port_failed(p)) {
+        inc.handle_link_failure(p);
+        full.handle_link_failure(p);
+        check();
+        inc.restore_link(p);
+        full.restore_link(p);
+      }
+    }
+    check();
+  }
 }
 
 }  // namespace

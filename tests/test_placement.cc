@@ -5,6 +5,7 @@
 #include <set>
 
 #include "placement/placement.h"
+#include "util/rng.h"
 
 namespace silo::placement {
 namespace {
@@ -286,6 +287,91 @@ TEST_P(PlacementInvariant, QueueBoundsHold) {
 
 INSTANTIATE_TEST_SUITE_P(TenantSizes, PlacementInvariant,
                          ::testing::Values(2, 3, 5, 8, 12, 16));
+
+// The tentpole correctness bar: a seeded admit/release/fail/restore storm
+// must produce bit-identical decisions and derived state in incremental
+// (sharded, cached) and full-rescan (reference rebuild) modes.
+TEST(Placement, IncrementalModeMatchesFullRescanUnderChurn) {
+  topology::Topology topo(small_topo());
+  PlacementEngine inc(topo, Policy::kSilo, 50 * kUsec, true,
+                      AdmissionMode::kIncremental);
+  PlacementEngine full(topo, Policy::kSilo, 50 * kUsec, true,
+                       AdmissionMode::kFullRescan);
+  ASSERT_EQ(inc.admission_mode(), AdmissionMode::kIncremental);
+  ASSERT_EQ(full.admission_mode(), AdmissionMode::kFullRescan);
+
+  Rng rng(7);
+  std::vector<TenantId> live_inc, live_full;
+  const auto check_state = [&] {
+    ASSERT_EQ(inc.free_slots(), full.free_slots());
+    ASSERT_EQ(inc.admitted_tenants(), full.admitted_tenants());
+    ASSERT_DOUBLE_EQ(inc.max_port_reservation(), full.max_port_reservation());
+    ASSERT_DOUBLE_EQ(inc.max_queue_headroom_used(),
+                     full.max_queue_headroom_used());
+    for (int p = 0; p < topo.num_ports(); ++p) {
+      const auto id = topology::PortId{p};
+      ASSERT_DOUBLE_EQ(inc.port_reservation(id), full.port_reservation(id));
+      ASSERT_EQ(inc.port_queue_bound(id), full.port_queue_bound(id));
+    }
+    for (int s = 0; s < topo.num_servers(); ++s)
+      ASSERT_EQ(inc.tenants_on_server(s), full.tenants_on_server(s));
+  };
+
+  for (int step = 0; step < 200; ++step) {
+    const auto roll = rng.uniform_int(0, 9);
+    if (roll < 5) {  // admit
+      const int vms = 2 + static_cast<int>(rng.uniform_int(0, 6));
+      const auto req = (rng.uniform_int(0, 1) != 0)
+                           ? class_a(vms, 300 * kMbps)
+                           : class_b(vms, 500 * kMbps);
+      const auto a = inc.place(req);
+      const auto b = full.place(req);
+      ASSERT_EQ(a.has_value(), b.has_value()) << "step " << step;
+      if (a) {
+        ASSERT_EQ(a->vm_to_server, b->vm_to_server) << "step " << step;
+        ASSERT_EQ(a->id, b->id);
+        live_inc.push_back(a->id);
+        live_full.push_back(b->id);
+      }
+    } else if (roll < 8 && !live_inc.empty()) {  // release
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live_inc.size()) - 1));
+      inc.remove(live_inc[i]);
+      full.remove(live_full[i]);
+      live_inc.erase(live_inc.begin() + static_cast<std::ptrdiff_t>(i));
+      live_full.erase(live_full.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (roll == 8) {  // server fail + restore
+      const int s = static_cast<int>(
+          rng.uniform_int(0, topo.num_servers() - 1));
+      if (!inc.server_failed(s)) {
+        inc.fail_server(s);
+        full.fail_server(s);
+        check_state();
+        inc.restore_server(s);
+        full.restore_server(s);
+      }
+    } else {  // link fail + restore
+      const auto p = topology::PortId{
+          static_cast<int>(rng.uniform_int(0, topo.num_ports() - 1))};
+      if (!inc.port_failed(p)) {
+        inc.fail_port(p);
+        full.fail_port(p);
+        const auto req = class_a(4, 200 * kMbps);
+        const auto a = inc.place(req);
+        const auto b = full.place(req);
+        ASSERT_EQ(a.has_value(), b.has_value());
+        if (a) {
+          ASSERT_EQ(a->vm_to_server, b->vm_to_server);
+          inc.remove(a->id);
+          full.remove(b->id);
+        }
+        inc.restore_port(p);
+        full.restore_port(p);
+      }
+    }
+    check_state();
+  }
+}
 
 }  // namespace
 }  // namespace silo::placement

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "util/rng.h"
 #include "util/stats.h"
@@ -145,6 +146,46 @@ TEST(Stats, SingleSampleEdgeCases) {
     EXPECT_LE(frac, 1.0);
     EXPECT_DOUBLE_EQ(value, 5.0);
   }
+}
+
+TEST(Stats, CdfIsCeilOrderStatistic) {
+  // The value at cumulative fraction f must be the ceil(f*n)-th sample.
+  // The old floor(f*n) index reported every point one sample high: at
+  // f=0.25 over {10,20,30,40} it returned 20 instead of 10.
+  Stats s;
+  for (double v : {40.0, 10.0, 30.0, 20.0}) s.add(v);
+  const auto cdf = s.cdf(4);
+  ASSERT_EQ(cdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(cdf[0].second, 10.0);  // ceil(0.25*4) = 1st sample
+  EXPECT_DOUBLE_EQ(cdf[1].second, 20.0);
+  EXPECT_DOUBLE_EQ(cdf[2].second, 30.0);
+  EXPECT_DOUBLE_EQ(cdf[3].second, 40.0);
+  // Fractions that don't land on a sample boundary round *up*: over n=4
+  // samples, f=0.5 needs the 2nd sample but f=0.34 already the 2nd too.
+  const auto coarse = s.cdf(3);
+  EXPECT_DOUBLE_EQ(coarse[0].second, 20.0);  // ceil(4/3) = 2nd sample
+  EXPECT_DOUBLE_EQ(coarse[1].second, 30.0);  // ceil(8/3) = 3rd
+  EXPECT_DOUBLE_EQ(coarse[2].second, 40.0);
+}
+
+TEST(Stats, CdfAgreesWithPercentile) {
+  // Where both definitions pick an exact order statistic they must agree:
+  // the final point is the max, and for odd n the midpoint is the median.
+  Stats s;
+  for (double v : {5.0, 1.0, 4.0, 2.0, 3.0}) s.add(v);
+  const auto cdf = s.cdf(5);
+  ASSERT_EQ(cdf.size(), 5u);
+  EXPECT_DOUBLE_EQ(cdf.back().second, s.percentile(100));
+  EXPECT_DOUBLE_EQ(cdf[2].second, s.percentile(50));  // f=0.6 -> 3rd of 5
+  EXPECT_DOUBLE_EQ(cdf[0].second, s.percentile(0));   // f=0.2 -> 1st of 5
+}
+
+TEST(TextTable, AddRowRejectsColumnMismatch) {
+  TextTable t({"a", "b", "c"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3", "4"}), std::invalid_argument);
+  t.add_row({"1", "2", "3"});
+  EXPECT_NE(t.to_string().find("3"), std::string::npos);
 }
 
 TEST(Stats, CdfZeroPointsIsEmpty) {
