@@ -1,0 +1,177 @@
+// Flow-simulator solver scaling: event-driven incremental component
+// re-solve (SolverMode::kIncremental) versus the global re-solve reference
+// (SolverMode::kReference) at 256 / 1K / 4K servers.
+//
+// Both modes run the identical seeded workload on the identical
+// event-driven timeline; the bench checks the correctness bar inline
+// (admitted counts, completed jobs, utilization and occupancy must be
+// bit-identical across modes) before reporting the speedup. The reference
+// re-solves every open flow (locality) or every live tenant (Silo) on each
+// flow arrival/completion — quadratic-ish in load, which is exactly why
+// the incremental mode exists — so per-size durations keep it tractable.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "flowsim/flow_sim.h"
+
+using namespace silo;
+using namespace silo::bench;
+using namespace silo::flowsim;
+
+namespace {
+
+struct ScaleSpec {
+  const char* name;
+  int pods, racks_per_pod, servers_per_rack;
+  double duration_s;  ///< sim horizon; shorter at sizes where kReference
+                      ///< would otherwise dominate the bench's wall clock
+  int servers() const { return pods * racks_per_pod * servers_per_rack; }
+};
+
+constexpr ScaleSpec kScales[] = {
+    {"256", 4, 4, 16, 300.0},
+    {"1k", 8, 8, 16, 120.0},
+    {"4k", 4, 40, 25, 60.0},
+};
+
+struct ModeRun {
+  FlowSimResult result;
+  double wall_s = 0;
+};
+
+ModeRun run_mode(const ScaleSpec& spec, placement::Policy policy,
+                 SolverMode mode, double occupancy, double duration_scale,
+                 std::uint64_t seed) {
+  FlowSimConfig cfg;
+  cfg.topo.pods = spec.pods;
+  cfg.topo.racks_per_pod = spec.racks_per_pod;
+  cfg.topo.servers_per_rack = spec.servers_per_rack;
+  cfg.policy = policy;
+  cfg.solver = mode;
+  cfg.occupancy = occupancy;
+  cfg.mean_vms = 16.0;
+  cfg.sim_duration_s = spec.duration_s * duration_scale;
+  cfg.warmup_s = cfg.sim_duration_s / 4;
+  cfg.seed = seed;
+  ModeRun out;
+  const auto start = std::chrono::steady_clock::now();
+  out.result = run_flow_sim(cfg);
+  out.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
+}
+
+bool bit_identical(const FlowSimResult& a, const FlowSimResult& b) {
+  return a.arrivals == b.arrivals && a.admitted == b.admitted &&
+         a.admitted_a == b.admitted_a && a.admitted_b == b.admitted_b &&
+         a.completed_jobs == b.completed_jobs &&
+         a.network_utilization == b.network_utilization &&
+         a.avg_occupancy == b.avg_occupancy &&
+         a.avg_job_duration_s == b.avg_job_duration_s;
+}
+
+const char* policy_name(placement::Policy p) {
+  return p == placement::Policy::kSilo ? "Silo" : "Locality";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::string sizes = flags.gets("sizes", "256,1k,4k");
+  const double occupancy = flags.get("occupancy", 0.9);
+  const double duration_scale = flags.get("duration-scale", 1.0);
+  const auto seed = static_cast<std::uint64_t>(flags.geti("seed", 9));
+
+  print_header(
+      "Flow-simulator solver scaling: incremental vs global reference",
+      "Identical seeded event-driven runs per mode; kIncremental re-solves\n"
+      "only the touched sharing-graph component (locality) or tenant hose\n"
+      "(Silo), kReference re-solves globally per flow change. Results must\n"
+      "be bit-identical; the speedup is pure solver savings.");
+
+  TextTable table({"scale", "policy", "inc wall s", "ref wall s", "speedup",
+                   "inc flows/solve", "ref flows/solve", "golden"});
+  JsonObject json;
+  json.put("bench", std::string("flowsim_scale"))
+      .put("occupancy", occupancy)
+      .put("seed", static_cast<std::int64_t>(seed));
+  bool all_golden = true;
+  double speedup_4k = 0;
+
+  for (const auto& spec : kScales) {
+    if (sizes.find(spec.name) == std::string::npos) continue;
+    for (const auto policy :
+         {placement::Policy::kSilo, placement::Policy::kLocality}) {
+      const auto inc = run_mode(spec, policy, SolverMode::kIncremental,
+                                occupancy, duration_scale, seed);
+      const auto ref = run_mode(spec, policy, SolverMode::kReference,
+                                occupancy, duration_scale, seed);
+      const bool golden = bit_identical(inc.result, ref.result);
+      all_golden = all_golden && golden;
+      const double speedup = ref.wall_s / inc.wall_s;
+      if (std::string(spec.name) == "4k" &&
+          policy == placement::Policy::kSilo)
+        speedup_4k = speedup;
+      const auto per_solve = [](const FlowSimPerf& p) {
+        return p.solves ? static_cast<double>(p.solved_flows) /
+                              static_cast<double>(p.solves)
+                        : 0.0;
+      };
+      table.add_row({spec.name, policy_name(policy),
+                     TextTable::fmt(inc.wall_s, 2),
+                     TextTable::fmt(ref.wall_s, 2),
+                     TextTable::fmt(speedup, 1),
+                     TextTable::fmt(per_solve(inc.result.perf), 1),
+                     TextTable::fmt(per_solve(ref.result.perf), 1),
+                     golden ? "ok" : "MISMATCH"});
+
+      JsonObject entry;
+      entry.put("servers", spec.servers())
+          .put("sim_duration_s", spec.duration_s * duration_scale)
+          .put("inc_wall_s", inc.wall_s)
+          .put("ref_wall_s", ref.wall_s)
+          .put("speedup", speedup)
+          .put("events", inc.result.perf.events)
+          .put("inc_solves", inc.result.perf.solves)
+          .put("ref_solves", ref.result.perf.solves)
+          .put("inc_solved_flows", inc.result.perf.solved_flows)
+          .put("ref_solved_flows", ref.result.perf.solved_flows)
+          .put("inc_rate_changes", inc.result.perf.rate_changes)
+          .put("ref_rate_changes", ref.result.perf.rate_changes)
+          .put("stale_predictions", inc.result.perf.stale_predictions)
+          .put("admitted", inc.result.admitted)
+          .put("completed_jobs", inc.result.completed_jobs)
+          .put("network_utilization", inc.result.network_utilization)
+          .put("golden_ok", std::string(golden ? "true" : "false"));
+      json.put(std::string(spec.name) + "_" + policy_name(policy), entry);
+    }
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("golden: admitted counts, completed jobs, utilization and\n"
+              "occupancy %s bit-for-bit across solver modes.\n",
+              all_golden ? "agree" : "DISAGREE — investigate");
+
+  if (flags.has("json")) {
+    json.put("all_golden", std::string(all_golden ? "true" : "false"));
+    if (speedup_4k > 0) json.put("speedup_4k_silo", speedup_4k);
+    write_json_file("BENCH_flowsim.json", json);
+  }
+
+  obs::RunManifest m;
+  m.bench = "flowsim_scale";
+  m.seed = static_cast<std::int64_t>(seed);
+  m.topology = {{"pods", kScales[2].pods},
+                {"racks_per_pod", kScales[2].racks_per_pod},
+                {"servers_per_rack", kScales[2].servers_per_rack},
+                {"vm_slots_per_server", 8}};
+  m.params = {{"sizes", sizes},
+              {"occupancy", TextTable::fmt(occupancy, 2)}};
+  maybe_write_manifest(flags, m);
+  return all_golden ? 0 : 1;
+}

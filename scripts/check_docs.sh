@@ -55,26 +55,33 @@ done
 ndoc=$(echo "$doc_metrics" | wc -w)
 nsrc=$(echo "$src_metrics" | wc -w)
 
-# ---- 3. controller.diff.* family -----------------------------------------
-# The incremental pacer-config protocol's metric family, cross-checked as
-# a set in both directions: the per-name check above would stay quiet if
-# the whole family vanished from both sides (e.g. a prefix rename), so
-# this one additionally fails when no controller.diff.* metric exists.
-diff_src=$(grep -rhoE '"controller\.diff\.[a-z_]+"' src/core \
-             --include='*.cc' --include='*.h' | tr -d '"' | sort -u)
-diff_doc=$(grep -oE '`controller\.diff\.[a-z_]+`' docs/OBSERVABILITY.md \
-             | tr -d '`' | sort -u)
-if [ -z "$diff_src" ]; then
-  echo "NO controller.diff.* METRICS REGISTERED IN src/core"
-  fail=1
-fi
-if [ "$diff_src" != "$diff_doc" ]; then
-  echo "controller.diff.* FAMILY MISMATCH between src/core and OBSERVABILITY.md"
-  echo "  registered: " $diff_src
-  echo "  documented: " $diff_doc
-  fail=1
-fi
-ndiff=$(echo "$diff_src" | wc -w)
+# ---- 3. metric families cross-checked as sets ----------------------------
+# The per-name check above would stay quiet if a whole family vanished
+# from both sides (e.g. a prefix rename), so these additionally fail when
+# a family has no registrations at all. controller.diff.* spans layers
+# (emission counters in src/core, apply-side counters in src/sim), hence
+# the whole-src/ scope.
+check_family() {  # sets $family_count; flags $fail on mismatch
+  local prefix="$1"
+  local src doc
+  src=$(grep -rhoE "\"${prefix}\.[a-z_]+\"" src/ \
+          --include='*.cc' --include='*.h' | tr -d '"' | sort -u)
+  doc=$(grep -oE "\`${prefix}\.[a-z_]+\`" docs/OBSERVABILITY.md \
+          | tr -d '`' | sort -u)
+  if [ -z "$src" ]; then
+    echo "NO ${prefix}.* METRICS REGISTERED IN src/"
+    fail=1
+  fi
+  if [ "$src" != "$doc" ]; then
+    echo "${prefix}.* FAMILY MISMATCH between src/ and OBSERVABILITY.md"
+    echo "  registered: " $src
+    echo "  documented: " $doc
+    fail=1
+  fi
+  family_count=$(echo "$src" | wc -w)
+}
+check_family 'controller\.diff'; ndiff=$family_count
+check_family 'flowsim'; nflowsim=$family_count
 
 # ---- 4. silo-lint rule catalog <-> DESIGN.md -----------------------------
 # DESIGN.md's "silo-lint rule catalog" table carries each rule name in
@@ -100,6 +107,6 @@ done
 nrules=$(echo "$lint_rules" | wc -w)
 
 echo "checked markdown links, $ndoc documented / $nsrc registered metrics" \
-     "($ndiff controller.diff.*), and $nrules silo-lint rules against the" \
-     "DESIGN.md catalog"
+     "($ndiff controller.diff.*, $nflowsim flowsim.*), and $nrules" \
+     "silo-lint rules against the DESIGN.md catalog"
 exit $fail

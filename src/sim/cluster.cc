@@ -96,6 +96,29 @@ ClusterSim::ClusterSim(const ClusterConfig& cfg) : cfg_(cfg) {
       metrics_.counter("cluster.messages_aborted", "messages", "cluster");
   slo_violations_ =
       metrics_.counter("cluster.slo_violations", "messages", "cluster");
+  diff_applied_ =
+      metrics_.counter("controller.diff.applied", "deltas", "cluster");
+  diff_apply_ns_ = metrics_.counter("controller.diff.apply_ns", "ns", "cluster");
+}
+
+void ClusterSim::apply_config_deltas(
+    const std::vector<PacerConfigDelta>& deltas) {
+  for (const auto& delta : deltas) {
+    if (delta.server < 0 ||
+        delta.server >= static_cast<int>(hosts_.size()))
+      throw std::out_of_range("config delta server");
+    const auto records = static_cast<std::int64_t>(delta.removes.size() +
+                                                   delta.upserts.size());
+    const TimeNs cost =
+        cfg_.config_apply_delay + cfg_.config_record_apply_cost * records;
+    diff_apply_ns_.inc(cost.count());
+    Host* host = hosts_[static_cast<std::size_t>(delta.server)].get();
+    obs::Counter applied = diff_applied_;
+    events_.after(cost, [host, delta, applied]() mutable {
+      host->apply_pacer_config(delta);
+      applied.inc();
+    });
+  }
 }
 
 obs::FlightRecorder& ClusterSim::enable_flight_recorder(std::size_t capacity) {

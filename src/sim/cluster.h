@@ -21,6 +21,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/packet_timeline.h"
+#include "pacer/pacer_config.h"
 #include "placement/placement.h"
 #include "sim/network.h"
 #include "sim/transport.h"
@@ -58,6 +59,12 @@ struct ClusterConfig {
   /// TSQ-style backpressure: a flow stops handing packets to the host
   /// while its pacer backlog exceeds this much queueing time.
   TimeNs tsq_horizon = 1500 * kUsec;
+  /// Controller -> hypervisor shipping latency for one pacer-config delta
+  /// (RPC to the server's filter driver), plus per-record processing time.
+  /// Reconfiguration after admission/recovery is not free: the new pacer
+  /// state only takes effect once the delta lands.
+  TimeNs config_apply_delay = 200 * kUsec;
+  TimeNs config_record_apply_cost {500};
 };
 
 class ClusterSim {
@@ -143,6 +150,13 @@ class ClusterSim {
     return fr ? fr->flow.get() : nullptr;
   }
 
+  /// Ship drained controller deltas (SiloController::drain_config_deltas)
+  /// to their servers. Each delta lands on its host's pacer-config table
+  /// only after the controller->hypervisor latency plus per-record
+  /// processing; the simulated cost is accounted in controller.diff.apply_ns
+  /// and the landings in controller.diff.applied.
+  void apply_config_deltas(const std::vector<PacerConfigDelta>& deltas);
+
   /// QJUMP's network epoch for this fabric (exposed for tests/benches).
   TimeNs qjump_epoch() const;
 
@@ -164,6 +178,7 @@ class ClusterSim {
   obs::FlightRecorder& enable_flight_recorder(std::size_t capacity);
   obs::FlightRecorder* flight_recorder() { return recorder_.get(); }
 
+  const ClusterConfig& config() const { return cfg_; }
   EventQueue& events() { return events_; }
   Fabric& fabric() { return *fabric_; }
   const topology::Topology& topo() const { return *topo_; }
@@ -246,6 +261,8 @@ class ClusterSim {
   obs::Counter msgs_completed_;
   obs::Counter msgs_aborted_;
   obs::Counter slo_violations_;
+  obs::Counter diff_applied_;
+  obs::Counter diff_apply_ns_;
   /// Stage timeline of the packet being dispatched, captured before its
   /// handle is recycled (on_flow_delivery runs inside the dispatch).
   obs::PacketStages pending_stages_;

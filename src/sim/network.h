@@ -113,6 +113,13 @@ class Host {
     pacers_[global_vm] = pacer;
   }
 
+  /// Hypervisor side of the incremental config protocol: fold a controller
+  /// delta into this server's applied pacer-config table.
+  void apply_pacer_config(const PacerConfigDelta& delta) {
+    nic_.apply_config(delta);
+  }
+  const PacerConfigTable& pacer_config() const { return nic_.config(); }
+
   /// Inject a transport packet originating at a VM on this server.
   /// Takes ownership of the handle.
   void send(PacketHandle h);

@@ -85,26 +85,31 @@ PortId Topology::pod_down(int pod) const {
   return {pod_down_base_ + pod};
 }
 
-std::vector<PortId> Topology::path(int src_server, int dst_server) const {
+PortSpan Topology::path_span(int src_server, int dst_server) const {
   check_server(src_server);
   check_server(dst_server);
-  if (src_server == dst_server) return {};
+  PortSpan out;
+  if (src_server == dst_server) return out;
   const int src_rack = rack_of_server(src_server);
   const int dst_rack = rack_of_server(dst_server);
-  std::vector<PortId> out;
-  out.push_back(server_up(src_server));
+  out.push(server_up(src_server));
   if (src_rack != dst_rack) {
-    out.push_back(rack_up(src_rack));
+    out.push(rack_up(src_rack));
     const int src_pod = pod_of_rack(src_rack);
     const int dst_pod = pod_of_rack(dst_rack);
     if (src_pod != dst_pod) {
-      out.push_back(pod_up(src_pod));
-      out.push_back(pod_down(dst_pod));
+      out.push(pod_up(src_pod));
+      out.push(pod_down(dst_pod));
     }
-    out.push_back(rack_down(dst_rack));
+    out.push(rack_down(dst_rack));
   }
-  out.push_back(server_down(dst_server));
+  out.push(server_down(dst_server));
   return out;
+}
+
+std::vector<PortId> Topology::path(int src_server, int dst_server) const {
+  const PortSpan span = path_span(src_server, dst_server);
+  return {span.begin(), span.end()};
 }
 
 std::vector<PortId> Topology::switch_path(int src_server,

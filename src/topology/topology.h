@@ -8,6 +8,7 @@
 // queue delay before packets are dropped", e.g. 100 KB at 10 Gbps = 80 us).
 #pragma once
 
+#include <array>
 #include <stdexcept>
 #include <vector>
 
@@ -43,6 +44,22 @@ struct Port {
 struct PortId {
   int value = -1;
   friend bool operator==(PortId a, PortId b) { return a.value == b.value; }
+};
+
+/// Allocation-free port sequence of one server-to-server path. The longest
+/// possible path (inter-pod) crosses six egress queues: src NIC, ToR up,
+/// pod up, core down, ToR down, dst link — so a fixed array covers every
+/// case and high-rate callers (the flow-level simulator materializes one
+/// span per flow) never touch the heap.
+struct PortSpan {
+  static constexpr int kMaxPorts = 6;
+  std::array<PortId, kMaxPorts> port {};
+  int size = 0;
+
+  const PortId* begin() const { return port.data(); }
+  const PortId* end() const { return port.data() + size; }
+  bool empty() const { return size == 0; }
+  void push(PortId id) { port[static_cast<std::size_t>(size++)] = id; }
 };
 
 class Topology {
@@ -91,6 +108,10 @@ class Topology {
   /// server, starting with the source NIC egress (empty when src == dst:
   /// intra-server traffic never touches the fabric).
   std::vector<PortId> path(int src_server, int dst_server) const;
+
+  /// Same ordered ports as path(), as a fixed-size span: no allocation, so
+  /// per-flow path materialization is a handful of integer ops.
+  PortSpan path_span(int src_server, int dst_server) const;
 
   /// Same path without the source NIC egress: only *switch* queues. The
   /// NIC is a pacing conformance point — traffic on the wire already

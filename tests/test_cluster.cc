@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/controller.h"
 #include "sim/cluster.h"
 #include "workload/drivers.h"
 #include "workload/patterns.h"
@@ -37,6 +38,38 @@ TEST(ClusterSim, AdmitsAndPlacesTenant) {
   for (int v = 0; v < 10; ++v) {
     EXPECT_GE(sim.vm_server(*t, v), 0);
     EXPECT_LT(sim.vm_server(*t, v), 5);
+  }
+}
+
+TEST(ClusterSim, ConfigDeltaApplicationConsumesSimulatedTime) {
+  ClusterSim sim(small_cluster(Scheme::kSilo));
+  SiloController ctl(small_cluster(Scheme::kSilo).topo);
+  const auto h = ctl.admit(silo_tenant(4, 300 * kMbps));
+  ASSERT_TRUE(h.has_value());
+  const auto deltas = ctl.drain_config_deltas();
+  ASSERT_FALSE(deltas.empty());
+
+  sim.apply_config_deltas(deltas);
+  // The cost is charged up front; the table lands only after the shipping
+  // latency, so just before the first landing nothing is applied yet.
+  EXPECT_EQ(sim.metrics().value("controller.diff.applied"), 0);
+  std::int64_t expected_ns = 0;
+  for (const auto& d : deltas)
+    expected_ns +=
+        (sim.config().config_apply_delay +
+         sim.config().config_record_apply_cost *
+             static_cast<std::int64_t>(d.removes.size() + d.upserts.size()))
+            .count();
+  EXPECT_EQ(sim.metrics().value("controller.diff.apply_ns"), expected_ns);
+
+  sim.run_until(1 * kSec);
+  EXPECT_EQ(sim.metrics().value("controller.diff.applied"),
+            static_cast<std::int64_t>(deltas.size()));
+  // Each server's applied table now reproduces the controller snapshot.
+  for (const auto& d : deltas) {
+    const auto snapshot = ctl.server_config(d.server);
+    EXPECT_EQ(sim.host(d.server).pacer_config().checksum(),
+              pacer_config_checksum(snapshot));
   }
 }
 

@@ -1,6 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "flowsim/flow_sim.h"
+#include "flowsim/flow_table.h"
+#include "flowsim/maxmin.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
 
 namespace silo::flowsim {
 namespace {
@@ -71,6 +78,202 @@ TEST(FlowSim, DeterministicForFixedSeed) {
   const auto b = run_flow_sim(quick(placement::Policy::kOktopus, 0.6));
   EXPECT_EQ(a.admitted, b.admitted);
   EXPECT_DOUBLE_EQ(a.network_utilization, b.network_utilization);
+}
+
+// --- max-min solver properties ---------------------------------------------
+
+/// Seeded random open-flow population over a topology, returned as a flow
+/// table plus the rates the solver assigned.
+struct SolverFixture {
+  topology::Topology topo;
+  FlowTable table;
+  MaxMinSolver solver;
+  std::vector<int> flow_ids;
+
+  SolverFixture(topology::TopologyConfig tc, int n_flows, std::uint64_t seed)
+      : topo(tc), table(topo.num_ports()), solver(topo, table) {
+    Rng rng(seed);
+    const int servers = topo.num_servers();
+    for (int i = 0; i < n_flows; ++i) {
+      const int src = static_cast<int>(rng.uniform_int(0, servers - 1));
+      int dst = static_cast<int>(rng.uniform_int(0, servers - 2));
+      if (dst >= src) ++dst;  // distinct, so every flow crosses the fabric
+      flow_ids.push_back(table.allocate(topo.path_span(src, dst)));
+    }
+  }
+
+  void apply(const std::vector<std::pair<int, double>>& rates) {
+    for (const auto& [f, r] : rates) table.flow(f).rate = r;
+  }
+};
+
+/// Validity of any max-min solution: no port over capacity, and every flow
+/// is bottlenecked — some port on its path is saturated AND the flow's rate
+/// is the largest on that port (otherwise its rate could be raised without
+/// lowering a smaller flow, contradicting max-min fairness).
+void expect_maxmin_valid(SolverFixture& fx) {
+  std::vector<double> load(static_cast<std::size_t>(fx.topo.num_ports()), 0);
+  for (const int f : fx.flow_ids) {
+    const SimFlow& fl = fx.table.flow(f);
+    EXPECT_GT(fl.rate, 0.0);
+    for (int i = 0; i < fl.n_ports; ++i)
+      load[static_cast<std::size_t>(fl.ports[static_cast<std::size_t>(i)])] +=
+          fl.rate;
+  }
+  for (int p = 0; p < fx.topo.num_ports(); ++p) {
+    const double cap = fx.topo.port({p}).rate.bps();
+    EXPECT_LE(load[static_cast<std::size_t>(p)], cap * (1.0 + 1e-9))
+        << "port " << p << " over capacity";
+  }
+  for (const int f : fx.flow_ids) {
+    const SimFlow& fl = fx.table.flow(f);
+    bool bottlenecked = false;
+    for (int i = 0; i < fl.n_ports && !bottlenecked; ++i) {
+      const int p = fl.ports[static_cast<std::size_t>(i)];
+      const double cap = fx.topo.port({p}).rate.bps();
+      if (load[static_cast<std::size_t>(p)] < cap * (1.0 - 1e-9)) continue;
+      bool largest = true;
+      for (const int g : fx.table.flows_on_port(p))
+        if (fx.table.flow(g).rate > fl.rate * (1.0 + 1e-9)) largest = false;
+      bottlenecked = largest;
+    }
+    EXPECT_TRUE(bottlenecked) << "flow " << f << " has no saturated "
+                              << "bottleneck port where it is the largest";
+  }
+}
+
+TEST(MaxMinSolver, SolutionIsValidAcrossSeeds) {
+  topology::TopologyConfig tc;
+  tc.pods = 2;
+  tc.racks_per_pod = 2;
+  tc.servers_per_rack = 4;
+  for (const std::uint64_t seed : {1u, 7u, 21u, 33u, 54u}) {
+    SolverFixture fx(tc, 120, seed);
+    fx.apply(fx.solver.solve_all());
+    expect_maxmin_valid(fx);
+  }
+}
+
+TEST(MaxMinSolver, ComponentResolveMatchesGlobalBitIdentically) {
+  topology::TopologyConfig tc;
+  tc.pods = 3;
+  tc.racks_per_pod = 2;
+  tc.servers_per_rack = 5;
+  for (const std::uint64_t seed : {2u, 11u, 40u}) {
+    SolverFixture fx(tc, 90, seed);
+    const auto global = fx.solver.solve_all();  // reference: all components
+    // Re-solving the component touched by each flow must reproduce the
+    // global rates exactly — this is the foundation of SolverMode
+    // equivalence, so it is ==, not near.
+    for (const int f : fx.flow_ids) {
+      const SimFlow& fl = fx.table.flow(f);
+      std::vector<int> ports;
+      for (int i = 0; i < fl.n_ports; ++i)
+        ports.push_back(fl.ports[static_cast<std::size_t>(i)]);
+      for (const auto& [g, rate] : fx.solver.solve_touching(ports)) {
+        const auto it = std::lower_bound(
+            global.begin(), global.end(), g,
+            [](const std::pair<int, double>& e, int id) { return e.first < id; });
+        ASSERT_TRUE(it != global.end() && it->first == g);
+        EXPECT_EQ(it->second, rate);
+      }
+    }
+  }
+}
+
+// --- cross-mode equivalence -------------------------------------------------
+
+/// The reference solver re-solves globally on every flow change; the
+/// incremental solver touches only the affected component/tenant. Both must
+/// produce *bit-identical* runs — exact == on every result field, the same
+/// pin placement applies to AdmissionMode::kFullRescan.
+void expect_modes_equivalent(FlowSimConfig cfg) {
+  cfg.solver = SolverMode::kIncremental;
+  const auto inc = run_flow_sim(cfg);
+  cfg.solver = SolverMode::kReference;
+  const auto ref = run_flow_sim(cfg);
+  EXPECT_EQ(inc.arrivals, ref.arrivals);
+  EXPECT_EQ(inc.admitted, ref.admitted);
+  EXPECT_EQ(inc.admitted_a, ref.admitted_a);
+  EXPECT_EQ(inc.admitted_b, ref.admitted_b);
+  EXPECT_EQ(inc.completed_jobs, ref.completed_jobs);
+  EXPECT_EQ(inc.network_utilization, ref.network_utilization);
+  EXPECT_EQ(inc.avg_occupancy, ref.avg_occupancy);
+  EXPECT_EQ(inc.avg_job_duration_s, ref.avg_job_duration_s);
+  // The perf counters are where the modes are *supposed* to differ.
+  EXPECT_LE(inc.perf.solved_flows, ref.perf.solved_flows);
+}
+
+TEST(FlowSim, IncrementalMatchesReferenceSmall) {
+  for (const auto policy :
+       {placement::Policy::kSilo, placement::Policy::kOktopus,
+        placement::Policy::kLocality}) {
+    for (const std::uint64_t seed : {9ull, 77ull}) {
+      auto cfg = quick(policy, 0.8);
+      cfg.seed = seed;
+      expect_modes_equivalent(cfg);
+    }
+  }
+}
+
+TEST(FlowSim, IncrementalMatchesReferenceMid) {
+  for (const auto policy :
+       {placement::Policy::kSilo, placement::Policy::kLocality}) {
+    auto cfg = quick(policy, 0.9);
+    cfg.topo.pods = 3;
+    cfg.topo.racks_per_pod = 3;
+    cfg.topo.servers_per_rack = 10;
+    cfg.sim_duration_s = 250;
+    expect_modes_equivalent(cfg);
+  }
+}
+
+TEST(FlowSim, IncrementalMatchesReferenceAllToAll) {
+  auto cfg = quick(placement::Policy::kOktopus, 0.7);
+  cfg.permutation_x = 0;  // all-to-all class-B pattern
+  cfg.sim_duration_s = 250;
+  expect_modes_equivalent(cfg);
+}
+
+TEST(FlowSim, IncrementalMatchesReferenceCoalesced) {
+  // rate_update_s > 0 batches flow-set changes onto a grid; the batching
+  // decisions depend only on the shared event timeline, so cross-mode
+  // equivalence must hold with coalescing on too (paper-scale Fig 15/16
+  // runs with a 1 s grid).
+  for (const auto policy :
+       {placement::Policy::kSilo, placement::Policy::kLocality}) {
+    auto cfg = quick(policy, 0.9);
+    cfg.rate_update_s = 1.0;
+    expect_modes_equivalent(cfg);
+  }
+}
+
+TEST(FlowSim, CoalescedRunStaysSane) {
+  // Coalescing changes the trajectory (new flows idle until their first
+  // grid solve) but not the physics: utilization, occupancy, and
+  // completions stay in range and jobs still finish.
+  auto cfg = quick(placement::Policy::kLocality, 0.8);
+  cfg.rate_update_s = 1.0;
+  const auto res = run_flow_sim(cfg);
+  EXPECT_GT(res.completed_jobs, 0);
+  EXPECT_GT(res.network_utilization, 0.0);
+  EXPECT_LE(res.network_utilization, 1.0);
+  EXPECT_GT(res.avg_occupancy, 0.2);
+  EXPECT_LT(res.avg_occupancy, 1.0);
+}
+
+TEST(FlowSim, PublishesMetricsFamily) {
+  obs::MetricsRegistry reg;
+  const auto res = run_flow_sim(quick(placement::Policy::kSilo, 0.6), &reg);
+  EXPECT_EQ(reg.value("flowsim.events"), res.perf.events);
+  EXPECT_EQ(reg.value("flowsim.solves"), res.perf.solves);
+  EXPECT_EQ(reg.value("flowsim.solved_flows"), res.perf.solved_flows);
+  EXPECT_EQ(reg.value("flowsim.rate_changes"), res.perf.rate_changes);
+  EXPECT_EQ(reg.value("flowsim.maxmin_rounds"), res.perf.maxmin_rounds);
+  EXPECT_EQ(reg.value("flowsim.stale_predictions"),
+            res.perf.stale_predictions);
+  EXPECT_GT(res.perf.events, 0);
+  EXPECT_GT(res.perf.rate_changes, 0);
 }
 
 }  // namespace
