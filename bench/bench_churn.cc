@@ -7,15 +7,24 @@
 // incremental mode's drained PacerConfigDeltas, applied to per-server
 // tables, reproduce the full server_config snapshots checksum-for-
 // checksum) before reporting the speedup.
+// With --restart-every=N (N > 0) a third, journal-attached run crashes the
+// controller every N storm ops and rebuilds it from the serialized
+// DeltaJournal, measuring recovery latency (journal replay + control-
+// channel anti-entropy convergence over the agent fleet). Its decisions
+// and configs must checksum-match the incremental run — a crash is
+// invisible to the placement history.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "core/controller.h"
+#include "sim/control_channel.h"
+#include "sim/event_queue.h"
 #include "util/rng.h"
 
 using namespace silo;
@@ -173,6 +182,161 @@ StormResult run_storm(const topology::TopologyConfig& tcfg,
   return r;
 }
 
+void mix_into(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+}
+
+struct RestartResult {
+  std::int64_t recoveries = 0;
+  double recovery_seconds_total = 0;
+  double recovery_seconds_max = 0;
+  std::int64_t replayed_records = 0;  ///< journal records replayed, total
+  std::int64_t journal_snapshots = 0;
+  std::int64_t ae_rounds = 0;  ///< anti-entropy rounds across recoveries
+  bool converged_ok = true;    ///< every recovery reached convergence
+  std::uint64_t decision_checksum = 0;
+  std::uint64_t config_checksum = 0;
+  bool fleet_matches_snapshots = true;
+};
+
+/// The incremental storm again, but journal-attached, shipping every delta
+/// through a (lossless, zero-delay) ControlChannel to a PacerAgentFleet,
+/// and crashing + recovering the controller every `restart_every` ops. The
+/// storm rng never sees the restarts, so decisions must checksum-match
+/// run_storm's incremental run.
+RestartResult run_restart_storm(const topology::TopologyConfig& tcfg,
+                                std::int64_t prefill, std::int64_t ops,
+                                std::uint64_t seed,
+                                std::int64_t restart_every,
+                                std::int64_t snapshot_every) {
+  SiloController::Options opts;
+  opts.admission_mode = placement::AdmissionMode::kIncremental;
+  std::optional<SiloController> ctl;
+  ctl.emplace(tcfg, opts);
+  DeltaJournal journal;
+  ctl->attach_journal(&journal, snapshot_every);
+
+  sim::EventQueue events;
+  sim::PacerAgentFleet fleet;
+  sim::ChannelConfig ccfg;
+  ccfg.delivery_delay = TimeNs{0};
+  ccfg.delivery_jitter = TimeNs{0};
+  sim::ControlChannel channel(events, fleet, ccfg);
+  const auto ship_drained = [&] {
+    channel.ship(ctl->drain_config_deltas());
+    events.run_all();
+  };
+
+  Rng rng(seed);
+  RestartResult r;
+  r.decision_checksum = 1469598103934665603ull;
+  r.config_checksum = 1469598103934665603ull;
+  const auto mix_handle = [&](const TenantHandle& handle) {
+    mix_into(r.decision_checksum, static_cast<std::uint64_t>(handle.id));
+    for (int s : handle.vm_to_server)
+      mix_into(r.decision_checksum, static_cast<std::uint64_t>(s));
+  };
+
+  std::vector<TenantHandle> live;
+  std::map<placement::TenantId, std::size_t> index_of;
+  const auto track = [&](const TenantHandle& handle) {
+    index_of[handle.id] = live.size();
+    live.push_back(handle);
+  };
+  const auto refresh_affected = [&](const RecoveryReport& report) {
+    for (const auto id : report.affected) {
+      const auto it = index_of.find(id);
+      if (it != index_of.end())
+        live[it->second].vm_to_server = ctl->tenant_placement(id);
+    }
+  };
+  for (std::int64_t i = 0; i < prefill; ++i) {
+    if (const auto handle = ctl->admit(sample_request(rng))) {
+      track(*handle);
+      mix_handle(*handle);
+    }
+  }
+  ship_drained();
+
+  const auto crash_and_recover = [&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    // Full durability path: serialize the journal (as if synced to disk),
+    // lose the controller, rebuild one from the deserialized bytes.
+    journal = DeltaJournal::deserialize(journal.serialize());
+    ctl.emplace(tcfg, opts);
+    ctl->recover_from_journal(journal, snapshot_every);
+    // Replay re-emits the whole delta backlog; the channel resyncs its
+    // shadow straight from the recovered controller instead.
+    (void)ctl->drain_config_deltas();
+    channel.restart(*ctl);
+    int rounds = 0;
+    while (!channel.converged() && rounds < 64) {
+      ++rounds;
+      channel.anti_entropy_round();
+      events.run_all();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    r.ae_rounds += rounds;
+    if (!channel.converged()) r.converged_ok = false;
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    r.recovery_seconds_total += secs;
+    r.recovery_seconds_max = std::max(r.recovery_seconds_max, secs);
+    ++r.recoveries;
+  };
+
+  for (std::int64_t op = 0; op < ops; ++op) {
+    const auto roll = rng.uniform_int(0, 9);
+    if (roll < 4 || live.empty()) {
+      if (const auto handle = ctl->admit(sample_request(rng))) {
+        track(*handle);
+        mix_handle(*handle);
+      }
+    } else if (roll < 7) {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      ctl->release(live[i]);
+      index_of.erase(live[i].id);
+      live[i] = live.back();
+      live.pop_back();
+      if (i < live.size()) index_of[live[i].id] = i;
+    } else {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      const int anchor = live[i].vm_to_server.front();
+      if (anchor >= 0) {
+        if (roll < 9) {
+          refresh_affected(ctl->handle_server_failure(anchor));
+          refresh_affected(ctl->restore_server(anchor));
+        } else {
+          const auto port = ctl->topo().server_down(anchor);
+          refresh_affected(ctl->handle_link_failure(port));
+          refresh_affected(ctl->restore_link(port));
+        }
+      }
+    }
+    ship_drained();
+    if (restart_every > 0 && (op + 1) % restart_every == 0)
+      crash_and_recover();
+  }
+
+  const int num_servers = ctl->topo().num_servers();
+  const int stride = std::max(1, num_servers / 64);
+  for (int s = 0; s < num_servers; s += stride) {
+    const std::uint64_t snap_sum =
+        pacer_config_checksum(ctl->server_config(s));
+    mix_into(r.config_checksum, static_cast<std::uint64_t>(s));
+    mix_into(r.config_checksum, snap_sum);
+    if (fleet.checksum(s) != snap_sum) r.fleet_matches_snapshots = false;
+  }
+  r.replayed_records =
+      journal.metrics().value("controller.journal.replayed_records");
+  r.journal_snapshots = journal.metrics().value("controller.journal.snapshots");
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -180,6 +344,9 @@ int main(int argc, char** argv) {
   const auto ops = flags.geti("ops", 400);
   const std::uint64_t seed = static_cast<std::uint64_t>(flags.geti("seed", 7));
   const std::string scales = flags.gets("scales", "1k,8k,32k");
+  /// Crash + journal-recover the controller every N storm ops (0 = off).
+  const auto restart_every = flags.geti("restart-every", 0);
+  const auto snapshot_every = flags.geti("snapshot-every", 64);
 
   bench::print_header(
       "Control-plane churn storm: incremental vs full-recompute admission",
@@ -190,10 +357,13 @@ int main(int argc, char** argv) {
 
   TextTable table({"scale", "servers", "tenants", "inc ops/s", "full ops/s",
                    "speedup", "golden"});
+  TextTable rtable({"scale", "recoveries", "mean ms", "max ms", "replayed",
+                    "ae rounds", "golden"});
   bench::JsonObject json;
   json.put("bench", std::string("churn"))
       .put("ops", ops)
-      .put("seed", static_cast<std::int64_t>(seed));
+      .put("seed", static_cast<std::int64_t>(seed))
+      .put("restart_every", restart_every);
   bool all_golden = true;
   const ScaleSpec* last = nullptr;
 
@@ -244,10 +414,44 @@ int main(int argc, char** argv) {
         .put("diff_upserts", inc.upserts)
         .put("diff_removes", inc.removes)
         .put("golden_ok", std::string(golden ? "true" : "false"));
+
+    if (restart_every > 0) {
+      const auto rr = run_restart_storm(tcfg, prefill, ops, seed,
+                                        restart_every, snapshot_every);
+      const bool golden_restart =
+          rr.converged_ok && rr.fleet_matches_snapshots &&
+          rr.decision_checksum == inc.decision_checksum &&
+          rr.config_checksum == inc.config_checksum;
+      all_golden = all_golden && golden_restart;
+      const double mean_ms =
+          rr.recoveries > 0
+              ? rr.recovery_seconds_total * 1e3 /
+                    static_cast<double>(rr.recoveries)
+              : 0;
+      rtable.add_row({spec.name, std::to_string(rr.recoveries),
+                      TextTable::fmt(mean_ms, 2),
+                      TextTable::fmt(rr.recovery_seconds_max * 1e3, 2),
+                      std::to_string(rr.replayed_records),
+                      std::to_string(rr.ae_rounds),
+                      golden_restart ? "ok" : "MISMATCH"});
+      entry.put("recoveries", rr.recoveries)
+          .put("recovery_ms_mean", mean_ms)
+          .put("recovery_ms_max", rr.recovery_seconds_max * 1e3)
+          .put("replayed_records", rr.replayed_records)
+          .put("journal_snapshots", rr.journal_snapshots)
+          .put("anti_entropy_rounds", rr.ae_rounds)
+          .put("golden_restart",
+               std::string(golden_restart ? "true" : "false"));
+    }
     json.put(spec.name, entry);
   }
 
   std::printf("%s\n", table.to_string().c_str());
+  if (restart_every > 0) {
+    std::printf("controller crash + journal recovery every %lld ops:\n%s\n",
+                static_cast<long long>(restart_every),
+                rtable.to_string().c_str());
+  }
   std::printf("golden: placement decisions, sampled server_config\n"
               "checksums, and delta-applied pacer tables %s across modes.\n",
               all_golden ? "all agree" : "DISAGREE — investigate");
@@ -265,7 +469,9 @@ int main(int argc, char** argv) {
                   {"racks_per_pod", last->racks_per_pod},
                   {"servers_per_rack", last->servers_per_rack},
                   {"vm_slots_per_server", 8}};
-    m.params = {{"ops", std::to_string(ops)}, {"scales", scales}};
+    m.params = {{"ops", std::to_string(ops)},
+                {"scales", scales},
+                {"restart_every", std::to_string(restart_every)}};
     bench::maybe_write_manifest(flags, m);
   }
   return all_golden ? 0 : 1;

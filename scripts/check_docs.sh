@@ -81,6 +81,8 @@ check_family() {  # sets $family_count; flags $fail on mismatch
   family_count=$(echo "$src" | wc -w)
 }
 check_family 'controller\.diff'; ndiff=$family_count
+check_family 'controller\.journal'; njournal=$family_count
+check_family 'controller\.channel'; nchannel=$family_count
 check_family 'flowsim'; nflowsim=$family_count
 
 # ---- 4. silo-lint rule catalog <-> DESIGN.md -----------------------------
@@ -107,6 +109,7 @@ done
 nrules=$(echo "$lint_rules" | wc -w)
 
 echo "checked markdown links, $ndoc documented / $nsrc registered metrics" \
-     "($ndiff controller.diff.*, $nflowsim flowsim.*), and $nrules" \
+     "($ndiff controller.diff.*, $njournal controller.journal.*," \
+     "$nchannel controller.channel.*, $nflowsim flowsim.*), and $nrules" \
      "silo-lint rules against the DESIGN.md catalog"
 exit $fail

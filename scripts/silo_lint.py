@@ -113,6 +113,13 @@ RULES = [
             ("src/sim/x.h", "#include <unordered_map>", True),
             ("tests/x.cc", "std::unordered_map<int, int> m;", False),
             ("src/sim/x.h", "std::map<int, int> m;", False),
+            # Anti-entropy sweeps iterate per-server state; a hash map there
+            # would randomize repair order (and thus every rng draw the
+            # repairs make), so the channel must keep sorted containers.
+            ("src/sim/control_channel.h",
+             "std::unordered_map<int, PacerConfigTable> shadow_;", True),
+            ("src/sim/control_channel.h",
+             "std::map<int, Agent> agents_;", False),
         ],
     ),
     Rule(

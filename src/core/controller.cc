@@ -1,6 +1,7 @@
 #include "core/controller.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "netcalc/curve.h"
 
@@ -33,11 +34,35 @@ SiloController::SiloController(const topology::TopologyConfig& topo,
                                      "controller");
 }
 
+void SiloController::journal_op(JournalRecord rec) {
+  if (journal_ == nullptr || replaying_) return;
+  journal_->append(std::move(rec));
+}
+
+void SiloController::maybe_compact() {
+  if (journal_ == nullptr || replaying_ || snapshot_every_ <= 0) return;
+  if (++ops_since_snapshot_ < snapshot_every_) return;
+  journal_->compact(snapshot());
+  ops_since_snapshot_ = 0;
+}
+
+void SiloController::attach_journal(DeltaJournal* journal,
+                                    std::int64_t snapshot_every) {
+  journal_ = journal;
+  snapshot_every_ = snapshot_every;
+  ops_since_snapshot_ = 0;
+}
+
 std::optional<TenantHandle> SiloController::admit(
     const TenantRequest& request) {
+  JournalRecord jrec;
+  jrec.op = JournalOp::kAdmit;
+  jrec.request = request;
+  journal_op(std::move(jrec));
   auto placed = engine_.place(request);
   if (!placed) {
     m_rejections_.inc();
+    maybe_compact();
     return std::nullopt;
   }
   m_admissions_.inc();
@@ -50,12 +75,17 @@ std::optional<TenantHandle> SiloController::admit(
   engine_to_external_.emplace(placed->id, placed->id);
   emit_config_deltas(placed->id, it->second,
                      request.tenant_class != TenantClass::kBestEffort);
+  maybe_compact();
   return handle;
 }
 
 void SiloController::release(const TenantHandle& handle) {
   auto it = tenants_.find(handle.id);
   if (it == tenants_.end()) return;
+  JournalRecord jrec;
+  jrec.op = JournalOp::kRelease;
+  jrec.tenant = handle.id;
+  journal_op(std::move(jrec));
   auto& state = it->second;
   if (state.engine_id >= 0) {
     engine_.remove(state.engine_id);
@@ -65,6 +95,7 @@ void SiloController::release(const TenantHandle& handle) {
   count_status(state.status, -1);
   tenants_.erase(it);
   m_releases_.inc();
+  maybe_compact();
 }
 
 void SiloController::count_status(TenantStatus status, int delta) {
@@ -218,25 +249,152 @@ RecoveryReport SiloController::recover(
 }
 
 RecoveryReport SiloController::handle_server_failure(int server) {
+  JournalRecord jrec;
+  jrec.op = JournalOp::kServerFailure;
+  jrec.server = server;
+  journal_op(std::move(jrec));
   const auto affected = to_external(engine_.tenants_on_server(server));
   engine_.fail_server(server);
-  return recover(affected);
+  auto report = recover(affected);
+  maybe_compact();
+  return report;
 }
 
 RecoveryReport SiloController::handle_link_failure(topology::PortId port) {
+  JournalRecord jrec;
+  jrec.op = JournalOp::kLinkFailure;
+  jrec.port = port.value;
+  journal_op(std::move(jrec));
   const auto affected = to_external(engine_.tenants_using_port(port));
   engine_.fail_port(port);
-  return recover(affected);
+  auto report = recover(affected);
+  maybe_compact();
+  return report;
 }
 
 RecoveryReport SiloController::restore_server(int server) {
+  JournalRecord jrec;
+  jrec.op = JournalOp::kServerRestore;
+  jrec.server = server;
+  journal_op(std::move(jrec));
   engine_.restore_server(server);
-  return recover(non_guaranteed_tenants());
+  auto report = recover(non_guaranteed_tenants());
+  maybe_compact();
+  return report;
 }
 
 RecoveryReport SiloController::restore_link(topology::PortId port) {
+  JournalRecord jrec;
+  jrec.op = JournalOp::kLinkRestore;
+  jrec.port = port.value;
+  journal_op(std::move(jrec));
   engine_.restore_port(port);
-  return recover(non_guaranteed_tenants());
+  auto report = recover(non_guaranteed_tenants());
+  maybe_compact();
+  return report;
+}
+
+ControllerSnapshot SiloController::snapshot() const {
+  ControllerSnapshot snap;
+  snap.engine = engine_.snapshot();
+  snap.tenants.reserve(tenants_.size());
+  for (const auto& [id, state] : tenants_) {  // map order: ascending id
+    ControllerSnapshot::Tenant t;
+    t.id = id;
+    t.request = state.request;
+    t.status = static_cast<std::uint8_t>(state.status);
+    t.engine_id = state.engine_id;
+    t.vm_to_server = state.vm_to_server;
+    t.paced_vm_to_server = state.paced_vm_to_server;
+    snap.tenants.push_back(std::move(t));
+  }
+  // Fixed order; restore_snapshot() replays these onto fresh counters so
+  // recovered metrics match the never-crashed controller exactly.
+  snap.counters = {m_admissions_.value(),  m_rejections_.value(),
+                   m_releases_.value(),    m_replaced_.value(),
+                   m_degraded_.value(),    m_unplaced_.value(),
+                   m_promotions_.value(),  m_diff_deltas_.value(),
+                   m_diff_upserts_.value(), m_diff_removes_.value()};
+  return snap;
+}
+
+void SiloController::restore_snapshot(const ControllerSnapshot& snap) {
+  if (!tenants_.empty() || m_admissions_.value() != 0 ||
+      m_rejections_.value() != 0)
+    throw std::logic_error(
+        "SiloController::restore_snapshot requires a fresh controller");
+  engine_.restore(snap.engine);
+  for (const auto& t : snap.tenants) {
+    TenantState state;
+    state.request = t.request;
+    state.vm_to_server = t.vm_to_server;
+    state.paced_vm_to_server = t.paced_vm_to_server;
+    state.engine_id = t.engine_id;
+    state.status = static_cast<TenantStatus>(t.status);
+    if (t.engine_id >= 0) engine_to_external_.emplace(t.engine_id, t.id);
+    count_status(state.status, +1);
+    tenants_.emplace(t.id, std::move(state));
+  }
+  if (snap.counters.size() == 10) {
+    m_admissions_.inc(snap.counters[0]);
+    m_rejections_.inc(snap.counters[1]);
+    m_releases_.inc(snap.counters[2]);
+    m_replaced_.inc(snap.counters[3]);
+    m_degraded_.inc(snap.counters[4]);
+    m_unplaced_.inc(snap.counters[5]);
+    m_promotions_.inc(snap.counters[6]);
+    m_diff_deltas_.inc(snap.counters[7]);
+    m_diff_upserts_.inc(snap.counters[8]);
+    m_diff_removes_.inc(snap.counters[9]);
+  }
+}
+
+void SiloController::recover_from_journal(DeltaJournal& journal,
+                                          std::int64_t snapshot_every) {
+  if (!tenants_.empty() || journal_ != nullptr)
+    throw std::logic_error(
+        "SiloController::recover_from_journal requires a fresh controller");
+  replaying_ = true;
+  if (journal.has_snapshot()) restore_snapshot(journal.snapshot());
+  for (const auto& rec : journal.records()) {
+    switch (rec.op) {
+      case JournalOp::kAdmit:
+        admit(rec.request);
+        break;
+      case JournalOp::kRelease: {
+        TenantHandle handle;
+        handle.id = rec.tenant;
+        release(handle);
+        break;
+      }
+      case JournalOp::kServerFailure:
+        handle_server_failure(rec.server);
+        break;
+      case JournalOp::kLinkFailure:
+        handle_link_failure(topology::PortId{rec.port});
+        break;
+      case JournalOp::kServerRestore:
+        restore_server(rec.server);
+        break;
+      case JournalOp::kLinkRestore:
+        restore_link(topology::PortId{rec.port});
+        break;
+    }
+  }
+  replaying_ = false;
+  journal.note_replay(static_cast<std::int64_t>(journal.records().size()));
+  attach_journal(&journal, snapshot_every);
+}
+
+std::vector<int> SiloController::paced_servers() const {
+  std::vector<int> out;
+  for (const auto& [id, state] : tenants_) {
+    for (const int s : state.paced_vm_to_server)
+      if (s >= 0) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 std::vector<PacerConfigRecord> SiloController::server_config(

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/guarantee.h"
+#include "core/journal.h"
 #include "obs/metrics.h"
 #include "pacer/pacer_config.h"
 #include "placement/placement.h"
@@ -120,6 +121,33 @@ class SiloController {
   /// snapshots are the only protocol there).
   std::vector<PacerConfigDelta> drain_config_deltas();
 
+  // --- Durability (write-ahead journal) ---------------------------------
+
+  /// Journal every subsequent mutation (write-ahead: the record is
+  /// appended before the op executes). When `snapshot_every > 0` the
+  /// journal is compacted with an exact snapshot() after that many
+  /// journaled ops. The journal must outlive the controller.
+  void attach_journal(DeltaJournal* journal, std::int64_t snapshot_every = 0);
+
+  /// Rebuild state by replaying `journal` (snapshot restore + record
+  /// replay), then attach it for subsequent ops. Only valid on a fresh
+  /// controller (throws std::logic_error otherwise). Determinism makes the
+  /// result bit-identical to the never-crashed controller: placement
+  /// decisions, server_config snapshots, and metric counters all match.
+  /// Pending config deltas are re-emitted for every replayed op — callers
+  /// drain them and resync the fleet through the control channel.
+  void recover_from_journal(DeltaJournal& journal,
+                            std::int64_t snapshot_every = 0);
+
+  /// Exact logical state (engine snapshot + tenant map + counters).
+  ControllerSnapshot snapshot() const;
+  /// Restore from snapshot(); fresh controllers only (throws otherwise).
+  void restore_snapshot(const ControllerSnapshot& snap);
+
+  /// Servers with at least one shipped (paced) record, ascending — the
+  /// control channel resyncs its shadow tables from these after recovery.
+  std::vector<int> paced_servers() const;
+
   /// The §4.1 worst-case message latency a tenant admitted with
   /// `guarantee` may advertise to its application.
   static TimeNs message_latency_bound(const SiloGuarantee& guarantee,
@@ -167,6 +195,10 @@ class SiloController {
                           bool now_paced);
   /// Keep degraded_count_/unplaced_count_ in sync on a status change.
   void count_status(TenantStatus status, int delta);
+  /// Write-ahead append (no-op when unattached or replaying).
+  void journal_op(JournalRecord rec);
+  /// Compact the journal with a fresh snapshot every snapshot_every_ ops.
+  void maybe_compact();
 
   topology::Topology topo_;
   placement::PlacementEngine engine_;
@@ -178,6 +210,11 @@ class SiloController {
   std::vector<PacerConfigDelta> pending_deltas_;
   int degraded_count_ = 0;
   int unplaced_count_ = 0;
+
+  DeltaJournal* journal_ = nullptr;
+  std::int64_t snapshot_every_ = 0;
+  std::int64_t ops_since_snapshot_ = 0;
+  bool replaying_ = false;
 
   obs::MetricsRegistry metrics_;
   obs::Counter m_admissions_;

@@ -88,10 +88,17 @@ inline std::uint64_t pacer_config_checksum(
 /// hypervisor-side consumer of PacerConfigDeltas.
 class PacerConfigTable {
  public:
-  void apply(const PacerConfigDelta& delta) {
-    for (const auto& key : delta.removes) records_.erase(key);
+  /// Folds one delta in; returns how many removes referenced keys that
+  /// were not present (stale removes — a protocol smell the control
+  /// channel reports as `controller.channel.stale_removes` rather than
+  /// silently swallowing).
+  int apply(const PacerConfigDelta& delta) {
+    int stale = 0;
+    for (const auto& key : delta.removes)
+      if (records_.erase(key) == 0) ++stale;
     for (const auto& rec : delta.upserts)
       records_.insert_or_assign({rec.tenant, rec.vm_index}, rec);
+    return stale;
   }
 
   std::size_t size() const { return records_.size(); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace silo::placement {
 namespace {
@@ -599,6 +600,76 @@ void PlacementEngine::remove(TenantId id) {
       drop(tenants_by_port_[static_cast<std::size_t>(p)]);
   }
   tenants_.erase(it);
+  if (mode_ == AdmissionMode::kFullRescan) rebuild_port_loads();
+}
+
+EngineSnapshot PlacementEngine::snapshot() const {
+  EngineSnapshot snap;
+  snap.tenants.reserve(tenants_.size());
+  for (const auto& [id, rec] : tenants_) {  // map order: ascending id
+    EngineSnapshot::Tenant t;
+    t.id = id;
+    t.request = rec.request;
+    t.vm_to_server = rec.vm_to_server;
+    t.contributions = rec.contributions;
+    snap.tenants.push_back(std::move(t));
+  }
+  for (int s = 0; s < topo_.num_servers(); ++s) {
+    if (!server_failed_[static_cast<std::size_t>(s)]) continue;
+    snap.failed_servers.push_back(
+        {s, free_slots_[static_cast<std::size_t>(s)],
+         quarantined_slots_[static_cast<std::size_t>(s)]});
+  }
+  for (int p = 0; p < topo_.num_ports(); ++p) {
+    if (port_failed_[static_cast<std::size_t>(p)]) snap.failed_ports.push_back(p);
+  }
+  snap.next_id = next_id_;
+  return snap;
+}
+
+void PlacementEngine::restore(const EngineSnapshot& snap) {
+  if (next_id_ != 0 || !tenants_.empty())
+    throw std::logic_error("PlacementEngine::restore requires a fresh engine");
+  for (const int p : snap.failed_ports)
+    port_failed_[static_cast<std::size_t>(p)] = 1;
+  for (const auto& t : snap.tenants) {  // ascending id keeps indexes sorted
+    TenantRecord rec;
+    rec.request = t.request;
+    rec.vm_to_server = t.vm_to_server;
+    rec.contributions = t.contributions;
+    // commit() lays VMs out as runs of slot_usage entries, one run per
+    // server, so run-length decoding vm_to_server reproduces it exactly.
+    for (const int s : t.vm_to_server) {
+      if (!rec.slot_usage.empty() && rec.slot_usage.back().first == s)
+        ++rec.slot_usage.back().second;
+      else
+        rec.slot_usage.emplace_back(s, 1);
+    }
+    rec.used_ports = used_ports_for(rec.slot_usage);
+    for (const auto& [server, count] : rec.slot_usage)
+      adjust_free_slots(server, -count);
+    for (const auto& [port, c] : rec.contributions) {
+      port_load_[port].add(c);
+      touch_port(port);
+    }
+    if (mode_ == AdmissionMode::kIncremental) {
+      for (const auto& [server, count] : rec.slot_usage)
+        tenants_by_server_[static_cast<std::size_t>(server)].push_back(t.id);
+      for (const int p : rec.used_ports)
+        tenants_by_port_[static_cast<std::size_t>(p)].push_back(t.id);
+    }
+    tenants_.emplace(t.id, std::move(rec));
+  }
+  next_id_ = snap.next_id;
+  for (const auto& f : snap.failed_servers) {
+    server_failed_[static_cast<std::size_t>(f.server)] = 1;
+    // The captured free count already excludes the quarantined pool; pull
+    // the aggregates down to it so a later restore_server() returns
+    // exactly the quarantined slots the original engine held back.
+    adjust_free_slots(f.server,
+                      f.free_slots - free_slots_[static_cast<std::size_t>(f.server)]);
+    quarantined_slots_[static_cast<std::size_t>(f.server)] = f.quarantined;
+  }
   if (mode_ == AdmissionMode::kFullRescan) rebuild_port_loads();
 }
 

@@ -51,6 +51,29 @@ struct AdmittedTenant {
   std::vector<int> vm_to_server;  ///< VM index -> server index
 };
 
+/// Exact logical state of a PlacementEngine, captured for the controller's
+/// write-ahead journal (compacted snapshots). Holds everything restore()
+/// needs to rebuild an engine bit-identically: per-tenant placements with
+/// their admitted port contributions (so no re-derivation can drift), the
+/// failed-hardware accounting, and the monotonic id counter.
+struct EngineSnapshot {
+  struct Tenant {
+    TenantId id = -1;
+    TenantRequest request;  ///< as admitted (degraded tenants: best-effort copy)
+    std::vector<int> vm_to_server;
+    std::vector<std::pair<int, PortContribution>> contributions;
+  };
+  struct FailedServer {
+    int server = -1;
+    int free_slots = 0;    ///< free-slot count frozen at failure time
+    int quarantined = 0;   ///< slots freed on the dead host since
+  };
+  std::vector<Tenant> tenants;              ///< ascending id
+  std::vector<FailedServer> failed_servers; ///< ascending server
+  std::vector<int> failed_ports;            ///< ascending PortId value
+  TenantId next_id = 0;
+};
+
 class PlacementEngine {
  public:
   /// `nic_delay_allowance` is the per-path budget charged for source-NIC
@@ -121,6 +144,14 @@ class PlacementEngine {
   /// Path-capacity delay bound for a tenant placed at the given scope —
   /// what Silo checks against the tenant's delay guarantee d.
   TimeNs scope_path_capacity(Scope scope) const;
+
+  /// Capture the engine's exact logical state (journal compaction).
+  EngineSnapshot snapshot() const;
+  /// Rebuild from a snapshot. Only valid on a fresh engine (no tenants
+  /// admitted, same topology/policy/mode as the captured one); throws
+  /// std::logic_error otherwise. After restore the engine makes the same
+  /// placement decisions the captured engine would.
+  void restore(const EngineSnapshot& snap);
 
   const topology::Topology& topo() const { return topo_; }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/control_channel.h"
+
 namespace silo::sim {
 
 FaultPlan& FaultPlan::link_down(TimeNs at, topology::PortId p) {
@@ -22,6 +24,14 @@ FaultPlan& FaultPlan::loss_window(TimeNs from, TimeNs to, topology::PortId p,
                                   double rate) {
   actions.push_back({FaultAction::Kind::kLossStart, from, p.value, -1, rate});
   actions.push_back({FaultAction::Kind::kLossStop, to, p.value, -1, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::channel_loss_window(TimeNs from, TimeNs to,
+                                          double rate) {
+  actions.push_back(
+      {FaultAction::Kind::kChannelLossStart, from, -1, -1, rate});
+  actions.push_back({FaultAction::Kind::kChannelLossStop, to, -1, -1, 0});
   return *this;
 }
 
@@ -130,6 +140,12 @@ void FaultInjector::execute(const FaultAction& a) {
       break;
     case FaultAction::Kind::kServerUp:
       sim_.host_mut(a.server).set_up(true);
+      break;
+    case FaultAction::Kind::kChannelLossStart:
+      if (channel_ != nullptr) channel_->set_drop_rate(a.loss_rate);
+      break;
+    case FaultAction::Kind::kChannelLossStop:
+      if (channel_ != nullptr) channel_->set_drop_rate(0);
       break;
   }
 }

@@ -16,20 +16,24 @@
 
 namespace silo::sim {
 
+class ControlChannel;
+
 struct FaultAction {
   enum class Kind : std::uint8_t {
-    kLinkDown,    ///< fabric port stops forwarding; queued packets die
-    kLinkUp,      ///< restore a downed port
-    kLossStart,   ///< begin dropping each arriving packet w.p. loss_rate
-    kLossStop,    ///< end the loss window
-    kServerDown,  ///< crash a host (pacer/NIC/loopback queues flushed)
-    kServerUp,    ///< restore a crashed host
+    kLinkDown,          ///< fabric port stops forwarding; queued packets die
+    kLinkUp,            ///< restore a downed port
+    kLossStart,         ///< begin dropping each arriving packet w.p. loss_rate
+    kLossStop,          ///< end the loss window
+    kServerDown,        ///< crash a host (pacer/NIC/loopback queues flushed)
+    kServerUp,          ///< restore a crashed host
+    kChannelLossStart,  ///< control channel drops messages w.p. loss_rate
+    kChannelLossStop,   ///< end the control-channel loss window
   };
   Kind kind;
   TimeNs at {};
   int port = -1;         ///< topology PortId value for link actions
   int server = -1;       ///< server index for server actions
-  double loss_rate = 0;  ///< kLossStart only
+  double loss_rate = 0;  ///< kLossStart / kChannelLossStart only
 };
 
 /// Builder-style deterministic fault schedule. All draws the injected
@@ -44,6 +48,9 @@ struct FaultPlan {
   FaultPlan& link_flap(TimeNs at, topology::PortId p, TimeNs outage);
   FaultPlan& loss_window(TimeNs from, TimeNs to, topology::PortId p,
                          double rate);
+  /// Control-plane loss window: the attached ControlChannel drops each
+  /// one-way message w.p. `rate` between `from` and `to`.
+  FaultPlan& channel_loss_window(TimeNs from, TimeNs to, double rate);
   FaultPlan& server_down(TimeNs at, int server);
   FaultPlan& server_up(TimeNs at, int server);
   /// Crash at `at`, restore at `at + outage`.
@@ -67,6 +74,11 @@ class FaultInjector {
   /// whose time is already in the past execute at the current time.
   void arm();
 
+  /// Wire a ControlChannel so kChannelLoss* actions reach it; channel
+  /// actions are no-ops while unattached. The channel must outlive arm()'d
+  /// actions.
+  void attach_channel(ControlChannel* channel) { channel_ = channel; }
+
   int executed() const { return executed_; }
 
  private:
@@ -75,6 +87,7 @@ class FaultInjector {
   ClusterSim& sim_;
   FaultPlan plan_;
   Rng loss_rng_;
+  ControlChannel* channel_ = nullptr;
   int executed_ = 0;
 };
 
