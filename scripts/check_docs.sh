@@ -83,6 +83,11 @@ check_family() {  # sets $family_count; flags $fail on mismatch
 check_family 'controller\.diff'; ndiff=$family_count
 check_family 'controller\.journal'; njournal=$family_count
 check_family 'controller\.channel'; nchannel=$family_count
+# Lease metrics span layers like controller.diff.*: the controller's own
+# grant/revoke accounting lives in src/core, the in-sim issuer's
+# (ClusterSim lender) in src/sim — both must stay catalogued.
+check_family 'controller\.lease'; nctl_lease=$family_count
+check_family 'pacer\.lease'; npacer_lease=$family_count
 check_family 'flowsim'; nflowsim=$family_count
 
 # ---- 4. silo-lint rule catalog <-> DESIGN.md -----------------------------
@@ -110,6 +115,7 @@ nrules=$(echo "$lint_rules" | wc -w)
 
 echo "checked markdown links, $ndoc documented / $nsrc registered metrics" \
      "($ndiff controller.diff.*, $njournal controller.journal.*," \
-     "$nchannel controller.channel.*, $nflowsim flowsim.*), and $nrules" \
+     "$nchannel controller.channel.*, $nctl_lease controller.lease.*," \
+     "$npacer_lease pacer.lease.*, $nflowsim flowsim.*), and $nrules" \
      "silo-lint rules against the DESIGN.md catalog"
 exit $fail

@@ -32,6 +32,16 @@ SiloController::SiloController(const topology::TopologyConfig& topo,
                                      "controller");
   m_diff_removes_ = metrics_.counter("controller.diff.removes", "records",
                                      "controller");
+  m_lease_granted_ = metrics_.counter("controller.lease.granted", "leases",
+                                      "controller");
+  m_lease_revoked_ = metrics_.counter("controller.lease.revoked", "leases",
+                                      "controller");
+  m_lease_expired_ = metrics_.counter("controller.lease.expired", "leases",
+                                      "controller");
+  m_lease_rejected_ = metrics_.counter("controller.lease.rejected", "leases",
+                                       "controller");
+  m_lease_active_ = metrics_.gauge("controller.lease.active", "leases",
+                                   "controller");
 }
 
 void SiloController::journal_op(JournalRecord rec) {
@@ -91,6 +101,7 @@ void SiloController::release(const TenantHandle& handle) {
     engine_.remove(state.engine_id);
     engine_to_external_.erase(state.engine_id);
   }
+  revoke_leases_for_tenant(handle.id);
   emit_config_deltas(handle.id, state, /*now_paced=*/false);
   count_status(state.status, -1);
   tenants_.erase(it);
@@ -177,6 +188,7 @@ void SiloController::emit_config_deltas(placement::TenantId id,
   }
   for (auto& [server, delta] : by_server) {
     delta.server = server;
+    delta.lease_epoch = lease_epoch_;
     m_diff_deltas_.inc();
     m_diff_upserts_.inc(static_cast<std::int64_t>(delta.upserts.size()));
     m_diff_removes_.inc(static_cast<std::int64_t>(delta.removes.size()));
@@ -192,6 +204,155 @@ std::vector<PacerConfigDelta> SiloController::drain_config_deltas() {
   return out;
 }
 
+// --- Work-conserving leases ---------------------------------------------
+
+void SiloController::emit_lease_delta(int server,
+                                      std::vector<std::uint64_t> removes,
+                                      std::vector<PacerLeaseRecord> upserts) {
+  if (engine_.admission_mode() != placement::AdmissionMode::kIncremental)
+    return;  // lease overlays ride the delta protocol only
+  PacerConfigDelta delta;
+  delta.server = server;
+  delta.lease_epoch = lease_epoch_;
+  delta.lease_removes = std::move(removes);
+  delta.lease_upserts = std::move(upserts);
+  m_diff_deltas_.inc();
+  pending_deltas_.push_back(std::move(delta));
+}
+
+std::optional<std::uint64_t> SiloController::grant_lease(
+    placement::TenantId owner, placement::TenantId borrower, int borrower_vm,
+    RateBps rate, std::uint64_t duration_epochs) {
+  // Write-ahead: the *inputs* are journaled (like admit journals the
+  // request); replay re-runs validation and the id allocator, so the
+  // outcome — including rejections — reproduces deterministically.
+  JournalRecord jrec;
+  jrec.op = JournalOp::kLeaseGrant;
+  jrec.lease.owner = owner;
+  jrec.lease.borrower = borrower;
+  jrec.lease.vm_index = borrower_vm;
+  jrec.lease.rate = rate;
+  jrec.lease.expiry_epoch = duration_epochs;  // relative until granted
+  journal_op(std::move(jrec));
+
+  const auto oit = tenants_.find(owner);
+  const auto bit = tenants_.find(borrower);
+  bool ok = oit != tenants_.end() && bit != tenants_.end() &&
+            owner != borrower && duration_epochs > 0 && rate.bps() > 0;
+  if (ok) {
+    const auto& ostate = oit->second;
+    // Only a paced, fully-guaranteed owner has a reservation to lend, and
+    // it cannot lend more than its own per-VM hose rate.
+    ok = ostate.status == TenantStatus::kGuaranteed &&
+         ostate.request.tenant_class != TenantClass::kBestEffort &&
+         rate.bps() <= ostate.request.guarantee.bandwidth.bps();
+  }
+  int server = -1;
+  if (ok) {
+    const auto& bstate = bit->second;
+    ok = borrower_vm >= 0 && borrower_vm < bstate.request.num_vms;
+    if (ok) server = bstate.vm_to_server[static_cast<std::size_t>(borrower_vm)];
+    ok = ok && server >= 0;
+  }
+  if (ok) {
+    // Same-server lending only: the lent headroom is the owner's idle
+    // uplink reservation on the very NIC the borrower shares.
+    const auto& placed = oit->second.vm_to_server;
+    ok = std::find(placed.begin(), placed.end(), server) != placed.end();
+  }
+  if (!ok) {
+    m_lease_rejected_.inc();
+    maybe_compact();
+    return std::nullopt;
+  }
+  PacerLeaseRecord lease;
+  lease.id = next_lease_id_++;
+  lease.owner = owner;
+  lease.borrower = borrower;
+  lease.vm_index = borrower_vm;
+  lease.server = server;
+  lease.rate = rate;
+  lease.issued_epoch = lease_epoch_;
+  lease.expiry_epoch = lease_epoch_ + duration_epochs;
+  leases_.emplace(lease.id, lease);
+  m_lease_granted_.inc();
+  m_lease_active_.set(static_cast<std::int64_t>(leases_.size()));
+  emit_lease_delta(server, {}, {lease});
+  maybe_compact();
+  return lease.id;
+}
+
+bool SiloController::revoke_lease(std::uint64_t id) {
+  JournalRecord jrec;
+  jrec.op = JournalOp::kLeaseRevoke;
+  jrec.lease.id = id;
+  journal_op(std::move(jrec));
+  const auto it = leases_.find(id);
+  if (it == leases_.end()) {
+    maybe_compact();
+    return false;
+  }
+  const int server = it->second.server;
+  leases_.erase(it);
+  m_lease_revoked_.inc();
+  m_lease_active_.set(static_cast<std::int64_t>(leases_.size()));
+  emit_lease_delta(server, {id}, {});
+  maybe_compact();
+  return true;
+}
+
+std::vector<PacerLeaseRecord> SiloController::advance_lease_epoch() {
+  JournalRecord jrec;
+  jrec.op = JournalOp::kLeaseEpoch;
+  journal_op(std::move(jrec));
+  ++lease_epoch_;
+  // Expired leases get no remove: agents kill them locally when the
+  // epoch-stamped heartbeat (or their own clock) reaches expiry_epoch —
+  // data-plane expiry must never depend on a delivery.
+  std::vector<PacerLeaseRecord> expired;
+  std::vector<int> servers;
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    servers.push_back(it->second.server);
+    if (it->second.expiry_epoch <= lease_epoch_) {
+      expired.push_back(it->second);
+      it = leases_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  m_lease_expired_.inc(static_cast<std::int64_t>(expired.size()));
+  m_lease_active_.set(static_cast<std::int64_t>(leases_.size()));
+  std::sort(servers.begin(), servers.end());
+  servers.erase(std::unique(servers.begin(), servers.end()), servers.end());
+  for (const int s : servers) emit_lease_delta(s, {}, {});
+  maybe_compact();
+  return expired;
+}
+
+void SiloController::revoke_leases_for_tenant(placement::TenantId id) {
+  std::map<int, std::vector<std::uint64_t>> by_server;
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (it->second.owner == id || it->second.borrower == id) {
+      by_server[it->second.server].push_back(it->first);
+      m_lease_revoked_.inc();
+      it = leases_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (by_server.empty()) return;
+  m_lease_active_.set(static_cast<std::int64_t>(leases_.size()));
+  for (auto& [server, ids] : by_server)
+    emit_lease_delta(server, std::move(ids), {});
+}
+
+std::vector<PacerLeaseRecord> SiloController::active_leases() const {
+  std::vector<PacerLeaseRecord> out;
+  out.reserve(leases_.size());
+  for (const auto& [id, lease] : leases_) out.push_back(lease);
+  return out;
+}
+
 RecoveryReport SiloController::recover(
     std::vector<placement::TenantId> affected) {
   std::sort(affected.begin(), affected.end());
@@ -201,6 +362,9 @@ RecoveryReport SiloController::recover(
     auto& state = tenants_.at(id);
     const TenantStatus old_status = state.status;
     count_status(old_status, -1);
+    // Placement is about to change under any lease this tenant lends or
+    // borrows; reclaim first (inside the already-journaled failure op).
+    revoke_leases_for_tenant(id);
     if (state.engine_id >= 0) {
       engine_.remove(state.engine_id);
       engine_to_external_.erase(state.engine_id);
@@ -310,11 +474,16 @@ ControllerSnapshot SiloController::snapshot() const {
   }
   // Fixed order; restore_snapshot() replays these onto fresh counters so
   // recovered metrics match the never-crashed controller exactly.
-  snap.counters = {m_admissions_.value(),  m_rejections_.value(),
-                   m_releases_.value(),    m_replaced_.value(),
-                   m_degraded_.value(),    m_unplaced_.value(),
-                   m_promotions_.value(),  m_diff_deltas_.value(),
-                   m_diff_upserts_.value(), m_diff_removes_.value()};
+  snap.counters = {m_admissions_.value(),    m_rejections_.value(),
+                   m_releases_.value(),      m_replaced_.value(),
+                   m_degraded_.value(),      m_unplaced_.value(),
+                   m_promotions_.value(),    m_diff_deltas_.value(),
+                   m_diff_upserts_.value(),  m_diff_removes_.value(),
+                   m_lease_granted_.value(), m_lease_revoked_.value(),
+                   m_lease_expired_.value(), m_lease_rejected_.value()};
+  snap.leases = active_leases();
+  snap.lease_epoch = lease_epoch_;
+  snap.next_lease_id = next_lease_id_;
   return snap;
 }
 
@@ -335,7 +504,7 @@ void SiloController::restore_snapshot(const ControllerSnapshot& snap) {
     count_status(state.status, +1);
     tenants_.emplace(t.id, std::move(state));
   }
-  if (snap.counters.size() == 10) {
+  if (snap.counters.size() >= 10) {
     m_admissions_.inc(snap.counters[0]);
     m_rejections_.inc(snap.counters[1]);
     m_releases_.inc(snap.counters[2]);
@@ -347,6 +516,16 @@ void SiloController::restore_snapshot(const ControllerSnapshot& snap) {
     m_diff_upserts_.inc(snap.counters[8]);
     m_diff_removes_.inc(snap.counters[9]);
   }
+  if (snap.counters.size() >= 14) {
+    m_lease_granted_.inc(snap.counters[10]);
+    m_lease_revoked_.inc(snap.counters[11]);
+    m_lease_expired_.inc(snap.counters[12]);
+    m_lease_rejected_.inc(snap.counters[13]);
+  }
+  for (const auto& lease : snap.leases) leases_.emplace(lease.id, lease);
+  lease_epoch_ = snap.lease_epoch;
+  next_lease_id_ = snap.next_lease_id;
+  m_lease_active_.set(static_cast<std::int64_t>(leases_.size()));
 }
 
 void SiloController::recover_from_journal(DeltaJournal& journal,
@@ -378,6 +557,17 @@ void SiloController::recover_from_journal(DeltaJournal& journal,
         break;
       case JournalOp::kLinkRestore:
         restore_link(topology::PortId{rec.port});
+        break;
+      case JournalOp::kLeaseGrant:
+        // expiry_epoch holds the requested duration in grant records.
+        grant_lease(rec.lease.owner, rec.lease.borrower, rec.lease.vm_index,
+                    rec.lease.rate, rec.lease.expiry_epoch);
+        break;
+      case JournalOp::kLeaseRevoke:
+        revoke_lease(rec.lease.id);
+        break;
+      case JournalOp::kLeaseEpoch:
+        advance_lease_epoch();
         break;
     }
   }

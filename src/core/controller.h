@@ -121,6 +121,35 @@ class SiloController {
   /// snapshots are the only protocol there).
   std::vector<PacerConfigDelta> drain_config_deltas();
 
+  // --- Work-conserving leases (docs/WORKCONSERVING.md) ------------------
+
+  /// Lend `rate` of `owner`'s idle reservation to `borrower`'s VM
+  /// `borrower_vm` on the server that hosts it, until `duration_epochs`
+  /// lease epochs from now have elapsed. Validated: the owner must be a
+  /// guaranteed (paced) tenant with a VM on the borrower's server, the
+  /// borrower VM must be placed, and `rate` must be positive and within
+  /// the owner's per-VM reservation. Returns the lease id, or nullopt on
+  /// rejection (`controller.lease.rejected`). Journaled write-ahead like
+  /// every other mutation, so leases survive crash recovery.
+  std::optional<std::uint64_t> grant_lease(placement::TenantId owner,
+                                           placement::TenantId borrower,
+                                           int borrower_vm, RateBps rate,
+                                           std::uint64_t duration_epochs = 1);
+
+  /// Early reclamation — the owner's demand returned before expiry.
+  /// Returns false when the lease is unknown (already expired/revoked).
+  bool revoke_lease(std::uint64_t id);
+
+  /// Advance the controller lease epoch by one: expires every due lease
+  /// and emits an epoch-stamped heartbeat delta to each server that held
+  /// lease state, so agent-side clocks advance even when no new grants
+  /// flow. Returns the leases that expired this tick.
+  std::vector<PacerLeaseRecord> advance_lease_epoch();
+
+  std::uint64_t lease_epoch() const { return lease_epoch_; }
+  /// Active (granted, unexpired) leases in ascending id order.
+  std::vector<PacerLeaseRecord> active_leases() const;
+
   // --- Durability (write-ahead journal) ---------------------------------
 
   /// Journal every subsequent mutation (write-ahead: the record is
@@ -195,6 +224,13 @@ class SiloController {
                           bool now_paced);
   /// Keep degraded_count_/unplaced_count_ in sync on a status change.
   void count_status(TenantStatus status, int delta);
+  /// Revoke every lease naming `id` as owner or borrower (placement is
+  /// changing under it). Runs inside already-journaled ops — release and
+  /// recovery — so replay reproduces the cascade without extra records.
+  void revoke_leases_for_tenant(placement::TenantId id);
+  /// Queue a lease-only delta (epoch-stamped) for `server`.
+  void emit_lease_delta(int server, std::vector<std::uint64_t> removes,
+                        std::vector<PacerLeaseRecord> upserts);
   /// Write-ahead append (no-op when unattached or replaying).
   void journal_op(JournalRecord rec);
   /// Compact the journal with a fresh snapshot every snapshot_every_ ops.
@@ -210,6 +246,9 @@ class SiloController {
   std::vector<PacerConfigDelta> pending_deltas_;
   int degraded_count_ = 0;
   int unplaced_count_ = 0;
+  std::map<std::uint64_t, PacerLeaseRecord> leases_;  ///< active, by id
+  std::uint64_t lease_epoch_ = 0;
+  std::uint64_t next_lease_id_ = 1;
 
   DeltaJournal* journal_ = nullptr;
   std::int64_t snapshot_every_ = 0;
@@ -227,6 +266,11 @@ class SiloController {
   obs::Counter m_diff_deltas_;   ///< per-server deltas emitted
   obs::Counter m_diff_upserts_;  ///< records upserted across all deltas
   obs::Counter m_diff_removes_;  ///< record keys removed across all deltas
+  obs::Counter m_lease_granted_;  ///< leases issued
+  obs::Counter m_lease_revoked_;  ///< early reclamations (incl. cascades)
+  obs::Counter m_lease_expired_;  ///< clean epoch expiries
+  obs::Counter m_lease_rejected_; ///< grant requests that failed validation
+  obs::Gauge m_lease_active_;     ///< currently outstanding leases
 };
 
 }  // namespace silo

@@ -10,7 +10,8 @@ constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
 constexpr std::uint64_t kFnvPrime = 1099511628211ull;
 // "SILOJRN1" little-endian; no dots so the docs metric grep ignores it.
 constexpr std::uint64_t kMagic = 0x314e524a4f4c4953ull;
-constexpr std::uint32_t kVersion = 1;
+// v2: lease payload on every record + lease state in snapshots.
+constexpr std::uint32_t kVersion = 2;
 
 std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
@@ -38,6 +39,11 @@ std::uint64_t fnv_bytes(const std::string& bytes) {
 
 /// Chain one record onto the running head. Payload fields that the op does
 /// not use are fixed defaults, so the fold is total and unambiguous.
+bool lease_op(JournalOp op) {
+  return op == JournalOp::kLeaseGrant || op == JournalOp::kLeaseRevoke ||
+         op == JournalOp::kLeaseEpoch;
+}
+
 std::uint64_t record_chain(std::uint64_t prev, const JournalRecord& rec) {
   std::uint64_t h = prev;
   h = mix64(h, static_cast<std::uint64_t>(rec.op));
@@ -51,6 +57,18 @@ std::uint64_t record_chain(std::uint64_t prev, const JournalRecord& rec) {
   h = mix64(h, static_cast<std::uint64_t>(rec.tenant));
   h = mix64(h, static_cast<std::uint64_t>(rec.server));
   h = mix64(h, static_cast<std::uint64_t>(rec.port));
+  // The lease payload folds in only for lease ops, so chains of the
+  // original op set are byte-identical to journal v1.
+  if (lease_op(rec.op)) {
+    h = mix64(h, rec.lease.id);
+    h = mix64(h, static_cast<std::uint64_t>(rec.lease.owner));
+    h = mix64(h, static_cast<std::uint64_t>(rec.lease.borrower));
+    h = mix64(h, static_cast<std::uint64_t>(rec.lease.vm_index));
+    h = mix64(h, static_cast<std::uint64_t>(rec.lease.server));
+    h = mix64(h, double_bits(rec.lease.rate.bps()));
+    h = mix64(h, rec.lease.issued_epoch);
+    h = mix64(h, rec.lease.expiry_epoch);
+  }
   return h;
 }
 
@@ -148,6 +166,30 @@ TenantRequest read_request(ByteReader& r) {
   return req;
 }
 
+void write_lease(ByteWriter& w, const PacerLeaseRecord& l) {
+  w.u64(l.id);
+  w.i64(l.owner);
+  w.i64(l.borrower);
+  w.i32(l.vm_index);
+  w.i32(l.server);
+  w.f64(l.rate.bps());
+  w.u64(l.issued_epoch);
+  w.u64(l.expiry_epoch);
+}
+
+PacerLeaseRecord read_lease(ByteReader& r) {
+  PacerLeaseRecord l;
+  l.id = r.u64();
+  l.owner = r.i64();
+  l.borrower = r.i64();
+  l.vm_index = r.i32();
+  l.server = r.i32();
+  l.rate = RateBps{r.f64()};
+  l.issued_epoch = r.u64();
+  l.expiry_epoch = r.u64();
+  return l;
+}
+
 void write_snapshot(ByteWriter& w, const ControllerSnapshot& snap) {
   w.u64(snap.engine.tenants.size());
   for (const auto& t : snap.engine.tenants) {
@@ -182,6 +224,10 @@ void write_snapshot(ByteWriter& w, const ControllerSnapshot& snap) {
   }
   w.u64(snap.counters.size());
   for (const std::int64_t c : snap.counters) w.i64(c);
+  w.u64(snap.lease_epoch);
+  w.u64(snap.next_lease_id);
+  w.u64(snap.leases.size());
+  for (const auto& l : snap.leases) write_lease(w, l);
 }
 
 ControllerSnapshot read_snapshot(ByteReader& r) {
@@ -228,6 +274,11 @@ ControllerSnapshot read_snapshot(ByteReader& r) {
   const std::uint64_t n_counters = r.count();
   for (std::uint64_t i = 0; i < n_counters; ++i)
     snap.counters.push_back(r.i64());
+  snap.lease_epoch = r.u64();
+  snap.next_lease_id = r.u64();
+  const std::uint64_t n_leases = r.count();
+  for (std::uint64_t i = 0; i < n_leases; ++i)
+    snap.leases.push_back(read_lease(r));
   return snap;
 }
 
@@ -298,6 +349,9 @@ std::string DeltaJournal::serialize() const {
     w.i64(rec.tenant);
     w.i32(rec.server);
     w.i32(rec.port);
+    // Lease payload only for lease ops: every serialized byte stays
+    // covered by the record chain (tamper detection needs no dead zones).
+    if (lease_op(rec.op)) write_lease(w, rec.lease);
     w.u64(rec.chain);
   }
   w.u64(chain_);
@@ -324,6 +378,7 @@ DeltaJournal DeltaJournal::deserialize(const std::string& bytes) {
     rec.tenant = r.i64();
     rec.server = r.i32();
     rec.port = r.i32();
+    if (lease_op(rec.op)) rec.lease = read_lease(r);
     rec.chain = r.u64();
     j.records_.push_back(std::move(rec));
   }

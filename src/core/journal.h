@@ -25,6 +25,7 @@
 
 #include "core/guarantee.h"
 #include "obs/metrics.h"
+#include "pacer/pacer_config.h"
 #include "placement/placement.h"
 
 namespace silo {
@@ -37,6 +38,9 @@ enum class JournalOp : std::uint8_t {
   kLinkFailure = 4,
   kServerRestore = 5,
   kLinkRestore = 6,
+  kLeaseGrant = 7,
+  kLeaseRevoke = 8,
+  kLeaseEpoch = 9,
 };
 
 struct JournalRecord {
@@ -45,6 +49,9 @@ struct JournalRecord {
   std::int64_t tenant = -1;  ///< kRelease payload
   std::int32_t server = -1;  ///< kServerFailure / kServerRestore payload
   std::int32_t port = -1;    ///< kLinkFailure / kLinkRestore payload
+  /// kLeaseGrant payload (full record); kLeaseRevoke uses lease.id only;
+  /// kLeaseEpoch uses lease.issued_epoch as the epoch being advanced to.
+  PacerLeaseRecord lease;
   /// FNV-1a chain head after folding this record (filled by append()).
   std::uint64_t chain = 0;
 };
@@ -66,6 +73,9 @@ struct ControllerSnapshot {
   placement::EngineSnapshot engine;
   std::vector<Tenant> tenants;          ///< ascending id
   std::vector<std::int64_t> counters;   ///< controller counter values, fixed order
+  std::vector<PacerLeaseRecord> leases; ///< active leases, ascending id
+  std::uint64_t lease_epoch = 0;        ///< controller lease epoch
+  std::uint64_t next_lease_id = 1;      ///< lease id allocator cursor
 };
 
 /// Append-only op log with chained checksums and compacted snapshots.

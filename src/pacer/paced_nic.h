@@ -71,7 +71,15 @@ class PacedNic {
 
   /// Fold one controller-emitted pacer-config delta into this server's
   /// applied state. Deltas for other servers are a caller bug.
-  void apply_config(const PacerConfigDelta& delta) { config_.apply(delta); }
+  PacerApplyResult apply_config(const PacerConfigDelta& delta) {
+    return config_.apply(delta);
+  }
+  /// Clock-driven lease expiry (docs/WORKCONSERVING.md): advance the local
+  /// lease epoch and return the leases that just died. Never waits on
+  /// delta delivery — a lost revoke only delays reclamation, never expiry.
+  std::vector<PacerLeaseRecord> advance_lease_epoch(std::uint64_t epoch) {
+    return config_.advance_epoch(epoch);
+  }
   /// The applied per-VM pacing records (what a full server_config snapshot
   /// must reproduce — see the controller golden tests).
   const PacerConfigTable& config() const { return config_; }

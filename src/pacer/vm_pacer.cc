@@ -37,6 +37,24 @@ void VmPacer::reset_destination_rates(TimeNs now, RateBps rate) {
   for (auto& [dst, bucket] : per_dest_) bucket.set_rate(now, rate);
 }
 
+void VmPacer::set_lease_rate(TimeNs now, RateBps extra) {
+  lease_rate_ = std::max(extra, RateBps{0});
+  // The middle bucket carries the lease: average rate B + extra, burst depth
+  // unchanged. The bottom bucket must not cap below the lease rate, but also
+  // never drops below the admitted Bmax.
+  middle_.set_rate(now, hose_rate());
+  bottom_.set_rate(now, std::max(effective_burst_rate(guarantee_), hose_rate()));
+  // Known destinations recover the full (leased) hose rate; the next
+  // coordination round redistributes within the new caps.
+  reset_destination_rates(now, hose_rate());
+}
+
+Bytes VmPacer::take_stamped_bytes() {
+  const Bytes out = stamped_;
+  stamped_ = Bytes{0};
+  return out;
+}
+
 void VmPacer::set_destination_rate(TimeNs now, int dst, RateBps rate) {
   // A zero allocation (idle pair) parks the bucket at a trickle so that
   // the next packet re-triggers coordination instead of blocking forever.
@@ -66,6 +84,7 @@ TimeNs VmPacer::stamp(TimeNs now, int dst, Bytes bytes) {
   top.consume(t, bytes);
   middle_.consume(t, bytes);
   bottom_.consume(t, bytes);
+  stamped_ += bytes;
   return t;
 }
 
@@ -81,9 +100,15 @@ TenantPacerGroup::TenantPacerGroup(const SiloGuarantee& guarantee, int num_vms,
 void TenantPacerGroup::rebalance(TimeNs now,
                                  const std::vector<HoseDemand>& demands) {
   // Idle pairs first recover the full hose rate (their last allocation is
-  // stale); backlogged pairs then get their max-min hose-fair share.
-  for (auto& p : pacers_) p->reset_destination_rates(now, guarantee_.bandwidth);
-  const std::vector<RateBps> caps(pacers_.size(), guarantee_.bandwidth);
+  // stale); backlogged pairs then get their max-min hose-fair share. Caps
+  // are per-VM so that a lease overlay (hose_rate() > B) survives the
+  // coordination round instead of being clipped back to the admitted B.
+  std::vector<RateBps> caps;
+  caps.reserve(pacers_.size());
+  for (auto& p : pacers_) {
+    p->reset_destination_rates(now, p->hose_rate());
+    caps.push_back(p->hose_rate());
+  }
   const auto rates = hose_allocate(demands, caps, caps);
   for (std::size_t i = 0; i < demands.size(); ++i) {
     vm(demands[i].src)

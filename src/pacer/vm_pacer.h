@@ -39,6 +39,20 @@ class VmPacer {
   /// bursts stay destination-unlimited as §4.1 specifies.
   void reset_destination_rates(TimeNs now, RateBps rate);
 
+  /// Work-conserving overlay (docs/WORKCONSERVING.md): raise this VM's hose
+  /// rate to B + `extra` for the lifetime of a lease. Zero restores the
+  /// admitted guarantee exactly. The burst depth S is never touched — a
+  /// borrower gains average rate, not burst credit, so revocation returns
+  /// the pacer to the admitted curve within one token-refill interval.
+  void set_lease_rate(TimeNs now, RateBps extra);
+  RateBps lease_rate() const { return lease_rate_; }
+  /// Current hose rate: the admitted B plus any active lease overlay.
+  RateBps hose_rate() const { return guarantee_.bandwidth + lease_rate_; }
+
+  /// Bytes stamped since the last call — the lender's per-epoch demand
+  /// signal. Reading clears the counter.
+  Bytes take_stamped_bytes();
+
   /// Stamp a packet toward `dst`: the earliest time >= now at which the
   /// packet conforms to all three buckets. Consumes the tokens.
   TimeNs stamp(TimeNs now, int dst, Bytes bytes);
@@ -55,6 +69,8 @@ class VmPacer {
   TokenBucket bottom_;  // Bmax
   TokenBucket middle_;  // B, S
   std::map<int, TokenBucket> per_dest_;
+  RateBps lease_rate_ {};  // work-conserving overlay, 0 when no lease
+  Bytes stamped_ {};       // bytes stamped since take_stamped_bytes()
 };
 
 /// Owns the pacers of one tenant's VMs and periodically recomputes the

@@ -99,6 +99,19 @@ ClusterSim::ClusterSim(const ClusterConfig& cfg) : cfg_(cfg) {
   diff_applied_ =
       metrics_.counter("controller.diff.applied", "deltas", "cluster");
   diff_apply_ns_ = metrics_.counter("controller.diff.apply_ns", "ns", "cluster");
+
+  lease_granted_ = metrics_.counter("pacer.lease.granted", "leases", "cluster");
+  lease_revoked_ = metrics_.counter("pacer.lease.revoked", "leases", "cluster");
+  lease_expired_ = metrics_.counter("pacer.lease.expired", "leases", "cluster");
+  lease_applied_ =
+      metrics_.counter("pacer.lease.applied", "records", "cluster");
+  lease_active_ = metrics_.gauge("pacer.lease.active", "leases", "cluster");
+  lease_lent_bps_ = metrics_.gauge("pacer.lease.lent_bps", "bps", "cluster");
+  if (cfg_.lending.enabled) {
+    lender_ = std::make_unique<pacer::HeadroomLender>(cfg_.lending.policy);
+    events_.schedule_after(cfg_.lending.epoch, EventKind::kClusterLeaseEpoch,
+                           this, 0);
+  }
 }
 
 void ClusterSim::apply_config_deltas(
@@ -107,16 +120,21 @@ void ClusterSim::apply_config_deltas(
     if (delta.server < 0 ||
         delta.server >= static_cast<int>(hosts_.size()))
       throw std::out_of_range("config delta server");
-    const auto records = static_cast<std::int64_t>(delta.removes.size() +
-                                                   delta.upserts.size());
+    const auto records = static_cast<std::int64_t>(
+        delta.removes.size() + delta.upserts.size() +
+        delta.lease_removes.size() + delta.lease_upserts.size());
     const TimeNs cost =
         cfg_.config_apply_delay + cfg_.config_record_apply_cost * records;
     diff_apply_ns_.inc(cost.count());
     Host* host = hosts_[static_cast<std::size_t>(delta.server)].get();
     obs::Counter applied = diff_applied_;
-    events_.after(cost, [host, delta, applied]() mutable {
+    events_.after(cost, [this, host, delta, applied]() mutable {
       host->apply_pacer_config(delta);
       applied.inc();
+      // Lease-bearing deltas re-derive the borrower pacers' overlays from
+      // the host's applied table (grants raise, revokes lower).
+      if (!delta.lease_removes.empty() || !delta.lease_upserts.empty())
+        refresh_lease_rates(delta.server);
     });
   }
 }
@@ -227,13 +245,146 @@ void ClusterSim::rebalance_tenant(int tenant) {
   for (const auto& [key, flow_id] : rt.pair_to_flow) {
     const auto& f = *flows_[flow_id]->flow;
     if (f.bytes_written() > f.bytes_acked()) {
-      demands.push_back({f.src_vm() - rt.vm_base, f.dst_vm() - rt.vm_base,
-                         rt.request.guarantee.bandwidth});
+      // Demand up to the VM's current hose rate: the admitted B, or B plus
+      // the lease overlay while one is active (equal when lending is off).
+      const int src = f.src_vm() - rt.vm_base;
+      demands.push_back({src, f.dst_vm() - rt.vm_base,
+                         rt.pacers->vm(src).hose_rate()});
     }
   }
   if (!demands.empty()) rt.pacers->rebalance(events_.now(), demands);
   events_.schedule_after(cfg_.rebalance_period, EventKind::kClusterRebalance,
                          this, static_cast<std::uint32_t>(tenant));
+}
+
+std::vector<PacerLeaseRecord> ClusterSim::active_leases() const {
+  std::vector<PacerLeaseRecord> out;
+  out.reserve(issued_.size());
+  for (const auto& [id, lease] : issued_) out.push_back(lease);
+  return out;
+}
+
+std::vector<pacer::LenderVmStats> ClusterSim::collect_lender_stats() {
+  std::vector<pacer::LenderVmStats> out;
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    auto& rt = tenants_[t];
+    if (!rt.pacers) continue;
+    std::vector<Bytes> backlog(static_cast<std::size_t>(rt.request.num_vms),
+                               Bytes{0});
+    Bytes total {0};
+    for (const auto& [key, flow_id] : rt.pair_to_flow) {
+      const auto& f = *flows_[flow_id]->flow;
+      if (f.bytes_written() <= f.bytes_acked()) continue;
+      const Bytes b{f.bytes_written() - f.bytes_acked()};
+      backlog[static_cast<std::size_t>(f.src_vm() - rt.vm_base)] += b;
+      total += b;
+    }
+    const bool guaranteed =
+        rt.request.tenant_class != TenantClass::kBestEffort;
+    for (int v = 0; v < rt.request.num_vms; ++v) {
+      pacer::LenderVmStats s;
+      s.tenant = static_cast<std::int64_t>(t);
+      s.vm_index = v;
+      s.server = rt.vm_server[static_cast<std::size_t>(v)];
+      s.reserved = rt.pacers->vm(v).guarantee().bandwidth;
+      s.guaranteed = guaranteed;
+      s.sent = rt.pacers->vm(v).take_stamped_bytes();
+      s.backlog = backlog[static_cast<std::size_t>(v)];
+      s.tenant_backlog = total;
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+void ClusterSim::refresh_lease_rates(int server) {
+  // Sum of applied lease rates per borrower (tenant, vm) on this server.
+  std::map<std::pair<std::int64_t, int>, RateBps> extra;
+  for (const auto& lease : hosts_[static_cast<std::size_t>(server)]
+                               ->pacer_config()
+                               .leases()) {
+    extra[{lease.borrower, lease.vm_index}] += lease.rate;
+  }
+  const TimeNs now = events_.now();
+  const auto push = [&](std::pair<std::int64_t, int> key, RateBps rate) {
+    if (key.first < 0 ||
+        key.first >= static_cast<std::int64_t>(tenants_.size()))
+      return;
+    auto& rt = tenants_[static_cast<std::size_t>(key.first)];
+    if (!rt.pacers || key.second < 0 || key.second >= rt.request.num_vms)
+      return;
+    rt.pacers->vm(key.second).set_lease_rate(now, rate);
+    lease_applied_.inc();
+  };
+  auto& applied = applied_lease_rate_[server];
+  for (auto it = applied.begin(); it != applied.end();) {
+    if (extra.find(it->first) == extra.end()) {
+      push(it->first, RateBps{0});  // lease vanished: restore admitted B
+      it = applied.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [key, rate] : extra) {
+    const auto it = applied.find(key);
+    if (it != applied.end() && it->second == rate) continue;
+    push(key, rate);
+    applied[key] = rate;
+  }
+}
+
+void ClusterSim::lease_epoch_tick() {
+  ++lease_epoch_;
+  // Expiry is clock-driven on every server's own table (never waits on
+  // delta delivery): a lost revoke delays reclamation of borrowed rate
+  // only until this tick — the owner's guarantee is never gated on it.
+  for (auto& h : hosts_) {
+    const auto died = h->advance_lease_epoch(lease_epoch_);
+    if (!died.empty()) {
+      lease_expired_.inc(static_cast<std::int64_t>(died.size()));
+      refresh_lease_rates(h->server_id());
+    }
+  }
+  for (auto it = issued_.begin(); it != issued_.end();) {
+    it = it->second.expiry_epoch <= lease_epoch_ ? issued_.erase(it)
+                                                 : std::next(it);
+  }
+
+  const auto decision = lender_->evaluate(
+      cfg_.lending.epoch, collect_lender_stats(), active_leases());
+  std::map<int, PacerConfigDelta> by_server;
+  for (const auto id : decision.revokes) {
+    const auto it = issued_.find(id);
+    if (it == issued_.end()) continue;
+    by_server[it->second.server].lease_removes.push_back(id);
+    issued_.erase(it);
+    lease_revoked_.inc();
+  }
+  for (auto lease : decision.upserts) {
+    if (lease.id == 0) {  // new grant; renewals keep their id
+      lease.id = next_lease_id_++;
+      lease_granted_.inc();
+    }
+    lease.issued_epoch = lease_epoch_;
+    lease.expiry_epoch = lease_epoch_ + lender_->config().duration_epochs;
+    by_server[lease.server].lease_upserts.push_back(lease);
+    issued_[lease.id] = lease;
+  }
+  std::vector<PacerConfigDelta> deltas;
+  deltas.reserve(by_server.size());
+  for (auto& [server, delta] : by_server) {
+    delta.server = server;
+    delta.lease_epoch = lease_epoch_;
+    deltas.push_back(std::move(delta));
+  }
+  apply_config_deltas(deltas);
+
+  lease_active_.set(static_cast<std::int64_t>(issued_.size()));
+  double lent_bps = 0;
+  for (const auto& [id, lease] : issued_) lent_bps += lease.rate.bps();
+  lease_lent_bps_.set(static_cast<std::int64_t>(lent_bps));
+  events_.schedule_after(cfg_.lending.epoch, EventKind::kClusterLeaseEpoch,
+                         this, 0);
 }
 
 ClusterSim::FlowRuntime& ClusterSim::flow_for(int tenant, int src_local,

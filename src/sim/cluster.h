@@ -10,17 +10,20 @@
 // two closest related-work designs from §7/Table 5: QJUMP and pFabric.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/guarantee.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/packet_timeline.h"
+#include "pacer/headroom_lender.h"
 #include "pacer/pacer_config.h"
 #include "placement/placement.h"
 #include "sim/network.h"
@@ -65,6 +68,17 @@ struct ClusterConfig {
   /// state only takes effect once the delta lands.
   TimeNs config_apply_delay = 200 * kUsec;
   TimeNs config_record_apply_cost {500};
+  /// Work-conserving headroom lending (docs/WORKCONSERVING.md). Off by
+  /// default: the lending-off path schedules zero lease events and is
+  /// pinned bit-identical to pre-lending traces by the golden tests.
+  struct Lending {
+    bool enabled = false;
+    /// Lease epoch — the demand-measurement window and the reclamation
+    /// bound: owner demand returning is honored within one epoch.
+    TimeNs epoch = 1 * kMsec;
+    pacer::LenderConfig policy;
+  };
+  Lending lending;
 };
 
 class ClusterSim {
@@ -160,6 +174,11 @@ class ClusterSim {
   /// QJUMP's network epoch for this fabric (exposed for tests/benches).
   TimeNs qjump_epoch() const;
 
+  // — Work-conserving lending introspection (docs/WORKCONSERVING.md) —
+  std::uint64_t lease_epoch() const { return lease_epoch_; }
+  /// Leases the issuer currently considers live, ascending id.
+  std::vector<PacerLeaseRecord> active_leases() const;
+
   /// Debug/test tap: observes every packet at final delivery (right before
   /// the transport consumes it). Used by determinism regression tests to
   /// checksum the full delivered-packet trace.
@@ -240,6 +259,14 @@ class ClusterSim {
   void on_flow_delivery(int flow_id, std::int64_t delivered);
   void on_flow_abort(int flow_id);
   void rebalance_tenant(int tenant);
+  /// Headroom-lender epoch tick: expire leases on every host's own clock,
+  /// measure per-VM demand, and ship grant/revoke deltas (scheduled only
+  /// when cfg_.lending.enabled).
+  void lease_epoch_tick();
+  std::vector<pacer::LenderVmStats> collect_lender_stats();
+  /// Re-derive per-(tenant, vm) lease overlays from `server`'s applied
+  /// lease table and push them into the borrower pacers.
+  void refresh_lease_rates(int server);
 
   ClusterConfig cfg_;
   obs::MetricsRegistry metrics_;
@@ -263,6 +290,23 @@ class ClusterSim {
   obs::Counter slo_violations_;
   obs::Counter diff_applied_;
   obs::Counter diff_apply_ns_;
+
+  // Headroom-lender state (docs/WORKCONSERVING.md). All stays empty/zero
+  // while cfg_.lending.enabled is false.
+  std::unique_ptr<pacer::HeadroomLender> lender_;
+  std::uint64_t lease_epoch_ = 0;
+  std::uint64_t next_lease_id_ = 1;
+  std::map<std::uint64_t, PacerLeaseRecord> issued_;  ///< issuer lease table
+  /// Per server: lease overlay last pushed to each (tenant, vm) pacer, so
+  /// vanished leases are zeroed out exactly once.
+  std::map<int, std::map<std::pair<std::int64_t, int>, RateBps>>
+      applied_lease_rate_;
+  obs::Counter lease_granted_;
+  obs::Counter lease_revoked_;
+  obs::Counter lease_expired_;
+  obs::Counter lease_applied_;
+  obs::Gauge lease_active_;
+  obs::Gauge lease_lent_bps_;
   /// Stage timeline of the packet being dispatched, captured before its
   /// handle is recycled (on_flow_delivery runs inside the dispatch).
   obs::PacketStages pending_stages_;

@@ -160,6 +160,8 @@ ControlChannel::ControlChannel(EventQueue& events, PacerAgentFleet& fleet,
                                     "messages", "channel");
   m_stale_removes_ = metrics_.counter("controller.channel.stale_removes",
                                       "records", "channel");
+  m_lease_expired_ = metrics_.counter("controller.channel.lease_expired",
+                                      "records", "channel");
   m_desyncs_repaired_ = metrics_.counter("controller.channel.desyncs_repaired",
                                          "repairs", "channel");
   m_ae_rounds_ = metrics_.counter("controller.channel.anti_entropy_rounds",
@@ -202,8 +204,11 @@ void ControlChannel::ship(const std::vector<PacerConfigDelta>& deltas) {
     note_disturbance();
     // The shadow is the controller-local authoritative copy — applied
     // reliably at ship time, so stale removes counted here are genuine
-    // protocol smells, not reordering artifacts.
-    m_stale_removes_.inc(shadow_[server].apply(delta));
+    // protocol smells, not reordering artifacts. Revokes that raced a
+    // clean epoch expiry are benign and counted apart.
+    const PacerApplyResult shadow_applied = shadow_[server].apply(delta);
+    m_stale_removes_.inc(shadow_applied.stale_removes);
+    m_lease_expired_.inc(shadow_applied.lease_expired);
     const std::int64_t seq = ++last_seq_[server];
     Outstanding& entry = outstanding_[server][seq];
     entry.delta = delta;

@@ -212,6 +212,7 @@ class ControlChannel {
   obs::Counter m_gaps_;             ///< out-of-order deltas buffered
   obs::Counter m_stale_epoch_;      ///< dead-epoch messages discarded
   obs::Counter m_stale_removes_;    ///< removes referencing absent records
+  obs::Counter m_lease_expired_;    ///< revokes that raced clean lease expiry
   obs::Counter m_desyncs_repaired_; ///< anti-entropy full-snapshot repairs
   obs::Counter m_ae_rounds_;        ///< anti-entropy sweeps run
   obs::Gauge m_convergence_ns_;     ///< disturbance->convergence sim time

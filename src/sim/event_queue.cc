@@ -183,6 +183,9 @@ void EventQueue::dispatch(const Event& ev) {
       static_cast<ClusterSim*>(ev.target)->rebalance_tenant(
           static_cast<int>(ev.arg));
       break;
+    case EventKind::kClusterLeaseEpoch:
+      static_cast<ClusterSim*>(ev.target)->lease_epoch_tick();
+      break;
   }
 }
 

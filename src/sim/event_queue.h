@@ -48,6 +48,7 @@ enum class EventKind : std::uint8_t {
   kFlowRtoTimer,      ///< target TcpFlow
   kFlowTsqRetry,      ///< target TcpFlow
   kClusterRebalance,  ///< target ClusterSim, arg = tenant
+  kClusterLeaseEpoch, ///< target ClusterSim (headroom-lender epoch tick)
 };
 
 class EventQueue {

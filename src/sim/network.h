@@ -115,10 +115,14 @@ class Host {
 
   /// Hypervisor side of the incremental config protocol: fold a controller
   /// delta into this server's applied pacer-config table.
-  void apply_pacer_config(const PacerConfigDelta& delta) {
-    nic_.apply_config(delta);
+  PacerApplyResult apply_pacer_config(const PacerConfigDelta& delta) {
+    return nic_.apply_config(delta);
   }
   const PacerConfigTable& pacer_config() const { return nic_.config(); }
+  /// Clock-driven lease expiry on this server (docs/WORKCONSERVING.md).
+  std::vector<PacerLeaseRecord> advance_lease_epoch(std::uint64_t epoch) {
+    return nic_.advance_lease_epoch(epoch);
+  }
 
   /// Inject a transport packet originating at a VM on this server.
   /// Takes ownership of the handle.

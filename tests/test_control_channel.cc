@@ -214,8 +214,8 @@ TEST(ControlChannel, StaleRemovesAreCountedNotSwallowed) {
   PacerConfigDelta bogus;
   bogus.server = 0;
   bogus.removes.emplace_back(42, 0);  // never upserted
-  EXPECT_EQ(table.apply(bogus), 1);
-  EXPECT_EQ(table.apply(PacerConfigDelta{}), 0);
+  EXPECT_EQ(table.apply(bogus).stale_removes, 1);
+  EXPECT_EQ(table.apply(PacerConfigDelta{}).stale_removes, 0);
 
   // Channel level: the miss surfaces on the shadow-apply path, where the
   // stream is reliable and in order — a genuine controller-side bug smell.
@@ -255,8 +255,9 @@ TEST(ControlChannel, LossyChannelRetriesThenAntiEntropyRepairs) {
   }
   EXPECT_LE(rounds, 8);
   expect_fleet_matches(ctl, fleet, channel);
-  if (m.value("controller.channel.abandoned") > 0)
+  if (m.value("controller.channel.abandoned") > 0) {
     EXPECT_GT(m.value("controller.channel.desyncs_repaired"), 0);
+  }
 }
 
 TEST(ControlChannel, RestartBumpsEpochAndResyncsRecoveredController) {
