@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "core/guarantee.h"
+#include "model/guarantee.h"
 #include "sim/cluster.h"
 #include "util/rng.h"
 #include "workload/drivers.h"

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "core/guarantee.h"
+#include "model/guarantee.h"
 #include "sim/cluster.h"
 #include "workload/drivers.h"
 

@@ -8,7 +8,7 @@
 // placement, and (4) measuring actual message latency under the pacer.
 #include <cstdio>
 
-#include "core/guarantee.h"
+#include "model/guarantee.h"
 #include "sim/cluster.h"
 
 using namespace silo;

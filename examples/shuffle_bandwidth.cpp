@@ -4,7 +4,7 @@
 // hose-model share and the resulting shuffle completion time.
 #include <cstdio>
 
-#include "core/guarantee.h"
+#include "model/guarantee.h"
 #include "sim/cluster.h"
 #include "workload/patterns.h"
 

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Docs consistency checks, run by the CI docs job:
 #   1. every relative markdown link points at a file that exists;
-#   2. every metric name listed in docs/OBSERVABILITY.md's catalog is
-#      actually registered somewhere in src/ (by string literal), and
-#      every registered metric appears in the catalog — the table cannot
-#      silently rot in either direction.
+#   2. the metric catalog in docs/OBSERVABILITY.md matches the metrics
+#      registered in src/ — delegated to silo-analyze's metrics pass,
+#      which extracts names from *string literals* via a real tokenizer
+#      (the grep this script used to carry counted names in comments as
+#      registrations, and its per-family checks are subsumed by the
+#      exact two-way set comparison);
+#   3. the static-analysis rule catalogs (silo-lint + silo-analyze) and
+#      the DESIGN.md rule tables agree in both directions.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,94 +32,35 @@ done < <(grep -oHE '\]\(([^)]+)\)' ./*.md docs/*.md \
            | sed -E 's/\]\(([^)]+)\)/\1/')
 
 # ---- 2. metric catalog <-> registration literals -------------------------
-# Catalog rows carry the metric name in backticks in the first column;
-# metric names are always dotted (sim.*, cluster.*, controller.*), which
-# keeps the flight-recorder field table out of this extraction.
-doc_metrics=$(grep -oE '^\| `[a-z_]+(\.[a-z_]+)+` \|' docs/OBSERVABILITY.md \
-                | sed -E 's/^\| `([a-z_.]+)` \|/\1/' | sort -u)
-# Registration calls may wrap the name onto the next line, so extract
-# every dotted string literal instead of anchoring on the call.
-src_metrics=$(grep -rhoE '"[a-z_]+(\.[a-z_]+)+"' src/ \
-                --include='*.cc' --include='*.h' \
-                | tr -d '"' | sort -u)
+if ! python3 scripts/silo_analyze --pass metrics; then
+  fail=1
+fi
 
-for m in $doc_metrics; do
-  if ! grep -rq "\"$m\"" src/; then
-    echo "DOCUMENTED BUT NOT REGISTERED: $m"
-    fail=1
-  fi
-done
-for m in $src_metrics; do
-  if ! grep -q "\`$m\`" docs/OBSERVABILITY.md; then
-    echo "REGISTERED BUT NOT DOCUMENTED: $m"
-    fail=1
-  fi
-done
-
-ndoc=$(echo "$doc_metrics" | wc -w)
-nsrc=$(echo "$src_metrics" | wc -w)
-
-# ---- 3. metric families cross-checked as sets ----------------------------
-# The per-name check above would stay quiet if a whole family vanished
-# from both sides (e.g. a prefix rename), so these additionally fail when
-# a family has no registrations at all. controller.diff.* spans layers
-# (emission counters in src/core, apply-side counters in src/sim), hence
-# the whole-src/ scope.
-check_family() {  # sets $family_count; flags $fail on mismatch
-  local prefix="$1"
-  local src doc
-  src=$(grep -rhoE "\"${prefix}\.[a-z_]+\"" src/ \
-          --include='*.cc' --include='*.h' | tr -d '"' | sort -u)
-  doc=$(grep -oE "\`${prefix}\.[a-z_]+\`" docs/OBSERVABILITY.md \
-          | tr -d '`' | sort -u)
-  if [ -z "$src" ]; then
-    echo "NO ${prefix}.* METRICS REGISTERED IN src/"
-    fail=1
-  fi
-  if [ "$src" != "$doc" ]; then
-    echo "${prefix}.* FAMILY MISMATCH between src/ and OBSERVABILITY.md"
-    echo "  registered: " $src
-    echo "  documented: " $doc
-    fail=1
-  fi
-  family_count=$(echo "$src" | wc -w)
-}
-check_family 'controller\.diff'; ndiff=$family_count
-check_family 'controller\.journal'; njournal=$family_count
-check_family 'controller\.channel'; nchannel=$family_count
-# Lease metrics span layers like controller.diff.*: the controller's own
-# grant/revoke accounting lives in src/core, the in-sim issuer's
-# (ClusterSim lender) in src/sim — both must stay catalogued.
-check_family 'controller\.lease'; nctl_lease=$family_count
-check_family 'pacer\.lease'; npacer_lease=$family_count
-check_family 'flowsim'; nflowsim=$family_count
-
-# ---- 4. silo-lint rule catalog <-> DESIGN.md -----------------------------
-# DESIGN.md's "silo-lint rule catalog" table carries each rule name in
-# backticks in its first column; silo_lint.py --list-rules prints
-# "name: description" per rule. Both directions must agree, so neither
-# the docs nor the linter can grow or drop a rule silently.
-lint_rules=$(python3 scripts/silo_lint.py --list-rules \
+# ---- 3. analyzer rule catalogs <-> DESIGN.md -----------------------------
+# DESIGN.md carries each rule name in backticks in the first column of
+# its catalog tables; both tools print "name: description" per rule from
+# --list-rules. Both directions must agree, so neither the docs nor the
+# analyzers can grow or drop a rule silently.
+tool_rules=$( (python3 scripts/silo_lint.py --list-rules;
+               python3 scripts/silo_analyze --list-rules) \
                | sed -E 's/^([a-z-]+):.*/\1/' | sort -u)
 doc_rules=$(grep -oE '^\| `[a-z-]+` \|' DESIGN.md \
               | sed -E 's/^\| `([a-z-]+)` \|/\1/' | sort -u)
-for r in $lint_rules; do
+for r in $tool_rules; do
   if ! echo "$doc_rules" | grep -qx "$r"; then
-    echo "LINT RULE NOT IN DESIGN.md CATALOG: $r"
+    echo "ANALYZER RULE NOT IN DESIGN.md CATALOG: $r"
     fail=1
   fi
 done
 for r in $doc_rules; do
-  if ! echo "$lint_rules" | grep -qx "$r"; then
-    echo "DOCUMENTED RULE UNKNOWN TO silo_lint.py: $r"
+  if ! echo "$tool_rules" | grep -qx "$r"; then
+    echo "DOCUMENTED RULE UNKNOWN TO silo-lint/silo-analyze: $r"
     fail=1
   fi
 done
-nrules=$(echo "$lint_rules" | wc -w)
+nrules=$(echo "$tool_rules" | wc -w)
 
-echo "checked markdown links, $ndoc documented / $nsrc registered metrics" \
-     "($ndiff controller.diff.*, $njournal controller.journal.*," \
-     "$nchannel controller.channel.*, $nctl_lease controller.lease.*," \
-     "$npacer_lease pacer.lease.*, $nflowsim flowsim.*), and $nrules" \
-     "silo-lint rules against the DESIGN.md catalog"
+echo "checked markdown links, the OBSERVABILITY.md metric catalog" \
+     "(via silo-analyze), and $nrules lint/analyze rules against the" \
+     "DESIGN.md catalogs"
 exit $fail

@@ -1,0 +1,13 @@
+"""silo-analyze: multi-pass project analyzer for the Silo repo.
+
+Four passes over a real tokenizer + include graph (scripts/silo_lint.py
+keeps the per-line determinism rules; this package owns everything that
+needs structure):
+
+  layers        module layer-DAG enforcement against layers.json
+  shared-state  mutable-shared-state census (emits shared_state.json)
+  dispatch      enum/struct dispatch- and serializer-exhaustiveness
+  metrics       metric literals vs. the OBSERVABILITY.md catalog
+
+Run `python3 scripts/silo_analyze --help` for the CLI.
+"""

@@ -1,0 +1,75 @@
+"""Pass 4 — metric-literal extraction vs. the OBSERVABILITY.md catalog.
+
+Every metric registered in src/ must be catalogued, and every catalogued
+metric must be registered — the same contract scripts/check_docs.sh used
+to enforce with grep. The analyzer does it on the tokenizer instead:
+
+  - src side: every *string literal* matching the dotted metric shape
+    `[a-z_]+(\\.[a-z_]+)+` — comments no longer count as registrations
+    (grep's classic false negative: a metric deleted from code but still
+    named in a comment kept the doc check green);
+  - doc side: catalog rows in docs/OBSERVABILITY.md whose first column is
+    a backticked dotted name.
+
+Because the comparison is exact-set in both directions, the per-family
+checks check_docs.sh carried (controller.diff.*, flowsim.*, ...) are
+subsumed: a family vanishing from either side is a set difference.
+
+Rules: `metric-undocumented` (registered, not catalogued — anchored at
+the registering literal) and `metric-unregistered` (catalogued, not
+registered — anchored at the catalog row).
+"""
+
+from __future__ import annotations
+
+import re
+
+from . import lexer
+from .base import Finding, Repo
+
+RULE_UNDOC = "metric-undocumented"
+RULE_UNREG = "metric-unregistered"
+
+DOC_PATH = "docs/OBSERVABILITY.md"
+
+_METRIC_SHAPE = re.compile(r"^[a-z_]+(\.[a-z_]+)+$")
+_DOC_ROW = re.compile(r"^\| `([a-z_]+(?:\.[a-z_]+)+)` \|")
+
+
+def src_metrics(repo: Repo) -> dict[str, tuple[str, int]]:
+    """metric name -> (path, line) of its first registering literal."""
+    out: dict[str, tuple[str, int]] = {}
+    for path in repo.src_files():
+        for tok in lexer.string_literals(repo.files[path]):
+            if _METRIC_SHAPE.match(tok.value) and tok.value not in out:
+                out[tok.value] = (path, tok.line)
+    return out
+
+
+def doc_metrics(repo: Repo) -> dict[str, int]:
+    """catalog metric name -> line of its row."""
+    out: dict[str, int] = {}
+    for ln, line in enumerate(
+            repo.files.get(DOC_PATH, "").splitlines(), start=1):
+        m = _DOC_ROW.match(line)
+        if m and m.group(1) not in out:
+            out[m.group(1)] = ln
+    return out
+
+
+def run(repo: Repo) -> list[Finding]:
+    findings: list[Finding] = []
+    registered = src_metrics(repo)
+    documented = doc_metrics(repo)
+    for name in sorted(registered.keys() - documented.keys()):
+        path, line = registered[name]
+        findings.append(Finding(
+            path, line, RULE_UNDOC,
+            f"metric '{name}' is registered here but missing from the "
+            f"{DOC_PATH} catalog", symbol=name))
+    for name in sorted(documented.keys() - registered.keys()):
+        findings.append(Finding(
+            DOC_PATH, documented[name], RULE_UNREG,
+            f"metric '{name}' is catalogued but no string literal in src/ "
+            f"registers it", symbol=name))
+    return findings

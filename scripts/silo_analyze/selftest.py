@@ -1,0 +1,360 @@
+"""Embedded self-test corpus for silo-analyze, in the style of
+silo-lint's positive/negative cases: every pass has fixtures that must
+flag, fixtures that must stay quiet, and a suppression fixture proving
+the `// silo-analyze: allow(<rule>)` escape hatch works. Registered as
+the `silo_analyze_selftest` ctest and run first in the CI lint job, so a
+rule that silently stops matching fails the build, not the review.
+"""
+
+from __future__ import annotations
+
+from . import dispatch, layers, lexer, metrics_docs, shared_state
+from .base import Repo
+
+# Each case: (name, files, manifest, pass-runner, expected violations as a
+# sorted list of (rule, path) pairs). Allowed findings never count as
+# violations — suppression cases expect [].
+CASES = []
+
+
+def case(name, files, manifest, runner, expect):
+    CASES.append((name, files, manifest, runner, sorted(expect)))
+
+
+# ---- layer-DAG pass --------------------------------------------------------
+
+_L_MANIFEST = {"modules": {"a": [], "b": ["a"]}}
+
+case(
+    "layers/clean-declared-edge",
+    {"src/a/x.h": "#pragma once\n",
+     "src/b/y.h": '#pragma once\n#include "a/x.h"\n'},
+    _L_MANIFEST, layers.run, [])
+
+case(
+    "layers/forbidden-edge",
+    {"src/a/x.h": '#include "b/y.h"\n',
+     "src/b/y.h": "#pragma once\n"},
+    {"modules": {"a": [], "b": []}},
+    layers.run, [(layers.RULE_DAG, "src/a/x.h")])
+
+case(
+    "layers/forbidden-edge-suppressed",
+    {"src/a/x.h":
+        '#include "b/y.h"  // silo-analyze: allow(layer-dag) fixture\n',
+     "src/b/y.h": "#pragma once\n"},
+    {"modules": {"a": [], "b": []}},
+    layers.run, [])
+
+case(
+    "layers/manifest-cycle",
+    {"src/a/x.h": '#include "b/y.h"\n',
+     "src/b/y.h": '#include "a/x.h"\n'},
+    {"modules": {"a": ["b"], "b": ["a"]}},
+    layers.run,
+    # The declared layering itself is cyclic, and so is the file graph.
+    [(layers.RULE_DAG, "scripts/silo_analyze/layers.json"),
+     (layers.RULE_CYCLE, "src/a/x.h")])
+
+case(
+    "layers/deliberate-include-cycle",
+    {"src/a/x.h": '#pragma once\n#include "a/y.h"\n',
+     "src/a/y.h": '#pragma once\n#include "a/x.h"\n'},
+    {"modules": {"a": []}},
+    layers.run, [(layers.RULE_CYCLE, "src/a/x.h")])
+
+case(
+    "layers/stale-declared-edge",
+    {"src/a/x.h": "#pragma once\n", "src/b/y.h": "#pragma once\n"},
+    _L_MANIFEST, layers.run,
+    [(layers.RULE_DAG, "scripts/silo_analyze/layers.json")])
+
+case(
+    "layers/undeclared-module",
+    {"src/c/z.h": "#pragma once\n"},
+    {"modules": {"a": []}},
+    layers.run, [(layers.RULE_DAG, "src/c/z.h")])
+
+case(
+    "layers/include-in-comment-ignored",
+    {"src/a/x.h": '#pragma once\n// #include "b/y.h"\n',
+     "src/b/y.h": '#pragma once\n#include "a/x.h"\n'},
+    _L_MANIFEST, layers.run, [])
+
+# ---- shared-state census ---------------------------------------------------
+
+_S_MANIFEST = {"modules": {"m": []}}
+
+case(
+    "shared-state/mutable-globals",
+    {"src/m/x.h": "\n".join([
+        "#pragma once",
+        "namespace silo {",
+        "int counter = 0;",                       # flag
+        "inline std::int64_t sink_cell = 0;",     # flag
+        "namespace { bool warmed_up; }",          # flag
+        "Stats g_stats{};",                       # flag (brace init)
+        "constexpr int kTicks = 256;",            # quiet
+        "const char kName[] = \"x\";",            # quiet
+        "int free_slots(int level);",             # quiet: function decl
+        "class Wheel { int depth_ = 0; };",       # quiet: member
+        "inline int clamp(int v) { int local = v; return local; }",
+        "}",
+        ""])},
+    _S_MANIFEST, shared_state.run,
+    [(shared_state.RULE_GLOBAL, "src/m/x.h")] * 4)
+
+case(
+    "shared-state/static-locals",
+    {"src/m/x.cc": "\n".join([
+        "int next_id() {",
+        "  static int id = 0;",                   # flag
+        "  static Registry reg{};",               # flag (brace init)
+        "  static const Table kT = make();",      # quiet: const
+        "  static constexpr int kBits = 8;",      # quiet
+        "  return ++id;",
+        "}",
+        ""])},
+    _S_MANIFEST, shared_state.run,
+    [(shared_state.RULE_STATIC_LOCAL, "src/m/x.cc")] * 2)
+
+case(
+    "shared-state/pointer-keyed",
+    {"src/m/x.h": "\n".join([
+        "#pragma once",
+        "std::map<Packet*, int> by_addr;",            # flag (also a global,
+                                                      # hence 2 findings)
+        "void f() { std::set<const Flow*> live; }",   # flag
+        "void g() { std::map<int, Flow*> by_id; }",   # quiet: pointer value
+        "void h() { std::map<std::pair<int, int>, Rec*> m; }",  # quiet
+        ""])},
+    _S_MANIFEST, shared_state.run,
+    [(shared_state.RULE_GLOBAL, "src/m/x.h"),
+     (shared_state.RULE_PTR_KEY, "src/m/x.h"),
+     (shared_state.RULE_PTR_KEY, "src/m/x.h")])
+
+case(
+    "shared-state/suppressed",
+    {"src/m/x.h": "\n".join([
+        "#pragma once",
+        "// Sink cell by design: write-only, never read back.",
+        "// silo-analyze: allow(mutable-global)",
+        "inline std::int64_t sink_cell = 0;",
+        "static Hist& h() {",
+        "  static Hist s;  // silo-analyze: allow(mutable-static-local)",
+        "  return s;",
+        "}",
+        ""])},
+    _S_MANIFEST, shared_state.run, [])
+
+# ---- dispatch exhaustiveness ----------------------------------------------
+
+_DISPATCH_ENUM = "\n".join([
+    "#pragma once",
+    "enum class EvKind : std::uint8_t {",
+    "  kArrival,",
+    "  kDepart = 7,",
+    "  kTick,",
+    "};",
+    ""])
+
+
+def _switch_runner(handler_body: str, exempt=None):
+    site = dispatch.SwitchSite(
+        "EvKind", "src/m/ev.h", "Engine::dispatch", "src/m/ev.cc",
+        "fixture", exempt=exempt or {})
+
+    def run(repo: Repo):
+        return dispatch._check_switch(repo, site)
+    return run
+
+
+case(
+    "dispatch/complete-switch",
+    {"src/m/ev.h": _DISPATCH_ENUM,
+     "src/m/ev.cc": "\n".join([
+         "void Engine::dispatch(const Ev& ev) {",
+         "  switch (ev.kind) {",
+         "    case EvKind::kArrival: on_arrival(); break;",
+         "    case EvKind::kDepart: on_depart(); break;",
+         "    case EvKind::kTick: on_tick(); break;",
+         "  }",
+         "}",
+         ""])},
+    None, _switch_runner("", None), [])
+
+case(
+    "dispatch/deliberately-missing-case",
+    {"src/m/ev.h": _DISPATCH_ENUM,
+     "src/m/ev.cc": "\n".join([
+         "void Engine::dispatch(const Ev& ev) {",
+         "  switch (ev.kind) {",
+         "    case EvKind::kArrival: on_arrival(); break;",
+         "    case EvKind::kTick: on_tick(); break;",
+         "  }",
+         "}",
+         ""])},
+    None, _switch_runner(""), [(dispatch.RULE, "src/m/ev.h")])
+
+case(
+    "dispatch/missing-case-suppressed",
+    {"src/m/ev.h": _DISPATCH_ENUM.replace(
+        "  kDepart = 7,",
+        "  kDepart = 7,  // silo-analyze: allow(dispatch-exhaustive)"),
+     "src/m/ev.cc": "\n".join([
+         "void Engine::dispatch(const Ev& ev) {",
+         "  switch (ev.kind) {",
+         "    case EvKind::kArrival: on_arrival(); break;",
+         "    case EvKind::kTick: on_tick(); break;",
+         "  }",
+         "}",
+         ""])},
+    None, _switch_runner(""), [])
+
+case(
+    "dispatch/config-rot-fails-loudly",
+    {"src/m/ev.h": "#pragma once\n", "src/m/ev.cc": "\n"},
+    None, _switch_runner(""), [(dispatch.RULE, "src/m/ev.h")])
+
+
+def _field_runner(exempt=None):
+    site = dispatch.FieldSite(
+        "Delta", "src/m/d.h", "Table::apply", "src/m/d.h",
+        "fixture", exempt=exempt or {})
+
+    def run(repo: Repo):
+        return dispatch._check_fields(repo, site)
+    return run
+
+
+_FIELD_STRUCT = "\n".join([
+    "#pragma once",
+    "struct Delta {",
+    "  int server = -1;",
+    "  std::vector<std::pair<std::int64_t, int>> removes;",
+    "  std::vector<Rec> upserts;",
+    "  bool operator==(const Delta&) const = default;",  # not a field
+    "};",
+    "class Table {",
+    " public:",
+    "  void apply(const Delta& delta) {",
+    "    for (const auto& k : delta.removes) records_.erase(k);",
+    "    for (const auto& r : delta.upserts) records_.insert(r);",
+    "  }",
+    "};",
+    ""])
+
+case(
+    "dispatch/field-coverage-in-class-method",
+    {"src/m/d.h": _FIELD_STRUCT},
+    None, _field_runner(), [(dispatch.RULE, "src/m/d.h")])  # `server` unused
+
+case(
+    "dispatch/field-coverage-exempt",
+    {"src/m/d.h": _FIELD_STRUCT},
+    None, _field_runner(exempt={"server": "routing key"}), [])
+
+# ---- metric catalog --------------------------------------------------------
+
+_M_DOC = "\n".join([
+    "### Metric catalog",
+    "",
+    "| Metric | Type | What |",
+    "|--------|------|------|",
+    "| `sim.port.drops` | counter | drops |",
+    "| `sim.port.ghost` | counter | documented but never registered |",
+    ""])
+
+case(
+    "metrics/both-directions",
+    {"src/m/x.cc": "\n".join([
+        'auto c = reg.counter("sim.port.drops", "packets", "port");',
+        '// comment naming "sim.port.ghost" must NOT count as registered',
+        'auto u = reg.counter("sim.port.undocumented", "packets", "port");',
+        ""]),
+     "docs/OBSERVABILITY.md": _M_DOC},
+    None, metrics_docs.run,
+    [(metrics_docs.RULE_UNDOC, "src/m/x.cc"),
+     (metrics_docs.RULE_UNREG, "docs/OBSERVABILITY.md")])
+
+case(
+    "metrics/clean",
+    {"src/m/x.cc":
+        'auto c = reg.counter("sim.port.drops", "p", "port");\n'
+        '// url in string is fine: log("https://example");\n',
+     "docs/OBSERVABILITY.md": "\n".join([
+         "| Metric | Type | What |",
+         "|--------|------|------|",
+         "| `sim.port.drops` | counter | drops |",
+         ""])},
+    None, metrics_docs.run, [])
+
+case(
+    "metrics/undocumented-suppressed",
+    {"src/m/x.cc": "\n".join([
+        "// internal scratch metric, deliberately uncatalogued",
+        "// silo-analyze: allow(metric-undocumented)",
+        'auto c = reg.counter("sim.port.scratch", "p", "port");',
+        ""]),
+     "docs/OBSERVABILITY.md": "| Metric |\n"},
+    None, metrics_docs.run, [])
+
+# ---- lexer invariants ------------------------------------------------------
+
+LEXER_CHECKS = [
+    # (name, callable -> bool)
+    ("lexer/comment-slash-in-string",
+     lambda: lexer.split_line_comment(
+         'log("https://x"); srand(1);') ==
+     ('log("https://x"); srand(1);', "")),
+    ("lexer/real-comment-stripped",
+     lambda: lexer.split_line_comment(
+         "int x = 0;  // srand(1) in comment") ==
+     ("int x = 0;  ", "// srand(1) in comment")),
+    ("lexer/comment-after-string",
+     lambda: lexer.split_line_comment(
+         'log("a//b"); // tail') == ('log("a//b"); ', "// tail")),
+    ("lexer/escaped-quote",
+     lambda: lexer.split_line_comment(
+         'log("a\\"//b"); f();') == ('log("a\\"//b"); f();', "")),
+    ("lexer/string-literal-extraction",
+     lambda: [t.value for t in lexer.string_literals(
+         '// "comment.metric"\nreg.counter("a.b");\n/* "block.metric" */\n'
+         'auto r = R"(raw.metric)";')] == ["a.b", "raw.metric"]),
+    ("lexer/char-literal-not-string",
+     lambda: [t.value for t in lexer.string_literals(
+         "char c = '\"'; f(\"x.y\");")] == ["x.y"]),
+]
+
+
+# ---- runner ----------------------------------------------------------------
+
+def run_self_test() -> int:
+    failures = 0
+    for name, files, manifest, runner, expect in CASES:
+        repo = Repo(files=files, manifest=manifest)
+        findings = repo.apply_allows(runner(repo))
+        got = sorted((f.rule, f.path) for f in findings if not f.allowed)
+        if got != expect:
+            failures += 1
+            print(f"SELF-TEST FAIL [{name}]")
+            print(f"  expected: {expect}")
+            print(f"  got:      {got}")
+            for f in findings:
+                print(f"    {f.format()}{' (allowed)' if f.allowed else ''}")
+    for name, check in LEXER_CHECKS:
+        ok = False
+        try:
+            ok = check()
+        except Exception as e:  # noqa: BLE001 - a crash is a failure
+            print(f"SELF-TEST ERROR [{name}]: {e!r}")
+        if not ok:
+            failures += 1
+            print(f"SELF-TEST FAIL [{name}]")
+    total = len(CASES) + len(LEXER_CHECKS)
+    if failures:
+        print(f"silo-analyze self-test: {failures} failure(s) "
+              f"across {total} cases")
+        return 1
+    print(f"silo-analyze self-test: {total} cases ok")
+    return 0

@@ -25,6 +25,9 @@ import re
 import sys
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from silo_analyze.lexer import split_line_comment  # noqa: E402
+
 REPO_DIRS = ["src", "bench", "tests", "examples"]
 EXTENSIONS = {".h", ".cc", ".cpp", ".hpp"}
 
@@ -95,6 +98,11 @@ RULES = [
             ("src/sim/x.cc", "rng.uniform_int(0, 9);", False),
             ("src/sim/x.cc", "grand_total += 1;", False),
             ("src/sim/x.cc", "x = operand();", False),
+            # `//` inside a string literal is not a comment: code after it
+            # must still be linted...
+            ("src/sim/x.cc", 'log("see https://x.test"); srand(42);', True),
+            # ...while a real trailing comment is still stripped.
+            ("src/sim/x.cc", "int x = 0;  // srand(1) only in comment", False),
         ],
     ),
     Rule(
@@ -211,7 +219,10 @@ def lint_lines(path: str, lines: list[str]):
         here_allow = allowed_ids(line) | prev_allow
         # A line that is only an allow-comment arms suppression for the next line.
         prev_allow = allowed_ids(line) if line.strip().startswith("//") else set()
-        stripped = line.split("//", 1)[0]  # rules never match comments
+        # Rules never match comments — but a `//` inside a string literal
+        # (a URL, a path) is not a comment; the old `line.split("//", 1)`
+        # truncated there and hid anything after it from every rule.
+        stripped = split_line_comment(line)[0]
         for rule in RULES:
             if rule.id in here_allow or rule.id in FILE_ALLOWLIST.get(path, set()):
                 continue

@@ -12,7 +12,7 @@
 
 #include <vector>
 
-#include "core/guarantee.h"
+#include "model/guarantee.h"
 #include "util/units.h"
 
 namespace silo {

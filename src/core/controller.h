@@ -15,7 +15,7 @@
 #include <map>
 #include <vector>
 
-#include "core/guarantee.h"
+#include "model/guarantee.h"
 #include "core/journal.h"
 #include "obs/metrics.h"
 #include "pacer/pacer_config.h"

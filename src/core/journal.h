@@ -23,7 +23,7 @@
 #include <string>
 #include <vector>
 
-#include "core/guarantee.h"
+#include "model/guarantee.h"
 #include "obs/metrics.h"
 #include "pacer/pacer_config.h"
 #include "placement/placement.h"

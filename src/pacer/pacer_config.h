@@ -22,7 +22,7 @@
 #include <utility>
 #include <vector>
 
-#include "core/guarantee.h"
+#include "model/guarantee.h"
 
 namespace silo {
 

@@ -16,7 +16,7 @@
 #include <map>
 #include <vector>
 
-#include "core/guarantee.h"
+#include "model/guarantee.h"
 #include "pacer/hose_allocator.h"
 #include "pacer/token_bucket.h"
 

@@ -18,7 +18,7 @@
 #include <map>
 #include <vector>
 
-#include "core/guarantee.h"
+#include "model/guarantee.h"
 #include "placement/port_load.h"
 #include "topology/topology.h"
 

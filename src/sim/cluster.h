@@ -19,7 +19,7 @@
 #include <utility>
 #include <vector>
 
-#include "core/guarantee.h"
+#include "model/guarantee.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/packet_timeline.h"

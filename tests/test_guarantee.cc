@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "core/guarantee.h"
+#include "model/guarantee.h"
 
 namespace silo {
 namespace {
