@@ -8,19 +8,33 @@
 // counts match and events/second is an apples-to-apples comparison. A
 // second phase times a real Fig-12-style ClusterSim run on the new engine.
 //
+// A third phase scales the parallel island engine on a 32K-server fabric:
+// one row per --threads value, with a machine-independent record (islands,
+// rounds, busiest-island share) alongside wall-clock events/s. All rows
+// must process identical event and message counts (the determinism matrix
+// at scale); the >=3x speedup gate applies only when the machine actually
+// has >=8 hardware threads.
+//
 // Writes BENCH_event_engine.json next to the binary's working directory.
 //
 // Flags: --ports=16 --packets=2000 --hops=512 --timer-ticks=2000
-//        --duration-ms=100 (cluster phase) --json-path=BENCH_event_engine.json
+//        --duration-ms=100 (cluster phase)
+//        --par-pods=32 --par-racks=32 --par-servers=32 (32768 servers)
+//        --par-duration-ms=2 --threads=1,2,4,8
 #include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <queue>
+#include <string>
+// hardware_concurrency() gates the parallel speedup acceptance check; no
+// threads are created here — the executor lives in src/par.
+#include <thread>  // silo-lint: allow(banned-include)
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "par/thread_executor.h"
 #include "sim/cluster.h"
 #include "sim/event_queue.h"
 #include "sim/port.h"
@@ -297,6 +311,117 @@ ClusterResult run_cluster(TimeNs duration) {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Phase 3: parallel island engine at fleet scale. Every rack runs a local
+// all-to-all bulk tenant (one island per rack, infinite lookahead between
+// unrelated racks) and each adjacent pod pair shares one crossing tenant,
+// so the shared aggregation queues become dedicated islands synchronized
+// by conservative windows.
+struct ParallelParams {
+  int pods = 32;
+  int racks_per_pod = 32;
+  int servers_per_rack = 32;
+  TimeNs duration = 2 * kMsec;
+};
+
+struct ParallelRow {
+  int threads = 0;
+  std::uint64_t events = 0;
+  double wall_s = 0;
+  std::int64_t completed = 0;
+  std::int64_t rounds = 0;
+  int islands = 0;
+  int crossings = 0;
+  double busiest_share = 0;  ///< events of the hottest island / total
+  double events_per_sec() const { return events / wall_s; }
+};
+
+ParallelRow run_parallel_cluster(const ParallelParams& pp, int threads) {
+  sim::ClusterConfig cfg;
+  cfg.topo.pods = pp.pods;
+  cfg.topo.racks_per_pod = pp.racks_per_pod;
+  cfg.topo.servers_per_rack = pp.servers_per_rack;
+  cfg.topo.vm_slots_per_server = 2;
+  cfg.scheme = sim::Scheme::kTcp;
+  cfg.parallel.enabled = true;
+  sim::ClusterSim cluster(cfg);
+  std::unique_ptr<par::ThreadPoolExecutor> pool;
+  if (threads >= 1) {
+    pool = std::make_unique<par::ThreadPoolExecutor>(threads);
+    cluster.set_island_executor(pool.get());
+  }
+
+  TenantRequest quad;
+  quad.num_vms = 4;
+  quad.tenant_class = TenantClass::kBandwidthOnly;
+  quad.guarantee = {RateBps{1e9}, Bytes{1500}, TimeNs{0}, RateBps{1e9}};
+  std::vector<std::unique_ptr<workload::BulkDriver>> drivers;
+  const int racks = pp.pods * pp.racks_per_pod;
+  drivers.reserve(static_cast<std::size_t>(racks + pp.pods));
+  for (int r = 0; r < racks; ++r) {
+    const int base = r * pp.servers_per_rack;
+    const int t = cluster.add_tenant_pinned(
+        quad, {base, base + 1, base + 2, base + 3});
+    drivers.push_back(std::make_unique<workload::BulkDriver>(
+        cluster, t, workload::all_to_all(4), 64 * kKB,
+        static_cast<std::uint64_t>(100 + r)));
+  }
+  // Disjoint pod pairs, two crossing tenants per pair from different rack
+  // groups: each pair's aggregation queues are shared by two distinct
+  // islands, so they become dedicated islands and every window round has
+  // real cross-island traffic to synchronize. (A single chain of spanning
+  // tenants would union everything into one island and never window.)
+  TenantRequest pair = quad;
+  pair.num_vms = 2;
+  const int pod_servers = pp.racks_per_pod * pp.servers_per_rack;
+  for (int p = 0; p + 1 < pp.pods; p += 2) {
+    for (int g = 0; g < 2 && g < pp.racks_per_pod; ++g) {
+      const int off = g * pp.servers_per_rack + 4 % pp.servers_per_rack;
+      const int t = cluster.add_tenant_pinned(
+          pair, {p * pod_servers + off, (p + 1) * pod_servers + off});
+      drivers.push_back(std::make_unique<workload::BulkDriver>(
+          cluster, t, workload::all_to_all(2), 64 * kKB,
+          static_cast<std::uint64_t>(7000 + 2 * p + g)));
+    }
+  }
+  for (auto& d : drivers) d->start(pp.duration);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  cluster.run_until(pp.duration);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ParallelRow row;
+  row.threads = threads;
+  row.events = cluster.total_processed();
+  row.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  row.completed = cluster.total_completed_messages();
+  row.rounds = cluster.parallel_rounds();
+  row.islands = cluster.num_islands();
+  row.crossings = cluster.partition().crossing_edges;
+  std::uint64_t busiest = 0;
+  for (int i = 0; i < row.islands; ++i)
+    busiest = std::max(busiest, cluster.island_processed(i));
+  row.busiest_share =
+      row.events ? static_cast<double>(busiest) / static_cast<double>(row.events)
+                 : 0.0;
+  return row;
+}
+
+std::vector<int> parse_thread_list(const std::string& spec) {
+  std::vector<int> out;
+  int cur = -1;
+  for (const char c : spec) {
+    if (c >= '0' && c <= '9') {
+      cur = (cur < 0 ? 0 : cur * 10) + (c - '0');
+    } else if (cur >= 0) {
+      out.push_back(cur);
+      cur = -1;
+    }
+  }
+  if (cur >= 0) out.push_back(cur);
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -344,6 +469,67 @@ int main(int argc, char** argv) {
               static_cast<long long>(cl.pool_peak_live),
               static_cast<unsigned long long>(cl.callback_events));
 
+  // ------------------------------------------------------- parallel phase
+  ParallelParams pp;
+  pp.pods = static_cast<int>(flags.geti("par-pods", pp.pods));
+  pp.racks_per_pod = static_cast<int>(flags.geti("par-racks", pp.racks_per_pod));
+  pp.servers_per_rack =
+      static_cast<int>(flags.geti("par-servers", pp.servers_per_rack));
+  pp.duration = flags.geti("par-duration-ms", 2) * kMsec;
+  const std::vector<int> thread_list =
+      parse_thread_list(flags.gets("threads", "1,2,4,8"));
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  std::printf("\nparallel islands (%d pods x %d racks x %d servers = %d "
+              "servers, %lld ms sim, %u hw threads)\n",
+              pp.pods, pp.racks_per_pod, pp.servers_per_rack,
+              pp.pods * pp.racks_per_pod * pp.servers_per_rack,
+              static_cast<long long>(pp.duration / kMsec), hw);
+  std::printf("%8s %12s %10s %14s %9s %8s %8s %14s\n", "threads", "events",
+              "wall_ms", "events/sec", "speedup", "islands", "rounds",
+              "busiest_share");
+  std::vector<ParallelRow> rows;
+  rows.reserve(thread_list.size());
+  bool rows_identical = true;
+  double base_eps = 0;
+  for (const int t : thread_list) {
+    rows.push_back(run_parallel_cluster(pp, t));
+    const ParallelRow& row = rows.back();
+    if (row.events != rows.front().events ||
+        row.completed != rows.front().completed)
+      rows_identical = false;
+    if (rows.size() == 1) base_eps = row.events_per_sec();
+    std::printf("%8d %12llu %10.1f %13.3gM %8.2fx %8d %8lld %13.1f%%\n",
+                row.threads, static_cast<unsigned long long>(row.events),
+                row.wall_s * 1e3, row.events_per_sec() / 1e6,
+                row.events_per_sec() / base_eps, row.islands,
+                static_cast<long long>(row.rounds), row.busiest_share * 100);
+  }
+  if (!rows_identical)
+    std::printf("WARNING: rows disagree on events/completed — parallel "
+                "determinism broken at scale\n");
+
+  // The >=3x gate needs 8 real cores; on smaller machines the run still
+  // records the machine-independent evidence (identical event counts, the
+  // island/round structure, and the busiest-island share that bounds the
+  // achievable speedup) and the gate is reported as skipped.
+  double par_speedup = 0;
+  const ParallelRow* r1 = nullptr;
+  const ParallelRow* r8 = nullptr;
+  for (const auto& row : rows) {
+    if (row.threads == 1) r1 = &row;
+    if (row.threads == 8) r8 = &row;
+  }
+  if (r1 && r8) par_speedup = r8->events_per_sec() / r1->events_per_sec();
+  const bool par_gate_applies = hw >= 8 && r1 != nullptr && r8 != nullptr;
+  const bool par_gate_ok = !par_gate_applies || par_speedup >= 3.0;
+  if (r1 && r8)
+    std::printf("parallel speedup 8t/1t: %.2fx (gate %s: need >=3x on >=8 "
+                "hw threads, have %u)\n",
+                par_speedup,
+                par_gate_applies ? (par_gate_ok ? "PASS" : "FAIL") : "skipped",
+                hw);
+
   bench::JsonObject ring;
   ring.put("ports", rp.ports)
       .put("packets", rp.packets)
@@ -358,6 +544,34 @@ int main(int argc, char** argv) {
       .put("pool_capacity", cl.pool_capacity)
       .put("pool_peak_live", static_cast<std::int64_t>(cl.pool_peak_live))
       .put("callback_events", cl.callback_events);
+  bench::JsonObject par_json;
+  par_json.put("pods", pp.pods)
+      .put("racks_per_pod", pp.racks_per_pod)
+      .put("servers_per_rack", pp.servers_per_rack)
+      .put("servers", pp.pods * pp.racks_per_pod * pp.servers_per_rack)
+      .put("sim_ms", static_cast<std::int64_t>(pp.duration / kMsec))
+      .put("hw_threads", static_cast<std::int64_t>(hw))
+      .put("rows_identical", rows_identical)
+      .put("speedup_8t_over_1t", par_speedup)
+      .put("gate_applies", par_gate_applies)
+      .put("gate_ok", par_gate_ok);
+  std::vector<bench::JsonObject> row_json;
+  row_json.reserve(rows.size());
+  for (const auto& row : rows) {
+    bench::JsonObject j;
+    j.put("threads", row.threads)
+        .put("events", row.events)
+        .put("wall_s", row.wall_s)
+        .put("events_per_sec", row.events_per_sec())
+        .put("completed_messages", row.completed)
+        .put("islands", row.islands)
+        .put("rounds", row.rounds)
+        .put("crossing_edges", row.crossings)
+        .put("busiest_island_share", row.busiest_share);
+    row_json.push_back(j);
+  }
+  par_json.put("rows", row_json);
+
   bench::JsonObject out;
   out.put("bench", std::string("event_engine"))
       .put("ring", ring)
@@ -368,7 +582,8 @@ int main(int argc, char** argv) {
       .put("wheel_wall_s", wheel.wall_s)
       .put("wheel_events_per_sec", wheel.events_per_sec())
       .put("speedup", speedup)
-      .put("cluster", cluster_json);
+      .put("cluster", cluster_json)
+      .put("parallel", par_json);
   bench::write_json_file("BENCH_event_engine.json", out);
 
   obs::RunManifest m;
@@ -383,5 +598,10 @@ int main(int argc, char** argv) {
               {"ring_packets", std::to_string(rp.packets)},
               {"metrics", "cluster phase (Silo)"}};
   bench::maybe_write_manifest(flags, m, cl.metrics);
-  return speedup >= 2.0 ? 0 : 1;  // acceptance gate: >=2x over the seed engine
+  // Acceptance gates: >=2x over the seed engine (tunable for sanitizer
+  // builds, where relative wall clock is meaningless but the determinism
+  // gates still bite); identical event/message counts across every thread
+  // row; >=3x parallel speedup when the machine has the cores to show it.
+  const double ring_gate = flags.get("ring-gate-min", 2.0);
+  return (speedup >= ring_gate && rows_identical && par_gate_ok) ? 0 : 1;
 }

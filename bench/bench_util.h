@@ -84,6 +84,17 @@ class JsonObject {
   JsonObject& put(const std::string& key, const JsonObject& obj) {
     return raw(key, obj.str());
   }
+  JsonObject& put(const std::string& key, bool v) {
+    return raw(key, v ? "true" : "false");
+  }
+  JsonObject& put(const std::string& key, const std::vector<JsonObject>& arr) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      if (i) out += ", ";
+      out += arr[i].str();
+    }
+    return raw(key, out + "]");
+  }
 
   std::string str() const {
     std::string out = "{";

@@ -134,6 +134,28 @@ case(
      (shared_state.RULE_PTR_KEY, "src/m/x.h")])
 
 case(
+    # thread_local is the sanctioned escape hatch: per-thread instances
+    # cannot be shared across islands, so neither scope form is counted.
+    "shared-state/thread-local",
+    {"src/m/x.h": "\n".join([
+        "#pragma once",
+        "namespace silo {",
+        "inline thread_local std::int64_t sink_cell = 0;",   # quiet
+        "thread_local int scratch;",                         # quiet
+        "inline Hist& sink_hist() {",
+        "  static thread_local Hist s;",                     # quiet
+        "  return s;",
+        "}",
+        "inline int bump() {",
+        "  static int shared_id = 0;",                       # flag: control
+        "  return ++shared_id;",
+        "}",
+        "}",
+        ""])},
+    _S_MANIFEST, shared_state.run,
+    [(shared_state.RULE_STATIC_LOCAL, "src/m/x.h")])
+
+case(
     "shared-state/suppressed",
     {"src/m/x.h": "\n".join([
         "#pragma once",

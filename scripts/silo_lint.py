@@ -35,10 +35,14 @@ ALLOW_RE = re.compile(r"//\s*silo-lint:\s*allow\(([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+
 
 
 class Rule:
-    """One lint rule: a set of (regex, scope-prefixes) patterns.
+    """One lint rule: a set of (regex, scope-prefixes[, exempt-prefixes])
+    patterns.
 
     A pattern only applies to files whose repo-relative path starts with one
-    of its scope prefixes; `("",)` means everywhere. `self_test` maps
+    of its scope prefixes; `("",)` means everywhere. An optional third
+    element lists exempt prefixes carved *out* of the scope — narrower than
+    FILE_ALLOWLIST (per pattern, not per rule) so e.g. `src/par/` may use
+    threading includes while its `<ctime>` ban stays live. `self_test` maps
     synthetic repo paths to (line, should_flag) cases.
     """
 
@@ -46,12 +50,17 @@ class Rule:
         self.id = rule_id
         self.summary = summary
         self.why = why
-        self.patterns = [(re.compile(rx), scopes) for rx, scopes in patterns]
+        self.patterns = [(re.compile(p[0]), p[1], p[2] if len(p) > 2 else ())
+                         for p in patterns]
         self.self_test = self_test
 
     def applies(self, path: str, line: str) -> bool:
-        for rx, scopes in self.patterns:
-            if any(path.startswith(s) for s in scopes) and rx.search(line):
+        for rx, scopes, exempt in self.patterns:
+            if not any(path.startswith(s) for s in scopes):
+                continue
+            if any(path.startswith(e) for e in exempt):
+                continue
+            if rx.search(line):
                 return True
         return False
 
@@ -176,14 +185,21 @@ RULES = [
     ),
     Rule(
         "banned-include",
-        "no <ctime>, <thread>, <mutex>, <condition_variable>, <future>; "
-        "<random> only inside src/util/rng.h",
+        "no <ctime>, <thread>, <mutex>, <condition_variable>, <future> "
+        "(threading carve-out: src/par/ only); <random> only inside "
+        "src/util/rng.h",
         "The simulator core is single-threaded and deterministic by design: "
         "thread primitives would introduce scheduling nondeterminism, <ctime> "
         "is wall clock, and raw <random> bypasses the seeded Rng wrapper that "
-        "makes every stream replayable.",
+        "makes every stream replayable. The one sanctioned exception is "
+        "src/par/ — the conservative-window island executor, whose whole job "
+        "is to confine threads behind barrier-separated phases; protocol code "
+        "everywhere else in src/ stays thread-free so islands can run it "
+        "sequentially. Wall clock stays banned even there.",
         patterns=[
-            (r"#\s*include\s*<(?:ctime|thread|mutex|condition_variable|future)>", ("",)),
+            (r"#\s*include\s*<(?:thread|mutex|condition_variable|future)>",
+             ("",), ("src/par/",)),
+            (r"#\s*include\s*<ctime>", ("",)),
             (r"#\s*include\s*<random>", ("src/",)),
         ],
         self_test=[
@@ -193,6 +209,16 @@ RULES = [
             ("src/util/rng.h", "#include <random>", False),  # via allowlist below
             ("src/sim/x.cc", "#include <functional>", False),
             ("tests/x.cc", "#include <random>", False),
+            # src/par/ carve-out: threading primitives are the sync layer's
+            # reason to exist; everything else stays banned there too.
+            ("src/par/thread_executor.h", "#include <thread>", False),
+            ("src/par/thread_executor.cc", "#include <mutex>", False),
+            ("src/par/thread_executor.cc", "#include <condition_variable>", False),
+            ("src/par/thread_executor.cc", "#include <ctime>", True),
+            ("src/par/thread_executor.cc", "#include <random>", True),
+            # The carve-out is exactly src/par/ — not sim, not bench.
+            ("src/sim/parallel.cc", "#include <mutex>", True),
+            ("bench/bench_event_engine.cc", "#include <thread>", True),
         ],
     ),
 ]

@@ -26,11 +26,13 @@
 namespace silo::obs {
 
 namespace detail {
-/// Sink cells for unwired handles. Shared by every default-constructed
-/// handle in the process; the values are meaningless and never read, so
-/// cross-simulation interference through them cannot affect results.
-// silo-analyze: allow(mutable-global)
-inline std::int64_t sink_cell = 0;
+/// Sink cells for unwired handles. Per-thread, not process-global: a
+/// default-constructed handle binds the sink of the thread that created
+/// it, and handles are confined to the thread that runs their component
+/// (one island runs on exactly one thread per window), so the unwired
+/// fast path stays a single unconditional add with no data race under
+/// parallel islands. The values are meaningless and never read.
+inline thread_local std::int64_t sink_cell = 0;
 struct SinkHist;
 SinkHist& sink_hist();
 }  // namespace detail
@@ -80,8 +82,9 @@ struct SinkHist {
   SinkHist() { state.counts.resize(1); }
 };
 inline SinkHist& sink_hist() {
-  // Write-only sink shared by unwired Histogram handles; never read.
-  static SinkHist s;  // silo-analyze: allow(mutable-static-local)
+  // Write-only per-thread sink for unwired Histogram handles; never read.
+  // thread_local for the same confinement argument as sink_cell above.
+  static thread_local SinkHist s;
   return s;
 }
 }  // namespace detail

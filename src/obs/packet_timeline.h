@@ -71,6 +71,15 @@ class PacketTimeline {
     st.mark = now;
   }
 
+  /// Re-seed a slot from a snapshot taken in another arena. Cross-island
+  /// handoff re-allocates the packet in the destination island's pool; the
+  /// stage accounting accumulated so far travels with it so the breakdown
+  /// identity (pacing + queueing + serialization == total) still holds.
+  void restore(std::uint32_t h, const PacketStages& st) {
+    if (h >= stages_.size()) stages_.resize(h + 1);
+    stages_[h] = st;
+  }
+
   bool tracked(std::uint32_t h) const {
     return h < stages_.size() && stages_[h].tracked;
   }

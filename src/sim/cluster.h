@@ -8,6 +8,16 @@
 // Schemes reproduce the paper's comparison set (§6.2) — Silo, TCP, DCTCP,
 // HULL, Oktopus, Okto+ (Oktopus placement plus burst allowance) — plus the
 // two closest related-work designs from §7/Table 5: QJUMP and pFabric.
+//
+// The simulation state is organized as *islands* — one in sequential mode,
+// one per disjoint rack/tenant group (plus dedicated islands for shared
+// aggregation queues) when cfg.parallel.enabled. Each island owns an
+// EventQueue, a MetricsRegistry shard with the full catalog, and its
+// tenants' flows; islands synchronize under the conservative window
+// protocol of sim/parallel.h and results are bit-identical for any
+// executor, including the serial fallback and the classic single-queue
+// engine. See DESIGN.md "Parallel execution & conservative
+// synchronization".
 #pragma once
 
 #include <cstdint>
@@ -27,6 +37,7 @@
 #include "pacer/pacer_config.h"
 #include "placement/placement.h"
 #include "sim/network.h"
+#include "sim/parallel.h"
 #include "sim/transport.h"
 
 namespace silo::sim {
@@ -79,6 +90,17 @@ struct ClusterConfig {
     pacer::LenderConfig policy;
   };
   Lending lending;
+  /// Deterministic parallel execution (DESIGN.md "Parallel execution &
+  /// conservative synchronization"). When enabled, fabric/host
+  /// materialization is deferred until every tenant is admitted — the
+  /// island partition is a function of the placement — and run_until()
+  /// drives the per-island queues under the conservative window protocol.
+  /// Attach a threaded executor with set_island_executor(); without one a
+  /// serial fallback runs the same schedule on the caller's thread.
+  struct Parallel {
+    bool enabled = false;
+  };
+  Parallel parallel;
 };
 
 class ClusterSim {
@@ -168,7 +190,7 @@ class ClusterSim {
   /// to their servers. Each delta lands on its host's pacer-config table
   /// only after the controller->hypervisor latency plus per-record
   /// processing; the simulated cost is accounted in controller.diff.apply_ns
-  /// and the landings in controller.diff.applied.
+  /// and the landings in controller.diff.applied. Sequential mode only.
   void apply_config_deltas(const std::vector<PacerConfigDelta>& deltas);
 
   /// QJUMP's network epoch for this fabric (exposed for tests/benches).
@@ -181,30 +203,91 @@ class ClusterSim {
 
   /// Debug/test tap: observes every packet at final delivery (right before
   /// the transport consumes it). Used by determinism regression tests to
-  /// checksum the full delivered-packet trace.
+  /// checksum the full delivered-packet trace. Sequential mode only — in
+  /// parallel mode use enable_delivery_trace(), whose canonical checksum
+  /// is comparable across modes.
   using PacketTap = std::function<void(const Packet&)>;
-  void set_packet_tap(PacketTap tap) { tap_ = std::move(tap); }
+  void set_packet_tap(PacketTap tap);
 
-  /// The cluster's metric registry: fabric/host/transport/cluster counters
-  /// are registered in the constructor and updated via cached handles.
-  obs::MetricsRegistry& metrics() { return metrics_; }
-  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// The cluster's metric registry (sequential mode: the one shard that
+  /// exists; fabric/host/transport/cluster counters are registered at
+  /// construction and updated via cached handles). Parallel mode throws —
+  /// the shards must be combined; use merged_metrics().
+  obs::MetricsRegistry& metrics();
+  const obs::MetricsRegistry& metrics() const;
+
+  /// Merged view across every island's registry shard: counters sum,
+  /// gauges take the max, histograms merge element-wise (the catalogs are
+  /// identical by construction). Sequential mode: == metrics().snapshot().
+  std::vector<obs::MetricSample> merged_metrics() const;
 
   /// Create and attach a flight recorder (bounded ring of `capacity`
   /// events). Call enable_all()/enable_tenant()/enable_port() on the
   /// returned recorder to select traffic; nothing records until one filter
   /// is enabled. Idempotent capacity changes replace the recorder.
+  /// Sequential mode only.
   obs::FlightRecorder& enable_flight_recorder(std::size_t capacity);
   obs::FlightRecorder* flight_recorder() { return recorder_.get(); }
 
   const ClusterConfig& config() const { return cfg_; }
-  EventQueue& events() { return events_; }
-  Fabric& fabric() { return *fabric_; }
+  /// The single event queue (sequential mode). Parallel mode throws —
+  /// there is one queue per island; use tenant_events()/port_events().
+  EventQueue& events();
+  Fabric& fabric();
   const topology::Topology& topo() const { return *topo_; }
-  const Host& host(int server) const { return *hosts_[server]; }
+  const Host& host(int server) const { return *hosts_.at(server); }
   /// Mutable host access for fault injection (crash / restore).
-  Host& host_mut(int server) { return *hosts_[server]; }
-  void run_until(TimeNs t) { events_.run_until(t); }
+  Host& host_mut(int server);
+  /// Run to `t`: the single queue directly, or every island under the
+  /// conservative window protocol when cfg.parallel.enabled.
+  void run_until(TimeNs t);
+
+  // — Deterministic parallel execution (cfg.parallel.enabled) —
+
+  /// Attach the executor that runs island bodies each window (src/par/
+  /// owns the only threaded implementation). Unset: serial fallback —
+  /// bit-identical results by construction.
+  void set_island_executor(IslandExecutor* exec) { executor_ = exec; }
+  bool parallel_mode() const { return parallel_; }
+  /// The static island decomposition (materializes it on first use).
+  const IslandPartition& partition();
+  int num_islands();
+  /// Window-protocol rounds executed so far. With per-round event counts
+  /// this is the machine-independent overlap evidence benches record.
+  std::int64_t parallel_rounds() const { return rounds_; }
+  /// Events processed across every island queue (sequential mode: the one
+  /// global queue). Benches report this as the parallel throughput
+  /// numerator.
+  std::uint64_t total_processed() const;
+  /// Events processed by one island. max_i(island_processed) /
+  /// total_processed bounds the achievable parallel speedup independent of
+  /// the machine the bench ran on (the busiest island is the critical
+  /// path).
+  std::uint64_t island_processed(int island) const;
+  /// Cross-island arrivals that tied in both time and next queue with an
+  /// arrival from a *different* source island, summed over drains. Zero
+  /// certifies this run's cross-island order never had a choice to make —
+  /// the determinism matrix asserts it stays zero.
+  std::int64_t cross_tie_collisions() const;
+
+  /// Event queue owning a tenant's state — the queue drivers must schedule
+  /// their arrivals and callbacks on. Sequential mode: the global queue.
+  EventQueue& tenant_events(int tenant);
+  /// Queue driving a fabric port / a server's host (fault routing).
+  EventQueue& port_events(topology::PortId id);
+  EventQueue& server_events(int server);
+  /// Island-0 queue, home of control-plane objects (ControlChannel).
+  EventQueue& control_events();
+
+  /// Record every final packet delivery from now on. The canonical
+  /// checksum sorts records into a mode-independent order, so sequential
+  /// and parallel runs of one scenario must agree; the island checksum
+  /// hashes each island's records in arrival order, pinning executor
+  /// invariance (threads must not even reorder observation).
+  void enable_delivery_trace() { trace_enabled_ = true; }
+  std::uint64_t delivery_trace_checksum() const;
+  std::uint64_t island_trace_checksum() const;
+  std::int64_t delivery_trace_size() const;
 
  private:
   struct FlowRuntime {
@@ -234,6 +317,78 @@ class ClusterSim {
     TenantCounters counters;
   };
 
+  /// Flow ids are (island << kIslandShift) | island-local index, so a
+  /// packet names its flow globally while each island appends to its own
+  /// table. Island 0 encodes to the plain index — sequential ids are
+  /// unchanged.
+  static constexpr int kIslandShift = 20;
+  static constexpr int kLocalFlowMask = (1 << kIslandShift) - 1;
+  static constexpr int flow_island(int flow_id) {
+    return flow_id >> kIslandShift;
+  }
+
+  /// One delivered packet, as recorded by the delivery trace.
+  struct DeliveryRecord {
+    TimeNs at {};
+    int src_vm = -1;
+    int dst_vm = -1;
+    std::int64_t seq = 0;
+    std::int64_t ack_seq = 0;
+    std::int64_t payload = 0;
+    std::uint32_t flags = 0;  ///< is_ack | ecn<<1 | echo<<2 | prio<<3
+  };
+
+  /// Everything one island owns. Sequential mode is exactly one of these;
+  /// parallel mode holds num_islands() of them and every event executes
+  /// against exactly one. The registry shards carry identical catalogs so
+  /// merged_metrics() can fold them positionally.
+  struct IslandState {
+    int id = 0;
+    EventQueue events;
+    obs::MetricsRegistry metrics;
+    IslandGateway gateway;
+    // Registry handles, one full catalog per island.
+    PortMetricHooks pm;
+    HostMetricHooks hm;
+    TransportMetricHooks flow_metrics;
+    obs::Counter admissions;
+    obs::Counter rejections;
+    obs::Counter msgs_completed;
+    obs::Counter msgs_aborted;
+    obs::Counter slo_violations;
+    obs::Counter diff_applied;
+    obs::Counter diff_apply_ns;
+    obs::Counter lease_granted;
+    obs::Counter lease_revoked;
+    obs::Counter lease_expired;
+    obs::Counter lease_applied;
+    obs::Gauge lease_active;
+    obs::Gauge lease_lent_bps;
+    // Island-local flow table, indexed by the low bits of the flow id.
+    std::vector<std::unique_ptr<FlowRuntime>> flows;
+    std::vector<int> flow_tenant;  ///< local flow index -> tenant
+    /// Stage timeline of the packet being dispatched, captured before its
+    /// handle is recycled (on_flow_delivery runs inside the dispatch).
+    obs::PacketStages pending_stages;
+    TimeNs pending_arrival {-1};
+    // Window-protocol state. outbox fills during this island's run phase;
+    // the barrier distributes records into destination inboxes; drains
+    // re-inject in (arrival, src_island, seq) order.
+    std::uint64_t mailbox_seq = 0;
+    std::vector<MailboxRecord> outbox;
+    std::vector<MailboxRecord> inbox;
+    std::int64_t tie_collisions = 0;
+    std::vector<DeliveryRecord> trace;
+  };
+
+  /// Egress hook wired to every fabric port in parallel mode; forwards to
+  /// offer_cross_island.
+  struct CrossIslandHandoff final : PortTxHandoff {
+    ClusterSim* owner = nullptr;
+    bool offer(SwitchPortSim& port, PacketHandle h,
+               TimeNs deliver_at) override;
+  };
+
   bool scheme_paced() const {
     return cfg_.scheme == Scheme::kSilo || cfg_.scheme == Scheme::kOktopus ||
            cfg_.scheme == Scheme::kOktopusPlus ||
@@ -255,7 +410,15 @@ class ClusterSim {
 
   FlowRuntime& flow_for(int tenant, int src_local, int dst_local);
   const FlowRuntime* find_flow(int tenant, int src_local, int dst_local) const;
-  void dispatch(PacketHandle h);
+  FlowRuntime& flow_runtime(int flow_id) {
+    return *islands_[static_cast<std::size_t>(flow_island(flow_id))]
+                ->flows[static_cast<std::size_t>(flow_id & kLocalFlowMask)];
+  }
+  const FlowRuntime& flow_runtime(int flow_id) const {
+    return *islands_[static_cast<std::size_t>(flow_island(flow_id))]
+                ->flows[static_cast<std::size_t>(flow_id & kLocalFlowMask)];
+  }
+  void dispatch(int island, PacketHandle h);
   void on_flow_delivery(int flow_id, std::int64_t delivered);
   void on_flow_abort(int flow_id);
   void rebalance_tenant(int tenant);
@@ -268,31 +431,50 @@ class ClusterSim {
   /// lease table and push them into the borrower pacers.
   void refresh_lease_rates(int server);
 
+  /// Register the shared metric catalog into one island's registry shard
+  /// and cache the handles. Identical names and order on every island.
+  void register_catalog(IslandState& isl);
+  /// Parallel mode: build the partition from the admitted placement and
+  /// construct islands/fabric/hosts. Idempotent; the first run, driver
+  /// attach, or fabric access triggers it. Sequential construction runs
+  /// the equivalent inline in the constructor.
+  void materialize();
+  void run_parallel_until(TimeNs deadline);
+  void drain_inbox(int island);
+  void island_arrival(int island, PacketHandle h);
+  bool offer_cross_island(SwitchPortSim& port, PacketHandle h,
+                          TimeNs deliver_at);
+  int next_hop_port(const Packet& p) const;
+
   ClusterConfig cfg_;
-  obs::MetricsRegistry metrics_;
-  EventQueue events_;
+  bool parallel_ = false;
+  bool materialized_ = false;
+  PortConfig port_template_;
+  Host::Config host_template_;
   std::unique_ptr<topology::Topology> topo_;
   std::unique_ptr<placement::PlacementEngine> placer_;
   std::unique_ptr<Fabric> fabric_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<TenantRuntime> tenants_;
-  std::vector<std::unique_ptr<FlowRuntime>> flows_;  ///< by flow id
-  std::vector<int> flow_tenant_;                     ///< flow id -> tenant
+  std::vector<std::unique_ptr<IslandState>> islands_;
+  IslandPartition part_;
+  IslandExecutor* executor_ = nullptr;
+  SerialExecutor serial_executor_;
+  CrossIslandHandoff handoff_;
+  std::int64_t rounds_ = 0;
+  bool trace_enabled_ = false;
+  /// Admissions/rejections seen before the islands (and their registry
+  /// shards) exist in parallel mode; replayed into island 0 at
+  /// materialize().
+  std::int64_t pending_admissions_ = 0;
+  std::int64_t pending_rejections_ = 0;
   int next_global_vm_ = 0;
   PacketTap tap_;
 
   std::unique_ptr<obs::FlightRecorder> recorder_;
-  TransportMetricHooks flow_metrics_;  ///< shared cells, set on each flow
-  obs::Counter admissions_;
-  obs::Counter rejections_;
-  obs::Counter msgs_completed_;
-  obs::Counter msgs_aborted_;
-  obs::Counter slo_violations_;
-  obs::Counter diff_applied_;
-  obs::Counter diff_apply_ns_;
 
   // Headroom-lender state (docs/WORKCONSERVING.md). All stays empty/zero
-  // while cfg_.lending.enabled is false.
+  // while cfg_.lending.enabled is false. Sequential mode only.
   std::unique_ptr<pacer::HeadroomLender> lender_;
   std::uint64_t lease_epoch_ = 0;
   std::uint64_t next_lease_id_ = 1;
@@ -301,16 +483,6 @@ class ClusterSim {
   /// vanished leases are zeroed out exactly once.
   std::map<int, std::map<std::pair<std::int64_t, int>, RateBps>>
       applied_lease_rate_;
-  obs::Counter lease_granted_;
-  obs::Counter lease_revoked_;
-  obs::Counter lease_expired_;
-  obs::Counter lease_applied_;
-  obs::Gauge lease_active_;
-  obs::Gauge lease_lent_bps_;
-  /// Stage timeline of the packet being dispatched, captured before its
-  /// handle is recycled (on_flow_delivery runs inside the dispatch).
-  obs::PacketStages pending_stages_;
-  TimeNs pending_arrival_ {-1};
 };
 
 }  // namespace silo::sim

@@ -4,6 +4,7 @@
 
 #include "sim/cluster.h"
 #include "sim/network.h"
+#include "sim/parallel.h"
 #include "sim/port.h"
 #include "sim/transport.h"
 
@@ -185,6 +186,9 @@ void EventQueue::dispatch(const Event& ev) {
       break;
     case EventKind::kClusterLeaseEpoch:
       static_cast<ClusterSim*>(ev.target)->lease_epoch_tick();
+      break;
+    case EventKind::kIslandArrival:
+      static_cast<IslandGateway*>(ev.target)->handle_arrival(ev.arg);
       break;
   }
 }

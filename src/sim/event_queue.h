@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <stdexcept>
 #include <vector>
@@ -32,6 +33,7 @@ class SwitchPortSim;
 class Host;
 class TcpFlow;
 class ClusterSim;
+class IslandGateway;
 
 /// The simulator's actual event kinds. Hot per-packet kinds carry a packet
 /// handle; control kinds carry small integers. kCallback/kRawCall cover
@@ -49,6 +51,8 @@ enum class EventKind : std::uint8_t {
   kFlowTsqRetry,      ///< target TcpFlow
   kClusterRebalance,  ///< target ClusterSim, arg = tenant
   kClusterLeaseEpoch, ///< target ClusterSim (headroom-lender epoch tick)
+  kIslandArrival,     ///< target IslandGateway, arg = packet handle
+                      ///< (cross-island handoff re-entering this island)
 };
 
 class EventQueue {
@@ -110,6 +114,16 @@ class EventQueue {
 
   /// Schedule `cb` after a delay.
   void after(TimeNs delay, Callback cb) { at(now_ + delay, std::move(cb)); }
+
+  /// Timestamp of the earliest pending event without dispatching it, or
+  /// empty when the queue is idle. The conservative window protocol reads
+  /// every island's next-event time to derive safe horizons. Mutates wheel
+  /// cursors (cascades slots into the due run) but never the event set —
+  /// owner-thread-only, like every other member.
+  std::optional<TimeNs> peek_next_time() {
+    if (!prepare_next()) return std::nullopt;
+    return due_[due_head_].time;
+  }
 
   bool empty() const { return size_ == 0; }
   std::size_t pending() const { return size_; }

@@ -1,6 +1,7 @@
 #include "sim/faults.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "sim/control_channel.h"
 
@@ -112,10 +113,39 @@ FaultInjector::FaultInjector(ClusterSim& sim, FaultPlan plan)
     : sim_(sim), plan_(std::move(plan)), loss_rng_(plan_.seed) {}
 
 void FaultInjector::arm() {
-  EventQueue& ev = sim_.events();
   for (std::size_t i = 0; i < plan_.actions.size(); ++i) {
-    const TimeNs when = std::max(ev.now(), plan_.actions[i].at);
-    ev.at(when, [this, i] { execute(plan_.actions[i]); });
+    const FaultAction& a = plan_.actions[i];
+    // Each action fires on the event queue of the island that owns the
+    // faulted element, so parallel mode needs no cross-island control
+    // events (the action closure only touches island-local state).
+    EventQueue* ev = nullptr;
+    switch (a.kind) {
+      case FaultAction::Kind::kLinkDown:
+      case FaultAction::Kind::kLinkUp:
+        ev = &sim_.port_events(topology::PortId{a.port});
+        break;
+      case FaultAction::Kind::kLossStart:
+      case FaultAction::Kind::kLossStop:
+        // Loss windows draw from one shared Rng whose consumption order
+        // depends on global packet interleaving — not a pure function of
+        // the partition, so they stay sequential-only.
+        if (sim_.parallel_mode())
+          throw std::logic_error(
+              "FaultInjector: loss windows are sequential-mode only (the "
+              "shared loss Rng is not island-confined)");
+        ev = &sim_.port_events(topology::PortId{a.port});
+        break;
+      case FaultAction::Kind::kServerDown:
+      case FaultAction::Kind::kServerUp:
+        ev = &sim_.server_events(a.server);
+        break;
+      case FaultAction::Kind::kChannelLossStart:
+      case FaultAction::Kind::kChannelLossStop:
+        ev = &sim_.control_events();
+        break;
+    }
+    const TimeNs when = std::max(ev->now(), a.at);
+    ev->at(when, [this, i] { execute(plan_.actions[i]); });
   }
 }
 

@@ -6,50 +6,60 @@ namespace silo::sim {
 
 Fabric::Fabric(EventQueue& events, const topology::Topology& topo,
                const PortConfig& port_template)
-    : events_(events), topo_(topo) {
-  ports_.resize(topo.num_ports());
+    : Fabric(topo, port_template,
+             std::vector<int>(static_cast<std::size_t>(topo.num_ports()), 0),
+             {&events}) {
+  events_ = &events;
+}
+
+Fabric::Fabric(const topology::Topology& topo,
+               const PortConfig& port_template, std::vector<int> port_island,
+               const std::vector<EventQueue*>& island_queues)
+    : topo_(topo), port_island_(std::move(port_island)) {
+  ports_.resize(static_cast<std::size_t>(topo.num_ports()));
   for (int i = 0; i < topo.num_ports(); ++i) {
     PortConfig cfg = port_template;
     cfg.rate = topo.port(topology::PortId{i}).rate;
     cfg.buffer = topo.port(topology::PortId{i}).buffer;
-    ports_[i] = std::make_unique<SwitchPortSim>(
-        events, cfg, [this](PacketHandle h) { advance(h); });
-    ports_[i]->set_location(i);
+    const int island = port_island_[static_cast<std::size_t>(i)];
+    EventQueue* q = island_queues.at(static_cast<std::size_t>(island));
+    ports_[static_cast<std::size_t>(i)] = std::make_unique<SwitchPortSim>(
+        *q, cfg,
+        [this, island, q](PacketHandle h) { advance(island, *q, h); });
+    ports_[static_cast<std::size_t>(i)]->set_location(i);
   }
-}
-
-const std::vector<topology::PortId>& Fabric::path_for(int src, int dst) {
-  const std::int64_t key =
-      static_cast<std::int64_t>(src) * topo_.num_servers() + dst;
-  auto it = path_cache_.find(key);
-  if (it == path_cache_.end())
-    it = path_cache_.emplace(key, topo_.path(src, dst)).first;
-  return it->second;
 }
 
 void Fabric::ingress_from_host(PacketHandle h) {
-  Packet& p = events_.pool().get(h);
+  ingress_from_host(0, *events_, h);
+}
+
+void Fabric::ingress_from_host(int island, EventQueue& q, PacketHandle h) {
+  Packet& p = q.pool().get(h);
   if (p.is_void) {  // first-hop switch drops void frames
-    events_.pool().free(h);
+    q.pool().free(h);
     return;
   }
   p.hop = 1;  // path[0] (the NIC egress) was the host's wire
-  advance(h);
+  advance(island, q, h);
 }
 
-void Fabric::advance(PacketHandle h) {
-  Packet& p = events_.pool().get(h);
-  const auto& path = path_for(p.src_server, p.dst_server);
-  if (p.hop >= path.size()) {
-    if (host_deliver_)
-      host_deliver_(h);
+void Fabric::advance(int island, EventQueue& q, PacketHandle h) {
+  Packet& p = q.pool().get(h);
+  const topology::PortSpan path = topo_.path_span(p.src_server, p.dst_server);
+  if (p.hop >= path.size) {
+    if (deliver_)
+      deliver_(island, q, h);
     else
-      events_.pool().free(h);
+      q.pool().free(h);
     return;
   }
-  const auto port_id = path[p.hop];
+  // In island mode the next hop is always island-local: a transmission
+  // whose next queue lives elsewhere was claimed by the egress handoff
+  // hook and re-enters through the destination island's gateway instead.
+  const auto port_id = path.port[static_cast<std::size_t>(p.hop)];
   ++p.hop;
-  ports_[port_id.value]->enqueue(h);
+  ports_[static_cast<std::size_t>(port_id.value)]->enqueue(h);
 }
 
 std::int64_t Fabric::total_drops() const {
@@ -316,7 +326,8 @@ void Host::handle_ingress(PacketHandle h) {
     drop_faulted(h);
     return;
   }
-  fabric_.ingress_from_host(h);
+  // The first fabric hop (this server's rack) is always island-local.
+  fabric_.ingress_from_host(cfg_.island, events_, h);
 }
 
 }  // namespace silo::sim

@@ -23,25 +23,55 @@
 namespace silo::sim {
 
 /// All switch egress queues of the datacenter, addressed by topology
-/// PortId. Routes packets hop by hop along the precomputed tree path.
+/// PortId. Routes packets hop by hop along the tree path (computed
+/// allocation-free per hop via Topology::path_span — pure, so islands
+/// share nothing through routing).
+///
+/// The fabric can be island-sharded: each port is driven by its island's
+/// EventQueue, and routing stays island-local because cross-island
+/// transmissions are intercepted at the egress port (PortTxHandoff) before
+/// they would hop queues. The single-queue constructor is the sequential
+/// mode and behaves exactly as before.
 class Fabric {
  public:
   /// Receives ownership of the delivered handle.
   using DeliverFn = std::function<void(PacketHandle)>;
+  /// Island-aware delivery: island + queue that ran the final hop.
+  using IslandDeliverFn = std::function<void(int, EventQueue&, PacketHandle)>;
 
+  /// Sequential fabric: every port on one queue (island 0).
   Fabric(EventQueue& events, const topology::Topology& topo,
          const PortConfig& port_template);
 
-  void set_host_deliver(DeliverFn fn) { host_deliver_ = std::move(fn); }
+  /// Island-sharded fabric: port i is driven by
+  /// *island_queues[port_island[i]].
+  Fabric(const topology::Topology& topo, const PortConfig& port_template,
+         std::vector<int> port_island,
+         const std::vector<EventQueue*>& island_queues);
+
+  void set_host_deliver(DeliverFn fn) {
+    deliver_ = [f = std::move(fn)](int, EventQueue&, PacketHandle h) { f(h); };
+  }
+  void set_island_deliver(IslandDeliverFn fn) { deliver_ = std::move(fn); }
 
   /// Entry point for packets leaving a host NIC (the server->ToR wire has
   /// already been simulated by the NIC). Void packets die here: the first
   /// hop switch discards them by MAC address. Takes ownership.
-  void ingress_from_host(PacketHandle h);
+  void ingress_from_host(PacketHandle h);  ///< sequential mode (island 0)
+  void ingress_from_host(int island, EventQueue& q, PacketHandle h);
+
+  /// Resume routing for a packet that just crossed into `island` through
+  /// the window protocol's mailbox (IslandGateway arrival).
+  void advance_from_gateway(int island, EventQueue& q, PacketHandle h) {
+    advance(island, q, h);
+  }
 
   SwitchPortSim& port(topology::PortId id) { return *ports_[id.value]; }
   const SwitchPortSim& port(topology::PortId id) const {
     return *ports_[id.value];
+  }
+  int island_of_port(topology::PortId id) const {
+    return port_island_[static_cast<std::size_t>(id.value)];
   }
 
   std::int64_t total_drops() const;
@@ -49,14 +79,13 @@ class Fabric {
   std::int64_t total_fault_drops() const;
 
  private:
-  void advance(PacketHandle h);
-  const std::vector<topology::PortId>& path_for(int src, int dst);
+  void advance(int island, EventQueue& q, PacketHandle h);
 
-  EventQueue& events_;
   const topology::Topology& topo_;
+  EventQueue* events_ = nullptr;  ///< sequential default queue (else null)
+  std::vector<int> port_island_;
   std::vector<std::unique_ptr<SwitchPortSim>> ports_;
-  std::map<std::int64_t, std::vector<topology::PortId>> path_cache_;
-  DeliverFn host_deliver_;
+  IslandDeliverFn deliver_;
 };
 
 /// Registry handles a host updates (shared across all hosts of a cluster;
@@ -88,6 +117,8 @@ class Host {
     /// token-bucket queues: overflow is dropped and TCP reacts to loss
     /// instead of to unbounded stamp delays.
     Bytes pacer_queue_cap = 512 * kKB;
+    /// Island this server belongs to (parallel mode; 0 == sequential).
+    int island = 0;
   };
 
   Host(EventQueue& events, Fabric& fabric, int server_id, const Config& cfg);

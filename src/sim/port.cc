@@ -203,6 +203,14 @@ void SwitchPortSim::handle_tx_done(PacketHandle h) {
   metrics_.tx_bytes.inc(events_.pool().get(h).wire_bytes.count());
   events_.timeline().advance(PacketPool::slot_of(h), events_.now(),
                              obs::Stage::kSerialization);
+  // Cross-island egress: if a handoff hook claims the packet, it leaves
+  // this island here and re-enters the destination island's queue at the
+  // same absolute time a local kPortDeliver would have fired.
+  if (handoff_ != nullptr &&
+      handoff_->offer(*this, h, events_.now() + cfg_.link_delay)) {
+    start_tx();
+    return;
+  }
   // Hand to the next hop after propagation; transmission of the next
   // packet overlaps with propagation of this one.
   events_.schedule_after(cfg_.link_delay, EventKind::kPortDeliver, this, h);

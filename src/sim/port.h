@@ -79,6 +79,21 @@ struct PortStats {
   Bytes max_queue_bytes {};
 };
 
+/// Cross-island egress interception point. When attached to a port, every
+/// successful transmission is offered to the hook at tx-done, *before* the
+/// local kPortDeliver is scheduled. Returning true means the hook consumed
+/// the handle (the packet is crossing into another island's mailbox and
+/// will be re-materialized there at `deliver_at`); false leaves the
+/// sequential delivery path untouched. Because the offer happens at
+/// transmission completion, the earliest possible re-entry time is
+/// now + link_delay — exactly the lookahead the window protocol assumes.
+class PortTxHandoff {
+ public:
+  virtual ~PortTxHandoff() = default;
+  virtual bool offer(SwitchPortSim& port, PacketHandle h,
+                     TimeNs deliver_at) = 0;
+};
+
 class SwitchPortSim {
  public:
   /// Receives ownership of the delivered packet handle; the callee (next
@@ -111,6 +126,9 @@ class SwitchPortSim {
 
   /// Attach registry handles (cold path; see PortMetricHooks).
   void set_metrics(const PortMetricHooks& m) { metrics_ = m; }
+  /// Attach the cross-island egress hook (parallel mode only; null — the
+  /// default — keeps the sequential path bit-identical).
+  void set_tx_handoff(PortTxHandoff* hook) { handoff_ = hook; }
   /// Flight-recorder location id: fabric ports use their PortId value,
   /// host-side ports (loopback vswitch) use obs::host_location(server).
   void set_location(std::int32_t location) { location_ = location; }
@@ -173,6 +191,7 @@ class SwitchPortSim {
   TimeNs phantom_updated_ {};
   PortStats stats_;
   PortMetricHooks metrics_;
+  PortTxHandoff* handoff_ = nullptr;
   std::int32_t location_ = 0;
 #ifdef SILO_AUDIT
   std::int64_t audit_in_ = 0;   ///< wire bytes ever accepted into the queue

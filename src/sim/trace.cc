@@ -15,10 +15,10 @@ void PortTracer::start(TimeNs until) {
 
 void PortTracer::sample() {
   samples_.push_back(
-      {cluster_.events().now(), cluster_.fabric().port(port_).queued_bytes()});
-  if (cluster_.events().now() + period_ <= until_) {
+      {cluster_.port_events(port_).now(), cluster_.fabric().port(port_).queued_bytes()});
+  if (cluster_.port_events(port_).now() + period_ <= until_) {
     // Typed raw event: periodic sampling stays off the std::function path.
-    cluster_.events().raw_after(
+    cluster_.port_events(port_).raw_after(
         period_,
         [](void* self, std::uint32_t) { static_cast<PortTracer*>(self)->sample(); },
         this);

@@ -56,12 +56,12 @@ void EtcDriver::start(TimeNs until) {
 
 void EtcDriver::schedule_next() {
   const double gap_s = rng_.exponential(1.0 / cfg_.ops_per_sec);
-  const TimeNs t = cluster_.events().now() +
+  const TimeNs t = cluster_.tenant_events(tenant_).now() +
                    static_cast<TimeNs>(gap_s * static_cast<double>(kSec));
   if (t > until_) return;
   // Arrivals ride typed raw events; the per-transaction response chain below
   // stays on std::function callbacks (cold, message-granularity).
-  cluster_.events().raw_at(
+  cluster_.tenant_events(tenant_).raw_at(
       t, [](void* self, std::uint32_t) { static_cast<EtcDriver*>(self)->on_arrival(); },
       this);
 }
@@ -71,7 +71,7 @@ void EtcDriver::on_arrival() {
       0, static_cast<std::int64_t>(client_vms_.size()) - 1))];
   const Bytes value = sample_value_size();
   ++issued_;
-  send_request(client, value, cluster_.events().now(), 1);
+  send_request(client, value, cluster_.tenant_events(tenant_).now(), 1);
   schedule_next();
 }
 
@@ -93,7 +93,7 @@ void EtcDriver::send_request(int client, Bytes value, TimeNs sent,
             return;
           }
           ++retried_;
-          cluster_.events().after(
+          cluster_.tenant_events(tenant_).after(
               retry_delay(retry_, attempt, rng_), [this, client, value, sent,
                                                    attempt] {
                 send_request(client, value, sent, attempt + 1);
@@ -103,7 +103,7 @@ void EtcDriver::send_request(int client, Bytes value, TimeNs sent,
         breakdown_.add(r);
         const auto think = static_cast<TimeNs>(rng_.exponential(
             static_cast<double>(cfg_.server_processing_mean)));
-        cluster_.events().after(think, [this, client, value, sent] {
+        cluster_.tenant_events(tenant_).after(think, [this, client, value, sent] {
           send_response(client, value, sent, 1);
         });
       });
@@ -122,7 +122,7 @@ void EtcDriver::send_response(int client, Bytes value, TimeNs sent,
             return;
           }
           ++retried_;
-          cluster_.events().after(
+          cluster_.tenant_events(tenant_).after(
               retry_delay(retry_, attempt, rng_), [this, client, value, sent,
                                                    attempt] {
                 send_response(client, value, sent, attempt + 1);
@@ -131,7 +131,7 @@ void EtcDriver::send_response(int client, Bytes value, TimeNs sent,
         }
         ++completed_;
         breakdown_.add(r);
-        latencies_us_.add(static_cast<double>(cluster_.events().now() - sent) /
+        latencies_us_.add(static_cast<double>(cluster_.tenant_events(tenant_).now() - sent) /
                           static_cast<double>(kUsec));
       });
 }
@@ -145,14 +145,14 @@ BulkDriver::BulkDriver(sim::ClusterSim& cluster, int tenant,
 
 void BulkDriver::start(TimeNs until) {
   until_ = until;
-  started_ = cluster_.events().now();
+  started_ = cluster_.tenant_events(tenant_).now();
   for (std::size_t i = 0; i < pairs_.size(); ++i) pump(i, 1);
 }
 
 void BulkDriver::pump(std::size_t pair_idx, int attempt) {
   // Fresh chunks stop at the cutoff; a retried chunk (attempt > 1) is
   // driven to completion regardless, so faulted transfers finish.
-  if (attempt == 1 && cluster_.events().now() >= until_) return;
+  if (attempt == 1 && cluster_.tenant_events(tenant_).now() >= until_) return;
   const auto [src, dst] = pairs_[pair_idx];
   cluster_.send_message(
       tenant_, src, dst, chunk_,
@@ -165,7 +165,7 @@ void BulkDriver::pump(std::size_t pair_idx, int attempt) {
             return;
           }
           ++retried_;
-          cluster_.events().after(retry_delay(retry_, attempt, rng_),
+          cluster_.tenant_events(tenant_).after(retry_delay(retry_, attempt, rng_),
                                   [this, pair_idx, attempt] {
                                     pump(pair_idx, attempt + 1);
                                   });
@@ -183,7 +183,7 @@ double BulkDriver::goodput_bps() const {
   std::int64_t bytes = 0;
   for (const auto& [src, dst] : pairs_)
     bytes += cluster_.pair_delivered_bytes(tenant_, src, dst);
-  const TimeNs elapsed = cluster_.events().now() - started_;
+  const TimeNs elapsed = cluster_.tenant_events(tenant_).now() - started_;
   if (elapsed <= TimeNs{0}) return 0.0;
   return static_cast<double>(bytes) * 8e9 / static_cast<double>(elapsed);
 }
@@ -202,10 +202,10 @@ void BurstDriver::start(TimeNs until) {
 
 void BurstDriver::schedule_next() {
   const double gap_s = rng_.exponential(1.0 / cfg_.epochs_per_sec);
-  const TimeNs t = cluster_.events().now() +
+  const TimeNs t = cluster_.tenant_events(tenant_).now() +
                    static_cast<TimeNs>(gap_s * static_cast<double>(kSec));
   if (t > until_) return;
-  cluster_.events().raw_at(
+  cluster_.tenant_events(tenant_).raw_at(
       t, [](void* self, std::uint32_t) { static_cast<BurstDriver*>(self)->on_arrival(); },
       this);
 }
@@ -215,7 +215,7 @@ void BurstDriver::on_arrival() {
   for (int v = 0; v < n_vms_; ++v) {
     if (v == cfg_.receiver) continue;
     ++issued_;
-    send_one(v, cluster_.events().now(), 1);
+    send_one(v, cluster_.tenant_events(tenant_).now(), 1);
   }
   schedule_next();
 }
@@ -231,7 +231,7 @@ void BurstDriver::send_one(int worker, TimeNs sent, int attempt) {
             return;
           }
           ++retried_;
-          cluster_.events().after(
+          cluster_.tenant_events(tenant_).after(
               retry_delay(retry_, attempt, rng_),
               [this, worker, sent, attempt] {
                 send_one(worker, sent, attempt + 1);
@@ -243,7 +243,7 @@ void BurstDriver::send_one(int worker, TimeNs sent, int attempt) {
         // Latency from the first issue, so retried messages surface as the
         // long tail they are rather than resetting the clock.
         latencies_us_.add(
-            static_cast<double>(cluster_.events().now() - sent) /
+            static_cast<double>(cluster_.tenant_events(tenant_).now() - sent) /
             static_cast<double>(kUsec));
         if (r.had_rto || attempt > 1) ++rto_messages_;
       });
@@ -265,10 +265,10 @@ void PoissonMessageDriver::start(TimeNs until) {
 
 void PoissonMessageDriver::schedule_next() {
   const double gap_s = rng_.exponential(1.0 / rate_);
-  const TimeNs t = cluster_.events().now() +
+  const TimeNs t = cluster_.tenant_events(tenant_).now() +
                    static_cast<TimeNs>(gap_s * static_cast<double>(kSec));
   if (t > until_) return;
-  cluster_.events().raw_at(
+  cluster_.tenant_events(tenant_).raw_at(
       t,
       [](void* self, std::uint32_t) {
         static_cast<PoissonMessageDriver*>(self)->on_arrival();
@@ -278,7 +278,7 @@ void PoissonMessageDriver::schedule_next() {
 
 void PoissonMessageDriver::on_arrival() {
   ++issued_;
-  send_one(cluster_.events().now(), 1);
+  send_one(cluster_.tenant_events(tenant_).now(), 1);
   schedule_next();
 }
 
@@ -293,7 +293,7 @@ void PoissonMessageDriver::send_one(TimeNs sent, int attempt) {
             return;
           }
           ++retried_;
-          cluster_.events().after(retry_delay(retry_, attempt, rng_),
+          cluster_.tenant_events(tenant_).after(retry_delay(retry_, attempt, rng_),
                                   [this, sent, attempt] {
                                     send_one(sent, attempt + 1);
                                   });
@@ -301,7 +301,7 @@ void PoissonMessageDriver::send_one(TimeNs sent, int attempt) {
         }
         ++completed_;
         breakdown_.add(r);
-        latencies_us_.add(static_cast<double>(cluster_.events().now() - sent) /
+        latencies_us_.add(static_cast<double>(cluster_.tenant_events(tenant_).now() - sent) /
                           static_cast<double>(kUsec));
       });
 }
